@@ -1,0 +1,121 @@
+(* Command-line synthesis and mapping driver.
+
+   Examples:
+     cntfet_map map --bench add-16 --family static
+     cntfet_map map --blif circuit.blif --family cmos --no-synth
+     cntfet_map compare --bench C6288
+     cntfet_map list *)
+
+open Cmdliner
+
+let load_circuit bench blif benchfile =
+  match (bench, blif, benchfile) with
+  | Some name, None, None -> (Bench_suite.find name).Bench_suite.build ()
+  | None, Some path, None ->
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Blif.read ic)
+  | None, None, Some path ->
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Bench_fmt.read ic)
+  | _ ->
+      failwith "specify exactly one of --bench, --blif, --bench-file"
+
+let family_of_string = function
+  | "static" -> `Tg_static
+  | "pseudo" -> `Tg_pseudo
+  | "pass" -> `Pass_pseudo
+  | "cmos" -> `Cmos
+  | s -> failwith ("unknown family " ^ s ^ " (static|pseudo|pass|cmos)")
+
+let bench_arg =
+  Arg.(value & opt (some string) None
+       & info [ "bench" ] ~docv:"NAME"
+           ~doc:"Built-in benchmark name (see the list command).")
+
+let blif_arg =
+  Arg.(value & opt (some string) None
+       & info [ "blif" ] ~docv:"FILE" ~doc:"Read the circuit from a BLIF file.")
+
+let benchfile_arg =
+  Arg.(value & opt (some string) None
+       & info [ "bench-file" ] ~docv:"FILE"
+           ~doc:"Read the circuit from an ISCAS .bench file.")
+
+let family_arg =
+  Arg.(value & opt string "static"
+       & info [ "family" ] ~docv:"FAM"
+           ~doc:"Target library: static, pseudo, pass or cmos.")
+
+let synth_arg =
+  Arg.(value & flag & info [ "no-synth" ] ~doc:"Skip logic optimization.")
+
+let cut_arg =
+  Arg.(value & opt int 6 & info [ "cut-size" ] ~docv:"K" ~doc:"Mapper cut size.")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "out" ] ~docv:"FILE" ~doc:"Write the mapped netlist as BLIF.")
+
+let map_cmd =
+  let run bench blif benchfile family no_synth cut out =
+    let aig = load_circuit bench blif benchfile in
+    Format.printf "input:    %a@." Aig.pp_stats aig;
+    let r =
+      Core.run ~synthesize:(not no_synth) ~cut_size:cut
+        ~family:(family_of_string family) aig
+    in
+    Format.printf "optimized: %a@." Aig.pp_stats r.Core.optimized;
+    Format.printf "mapped:   %a@." Mapped.pp_stats r.Core.mapped;
+    List.iter
+      (fun (n, c) -> Format.printf "  %-8s x%d@." n c)
+      (Mapped.count_cells r.Core.mapped);
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+            Blif.write_mapped oc r.Core.mapped);
+        Format.printf "wrote %s@." path
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Optimize and map one circuit.")
+    Term.(const run $ bench_arg $ blif_arg $ benchfile_arg $ family_arg
+          $ synth_arg $ cut_arg $ out_arg)
+
+let compare_cmd =
+  let run bench blif benchfile no_synth =
+    let aig = load_circuit bench blif benchfile in
+    Format.printf "input: %a@." Aig.pp_stats aig;
+    List.iter
+      (fun (name, (s : Mapped.stats)) ->
+        Format.printf
+          "%-22s gates=%-5d area=%-9.1f levels=%-3d delay=%-7.1f abs=%.1f ps@."
+          name s.Mapped.gates s.Mapped.area s.Mapped.levels s.Mapped.norm_delay
+          s.Mapped.abs_delay_ps)
+      (Core.compare_families ~synthesize:(not no_synth) aig)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Map against all three libraries (Table 3 row).")
+    Term.(const run $ bench_arg $ blif_arg $ benchfile_arg $ synth_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Bench_suite.entry) ->
+        let g = e.Bench_suite.build () in
+        Format.printf "%-8s %-18s i/o=%d/%d ands=%d@." e.Bench_suite.name
+          e.Bench_suite.description (Aig.num_inputs g) (Aig.num_outputs g)
+          (Aig.num_ands g))
+      Bench_suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark suite.")
+    Term.(const run $ const ())
+
+let genlib_cmd =
+  let run family =
+    print_string (Genlib.to_string (Core.library (family_of_string family)))
+  in
+  Cmd.v (Cmd.info "genlib" ~doc:"Print the characterized library in genlib format.")
+    Term.(const run $ family_arg)
+
+let () =
+  let info = Cmd.info "cntfet_map" ~doc:"Ambipolar CNTFET synthesis and mapping." in
+  exit (Cmd.eval (Cmd.group info [ map_cmd; compare_cmd; list_cmd; genlib_cmd ]))

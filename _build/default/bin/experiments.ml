@@ -1,0 +1,33 @@
+(* Regenerates the paper's artifacts.
+
+     experiments table1|table2|table3|fig6|all [fast]
+
+   "fast" restricts Table 3 / Figure 6 to the small benchmarks.  The "all"
+   mode prints everything in one report (what EXPERIMENTS.md archives). *)
+
+let fast_benches =
+  [ "C1908"; "C3540"; "dalu"; "t481"; "C1355"; "add-16"; "add-32"; "add-64" ]
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let fast = Array.length Sys.argv > 2 && Sys.argv.(2) = "fast" in
+  let benches = if fast then Some fast_benches else None in
+  let t0 = Unix.gettimeofday () in
+  (match what with
+  | "table1" -> print_string (Experiments.render_table1 ())
+  | "table2" -> print_string (Experiments.render_table2 ())
+  | "table3" -> print_string (Experiments.render_table3 ?benches ())
+  | "fig6" -> print_string (Experiments.render_fig6 ?benches ())
+  | "all" ->
+      print_string (Experiments.render_table1 ());
+      print_newline ();
+      print_string (Experiments.render_table2 ());
+      print_newline ();
+      print_string (Experiments.render_table3 ?benches ());
+      print_newline ();
+      print_string (Experiments.render_fig6 ?benches ())
+  | other ->
+      Printf.eprintf "unknown experiment %s (table1|table2|table3|fig6|all)\n"
+        other;
+      exit 1);
+  Printf.printf "\n_generated in %.1f s_\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+examples/adder_tradeoffs.ml: Arith Core Format List Mapped

@@ -1,0 +1,1 @@
+examples/fabric_demo.ml: Arith Core Fabric Format List Mapped

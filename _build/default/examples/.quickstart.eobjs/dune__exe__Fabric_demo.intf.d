@@ -1,0 +1,1 @@
+examples/fabric_demo.mli:

@@ -1,0 +1,1 @@
+examples/gate_explorer.ml: Array Catalog Cell_netlist Charlib Format Gate_spec List Paper_data Printf Switchsim Sys

@@ -1,0 +1,1 @@
+examples/multiplier_flow.ml: Aig Arith Array Cell_lib Core Format List Mapped Mapper Rand64 Synth

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Arith Array Core Format List Mapped

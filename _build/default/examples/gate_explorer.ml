@@ -1,0 +1,50 @@
+(* Inspect any catalog cell across the four CNTFET families and CMOS:
+   transistor netlist, sizing, characterization, and the switch-level
+   full-swing check of Sec. 3.
+
+     dune exec examples/gate_explorer.exe            (defaults to F05)
+     dune exec examples/gate_explorer.exe -- F09 *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "F05" in
+  let entry =
+    try Catalog.find name
+    with Not_found ->
+      Printf.eprintf "unknown gate %s (use F00..F45)\n" name;
+      exit 1
+  in
+  Format.printf "%s: %a@.@." entry.Catalog.name Gate_spec.pp entry.Catalog.spec;
+  let families =
+    Cell_netlist.[ Tg_static; Tg_pseudo; Pass_pseudo; Pass_static ]
+    @ (if Catalog.is_cmos_expressible entry then [ Cell_netlist.Cmos ] else [])
+  in
+  List.iter
+    (fun fam ->
+      let cell = Cell_netlist.elaborate fam entry.Catalog.spec in
+      Format.printf "--- %s ---@." (Cell_netlist.family_name fam);
+      Format.printf "%a@." Cell_netlist.pp_cell cell;
+      let r = Charlib.characterize fam entry in
+      Format.printf
+        "T=%d  area=%.2f  FO4 worst=%.2f avg=%.2f  (tau = %.2f ps)@."
+        r.Charlib.transistors r.Charlib.area r.Charlib.fo4_worst
+        r.Charlib.fo4_avg (Charlib.tau_ps fam);
+      Format.printf "full swing on all inputs: %b@."
+        (Switchsim.full_swing cell);
+      (match Paper_data.table2_find entry.Catalog.name with
+      | row ->
+          let p =
+            match fam with
+            | Cell_netlist.Tg_static -> Some row.Paper_data.tg_static
+            | Cell_netlist.Tg_pseudo -> Some row.Paper_data.tg_pseudo
+            | Cell_netlist.Pass_pseudo -> Some row.Paper_data.pass_pseudo
+            | Cell_netlist.Cmos -> row.Paper_data.cmos
+            | Cell_netlist.Pass_static -> None
+          in
+          (match p with
+          | Some p ->
+              Format.printf "paper:  T=%d area=%.1f w=%.1f a=%.1f@."
+                p.Paper_data.t p.Paper_data.a p.Paper_data.w p.Paper_data.avg
+          | None -> ())
+      | exception Not_found -> ());
+      Format.printf "@.")
+    families

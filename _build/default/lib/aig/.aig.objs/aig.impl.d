@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Array Format Hashtbl Int64 List Printf Tt

@@ -1,0 +1,315 @@
+
+
+type lit = int
+
+type t = {
+  mutable fanin0 : int array;
+  mutable fanin1 : int array;
+  mutable num : int;
+  mutable ninputs : int;
+  mutable onames : string array;
+  mutable olits : int array;
+  mutable nouts : int;
+  mutable inames : string array;
+  strash : (int, int) Hashtbl.t;  (* key = f0 * 2^31 + f1 (f0 <= f1) *)
+}
+
+let lit_false = 0
+let lit_true = 1
+let lnot l = l lxor 1
+let node_of l = l lsr 1
+let is_compl l = l land 1 = 1
+let lit_of_node ?(compl = false) n = (n lsl 1) lor (if compl then 1 else 0)
+
+let create ?(size_hint = 256) () =
+  {
+    fanin0 = Array.make (max size_hint 4) (-1);
+    fanin1 = Array.make (max size_hint 4) (-1);
+    num = 1;
+    (* node 0 is the constant *)
+    ninputs = 0;
+    onames = Array.make 8 "";
+    olits = Array.make 8 0;
+    nouts = 0;
+    inames = Array.make 8 "";
+    strash = Hashtbl.create (max size_hint 16);
+  }
+
+let grow_nodes t =
+  let n = Array.length t.fanin0 in
+  let f0 = Array.make (2 * n) (-1) and f1 = Array.make (2 * n) (-1) in
+  Array.blit t.fanin0 0 f0 0 n;
+  Array.blit t.fanin1 0 f1 0 n;
+  t.fanin0 <- f0;
+  t.fanin1 <- f1
+
+let new_node t =
+  if t.num >= Array.length t.fanin0 then grow_nodes t;
+  let id = t.num in
+  t.num <- id + 1;
+  id
+
+let add_input ?(name = "") t =
+  if t.num > t.ninputs + 1 then
+    invalid_arg "Aig.add_input: inputs must precede AND nodes";
+  let id = new_node t in
+  let name = if name = "" then Printf.sprintf "i%d" (id - 1) else name in
+  if t.ninputs >= Array.length t.inames then begin
+    let a = Array.make (2 * Array.length t.inames) "" in
+    Array.blit t.inames 0 a 0 t.ninputs;
+    t.inames <- a
+  end;
+  t.inames.(t.ninputs) <- name;
+  t.ninputs <- t.ninputs + 1;
+  lit_of_node id
+
+let strash_key f0 f1 = (f0 lsl 31) lor f1
+
+let mk_and t a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = lit_false then lit_false
+  else if a = lit_true then b
+  else if a = b then a
+  else if a = lnot b then lit_false
+  else begin
+    let key = strash_key a b in
+    match Hashtbl.find_opt t.strash key with
+    | Some id -> lit_of_node id
+    | None ->
+        let id = new_node t in
+        t.fanin0.(id) <- a;
+        t.fanin1.(id) <- b;
+        Hashtbl.add t.strash key id;
+        lit_of_node id
+  end
+
+let mk_or t a b = lnot (mk_and t (lnot a) (lnot b))
+
+let mk_xor t a b =
+  (* a^b = !(a*b) * !( !a * !b ) *)
+  let p = mk_and t a b in
+  let q = mk_and t (lnot a) (lnot b) in
+  mk_and t (lnot p) (lnot q)
+
+let mk_mux t s a b = mk_or t (mk_and t s a) (mk_and t (lnot s) b)
+
+let mk_and_list t = function
+  | [] -> lit_true
+  | l :: ls -> List.fold_left (mk_and t) l ls
+
+let mk_or_list t = function
+  | [] -> lit_false
+  | l :: ls -> List.fold_left (mk_or t) l ls
+
+let mk_maj3 t a b c =
+  mk_or t (mk_and t a b) (mk_or t (mk_and t a c) (mk_and t b c))
+
+let add_output t name l =
+  if t.nouts >= Array.length t.olits then begin
+    let n = Array.length t.olits in
+    let on = Array.make (2 * n) "" and ol = Array.make (2 * n) 0 in
+    Array.blit t.onames 0 on 0 n;
+    Array.blit t.olits 0 ol 0 n;
+    t.onames <- on;
+    t.olits <- ol
+  end;
+  t.onames.(t.nouts) <- name;
+  t.olits.(t.nouts) <- l;
+  t.nouts <- t.nouts + 1
+
+let set_output t i l =
+  if i < 0 || i >= t.nouts then invalid_arg "Aig.set_output";
+  t.olits.(i) <- l
+
+let num_nodes t = t.num
+let num_inputs t = t.ninputs
+let num_ands t = t.num - 1 - t.ninputs
+let num_outputs t = t.nouts
+let outputs t = Array.init t.nouts (fun i -> (t.onames.(i), t.olits.(i)))
+let output t i =
+  if i < 0 || i >= t.nouts then invalid_arg "Aig.output";
+  (t.onames.(i), t.olits.(i))
+
+let input_lit t i =
+  if i < 0 || i >= t.ninputs then invalid_arg "Aig.input_lit";
+  lit_of_node (i + 1)
+
+let input_name t i =
+  if i < 0 || i >= t.ninputs then invalid_arg "Aig.input_name";
+  t.inames.(i)
+
+let is_input t n = n >= 1 && n <= t.ninputs
+let is_and t n = n > t.ninputs && n < t.num
+let fanin0 t n = t.fanin0.(n)
+let fanin1 t n = t.fanin1.(n)
+
+let iter_ands t f =
+  for n = t.ninputs + 1 to t.num - 1 do
+    f n
+  done
+
+let levels t =
+  let lv = Array.make t.num 0 in
+  iter_ands t (fun n ->
+      lv.(n) <-
+        1 + max lv.(node_of t.fanin0.(n)) lv.(node_of t.fanin1.(n)));
+  lv
+
+let depth t =
+  let lv = levels t in
+  let d = ref 0 in
+  for i = 0 to t.nouts - 1 do
+    d := max !d lv.(node_of t.olits.(i))
+  done;
+  !d
+
+let fanout_counts t =
+  let refs = Array.make t.num 0 in
+  iter_ands t (fun n ->
+      refs.(node_of t.fanin0.(n)) <- refs.(node_of t.fanin0.(n)) + 1;
+      refs.(node_of t.fanin1.(n)) <- refs.(node_of t.fanin1.(n)) + 1);
+  for i = 0 to t.nouts - 1 do
+    let n = node_of t.olits.(i) in
+    refs.(n) <- refs.(n) + 1
+  done;
+  refs
+
+let mffc_size t refs root =
+  if not (is_and t root) then 0
+  else begin
+    (* Simulate dereferencing the cone; count AND nodes whose refs drop to 0. *)
+    let dec = Hashtbl.create 16 in
+    let deref n =
+      let d = try Hashtbl.find dec n with Not_found -> 0 in
+      Hashtbl.replace dec n (d + 1);
+      refs.(n) - (d + 1) = 0
+    in
+    let count = ref 0 in
+    let rec go n =
+      (* n is an AND node that is dead: count it, deref fanins. *)
+      incr count;
+      let visit f =
+        let m = node_of f in
+        if is_and t m && deref m then go m
+      in
+      visit t.fanin0.(n);
+      visit t.fanin1.(n)
+    in
+    go root;
+    !count
+  end
+
+let checkpoint t = t.num
+
+let rollback t ckpt =
+  if ckpt < t.ninputs + 1 then invalid_arg "Aig.rollback";
+  for id = t.num - 1 downto ckpt do
+    Hashtbl.remove t.strash (strash_key t.fanin0.(id) t.fanin1.(id))
+  done;
+  t.num <- ckpt
+
+let simulate t words =
+  if Array.length words <> t.ninputs then invalid_arg "Aig.simulate";
+  let v = Array.make t.num 0L in
+  for i = 0 to t.ninputs - 1 do
+    v.(i + 1) <- words.(i)
+  done;
+  let litv l =
+    let x = v.(node_of l) in
+    if is_compl l then Int64.lognot x else x
+  in
+  iter_ands t (fun n -> v.(n) <- Int64.logand (litv t.fanin0.(n)) (litv t.fanin1.(n)));
+  v
+
+let simulate_outputs t words =
+  let v = simulate t words in
+  Array.init t.nouts (fun i ->
+      let l = t.olits.(i) in
+      let x = v.(node_of l) in
+      if is_compl l then Int64.lognot x else x)
+
+let eval t bits =
+  let words = Array.map (fun b -> if b then -1L else 0L) bits in
+  let out = simulate_outputs t words in
+  Array.map (fun w -> Int64.logand w 1L <> 0L) out
+
+let tt_of_cut t root leaves =
+  let k = Array.length leaves in
+  if k > Tt.max_vars then invalid_arg "Aig.tt_of_cut: too many leaves";
+  let map = Hashtbl.create 32 in
+  Hashtbl.add map 0 (Tt.const0 k);
+  Array.iteri (fun i n -> Hashtbl.replace map n (Tt.var k i)) leaves;
+  let rec go n =
+    match Hashtbl.find_opt map n with
+    | Some tt -> tt
+    | None ->
+        if not (is_and t n) then
+          invalid_arg "Aig.tt_of_cut: leaves do not cut the cone";
+        let f0 = t.fanin0.(n) and f1 = t.fanin1.(n) in
+        let t0 = go (node_of f0) and t1 = go (node_of f1) in
+        let t0 = if is_compl f0 then Tt.bnot t0 else t0 in
+        let t1 = if is_compl f1 then Tt.bnot t1 else t1 in
+        let tt = Tt.band t0 t1 in
+        Hashtbl.add map n tt;
+        tt
+  in
+  let tt = go (node_of root) in
+  if is_compl root then Tt.bnot tt else tt
+
+let tt_of_lit t l =
+  let leaves = Array.init t.ninputs (fun i -> i + 1) in
+  tt_of_cut t l leaves
+
+let cone_size t root leaves =
+  let stop = Hashtbl.create 16 in
+  Array.iter (fun n -> Hashtbl.replace stop n ()) leaves;
+  let seen = Hashtbl.create 32 in
+  let count = ref 0 in
+  let rec go n =
+    if (not (Hashtbl.mem stop n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      if is_and t n then begin
+        incr count;
+        go (node_of t.fanin0.(n));
+        go (node_of t.fanin1.(n))
+      end
+    end
+  in
+  go root;
+  !count
+
+let extract t outs =
+  let fresh = create ~size_hint:t.num () in
+  let map = Hashtbl.create (t.num / 2) in
+  Hashtbl.add map 0 lit_false;
+  for i = 0 to t.ninputs - 1 do
+    let l = add_input ~name:t.inames.(i) fresh in
+    Hashtbl.add map (i + 1) l
+  done;
+  let rec copy n =
+    match Hashtbl.find_opt map n with
+    | Some l -> l
+    | None ->
+        let f0 = t.fanin0.(n) and f1 = t.fanin1.(n) in
+        let a = copy (node_of f0) in
+        let b = copy (node_of f1) in
+        let a = if is_compl f0 then lnot a else a in
+        let b = if is_compl f1 then lnot b else b in
+        let l = mk_and fresh a b in
+        Hashtbl.add map n l;
+        l
+  in
+  List.iter
+    (fun (name, l) ->
+      let nl = copy (node_of l) in
+      add_output fresh name (if is_compl l then lnot nl else nl))
+    outs;
+  (fresh, map)
+
+let cleanup t =
+  let outs = Array.to_list (outputs t) in
+  fst (extract t outs)
+
+let pp_stats fmt t =
+  Format.fprintf fmt "i/o = %d/%d  and = %d  depth = %d" t.ninputs t.nouts
+    (num_ands t) (depth t)

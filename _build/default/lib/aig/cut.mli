@@ -1,0 +1,21 @@
+(** K-feasible priority cuts of an AIG (Pan–Mishchenko style).
+
+    A cut of node [n] is a set of node ids such that every path from a
+    primary input to [n] crosses the set; the function of [n] can then be
+    expressed over the cut leaves.  Only a bounded number of cuts per node
+    is kept, which is the standard compromise used by technology mappers. *)
+
+type t = private {
+  leaves : int array;  (** sorted ascending *)
+  sign : int;          (** subset-test bloom filter *)
+}
+
+val trivial : int -> t
+val size : t -> int
+val dominates : t -> t -> bool
+(** [dominates a b]: [a]'s leaves are a subset of [b]'s. *)
+
+val compute : Aig.t -> k:int -> limit:int -> t list array
+(** [compute aig ~k ~limit] returns, for every node, up to [limit]
+    [k]-feasible cuts (the trivial cut included, always last).  Smaller and
+    dominating cuts are preferred. *)

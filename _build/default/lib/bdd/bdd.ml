@@ -1,0 +1,184 @@
+type node = int
+
+type man = {
+  nvars : int;
+  mutable var_of : int array;   (* node -> splitting variable *)
+  mutable low : int array;      (* node -> else child *)
+  mutable high : int array;     (* node -> then child *)
+  mutable count : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let zero = 0
+let one = 1
+
+let terminal_var = max_int
+
+let create ?(size_hint = 1024) nvars =
+  let m =
+    {
+      nvars;
+      var_of = Array.make (max size_hint 2) terminal_var;
+      low = Array.make (max size_hint 2) (-1);
+      high = Array.make (max size_hint 2) (-1);
+      count = 2;
+      unique = Hashtbl.create size_hint;
+      ite_cache = Hashtbl.create size_hint;
+    }
+  in
+  m
+
+let num_vars m = m.nvars
+let num_nodes m = m.count - 2
+
+let grow m =
+  let n = Array.length m.var_of in
+  let nv = Array.make (2 * n) terminal_var in
+  let nl = Array.make (2 * n) (-1) in
+  let nh = Array.make (2 * n) (-1) in
+  Array.blit m.var_of 0 nv 0 n;
+  Array.blit m.low 0 nl 0 n;
+  Array.blit m.high 0 nh 0 n;
+  m.var_of <- nv; m.low <- nl; m.high <- nh
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else begin
+    let key = (v, lo, hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+        if m.count >= Array.length m.var_of then grow m;
+        let id = m.count in
+        m.count <- id + 1;
+        m.var_of.(id) <- v;
+        m.low.(id) <- lo;
+        m.high.(id) <- hi;
+        Hashtbl.add m.unique key id;
+        id
+  end
+
+let var m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.var";
+  mk m i zero one
+
+let topvar m f = if f <= 1 then terminal_var else m.var_of.(f)
+
+let cof m f v sign =
+  if topvar m f <> v then f else if sign then m.high.(f) else m.low.(f)
+
+let rec ite m f g h =
+  if f = one then g
+  else if f = zero then h
+  else if g = h then g
+  else if g = one && h = zero then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+        let v = min (topvar m f) (min (topvar m g) (topvar m h)) in
+        let r0 = ite m (cof m f v false) (cof m g v false) (cof m h v false) in
+        let r1 = ite m (cof m f v true) (cof m g v true) (cof m h v true) in
+        let r = mk m v r0 r1 in
+        Hashtbl.add m.ite_cache key r;
+        r
+  end
+
+let mnot m f = ite m f zero one
+let mand m f g = ite m f g zero
+let mor m f g = ite m f one g
+let mxor m f g = ite m f (mnot m g) g
+
+let cofactor m f i sign =
+  let rec go f =
+    if f <= 1 then f
+    else
+      let v = m.var_of.(f) in
+      if v > i then f
+      else if v = i then (if sign then m.high.(f) else m.low.(f))
+      else mk m v (go m.low.(f)) (go m.high.(f))
+  in
+  go f
+
+let exists m f i =
+  mor m (cofactor m f i false) (cofactor m f i true)
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if f <= 1 || Hashtbl.mem seen f then 0
+    else begin
+      Hashtbl.add seen f ();
+      1 + go m.low.(f) + go m.high.(f)
+    end
+  in
+  go f
+
+let eval m f assign =
+  let rec go f =
+    if f = zero then false
+    else if f = one then true
+    else if assign m.var_of.(f) then go m.high.(f)
+    else go m.low.(f)
+  in
+  go f
+
+let sat_count m f =
+  let cache = Hashtbl.create 64 in
+  (* fraction of assignments satisfying f *)
+  let rec frac f =
+    if f = zero then 0.0
+    else if f = one then 1.0
+    else
+      match Hashtbl.find_opt cache f with
+      | Some x -> x
+      | None ->
+          let x = 0.5 *. (frac m.low.(f) +. frac m.high.(f)) in
+          Hashtbl.add cache f x;
+          x
+  in
+  frac f *. (2.0 ** float_of_int m.nvars)
+
+let any_sat m f =
+  if f = zero then None
+  else begin
+    let rec go f acc =
+      if f = one then List.rev acc
+      else
+        let v = m.var_of.(f) in
+        if m.high.(f) <> zero then go m.high.(f) ((v, true) :: acc)
+        else go m.low.(f) ((v, false) :: acc)
+    in
+    Some (go f [])
+  end
+
+let of_tt m tt =
+  
+  let n = Tt.nvars tt in
+  if n > m.nvars then invalid_arg "Bdd.of_tt";
+  (* Shannon expansion splitting on the lowest variable first (the root of
+     our BDDs carries the smallest variable), memoized on the truth table. *)
+  let cache = Hashtbl.create 64 in
+  let rec go tt i =
+    if Tt.is_const0 tt then zero
+    else if Tt.is_const1 tt then one
+    else begin
+      match Hashtbl.find_opt cache (i, Tt.words tt) with
+      | Some r -> r
+      | None ->
+          let r =
+            if Tt.depends_on tt i then
+              mk m i (go (Tt.cofactor0 tt i) (i + 1)) (go (Tt.cofactor1 tt i) (i + 1))
+            else go tt (i + 1)
+          in
+          Hashtbl.add cache (i, Tt.words tt) r;
+          r
+    end
+  in
+  go tt 0
+
+let to_tt m n f =
+  
+  Tt.of_fun n (fun a -> eval m f (fun i -> a land (1 lsl i) <> 0))

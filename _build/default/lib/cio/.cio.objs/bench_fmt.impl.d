@@ -1,0 +1,1 @@
+lib/cio/bench_fmt.ml: Aig Array Buffer Hashtbl In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/cio/bench_fmt.mli: Aig

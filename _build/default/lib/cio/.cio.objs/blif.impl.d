@@ -1,0 +1,1 @@
+lib/cio/blif.ml: Aig Array Buffer Char Hashtbl In_channel List Mapped Printf String

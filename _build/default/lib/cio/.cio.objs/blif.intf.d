@@ -1,0 +1,1 @@
+lib/cio/blif.mli: Aig Mapped

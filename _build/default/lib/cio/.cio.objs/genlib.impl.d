@@ -1,0 +1,1 @@
+lib/cio/genlib.ml: Array Buffer Cell_lib Char Cube List Printf Sop String Tt

@@ -1,0 +1,1 @@
+lib/cio/genlib.mli: Cell_lib

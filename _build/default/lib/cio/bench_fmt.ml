@@ -1,0 +1,117 @@
+let node_name aig n =
+  if n = 0 then "GND"
+  else if Aig.is_input aig n then Aig.input_name aig (n - 1)
+  else Printf.sprintf "n%d" n
+
+let lit_ref aig buf l =
+  (* .bench has no complemented references: emit NOT gates on demand *)
+  let n = Aig.node_of l in
+  if Aig.is_compl l then begin
+    let bar = node_name aig n ^ "_b" in
+    if not (Hashtbl.mem buf bar) then Hashtbl.replace buf bar (node_name aig n);
+    bar
+  end
+  else node_name aig n
+
+let to_string aig =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  for i = 0 to Aig.num_inputs aig - 1 do
+    add "INPUT(%s)\n" (Aig.input_name aig i)
+  done;
+  Array.iter (fun (name, _) -> add "OUTPUT(%s)\n" name) (Aig.outputs aig);
+  let bars = Hashtbl.create 64 in
+  let body = Buffer.create 4096 in
+  let addb fmt = Printf.ksprintf (Buffer.add_string body) fmt in
+  Aig.iter_ands aig (fun n ->
+      let a = lit_ref aig bars (Aig.fanin0 aig n) in
+      let c = lit_ref aig bars (Aig.fanin1 aig n) in
+      addb "%s = AND(%s, %s)\n" (node_name aig n) a c);
+  Array.iter
+    (fun (name, l) ->
+      let r = lit_ref aig bars l in
+      addb "%s = BUFF(%s)\n" name r)
+    (Aig.outputs aig);
+  Hashtbl.iter (fun bar base -> add "%s = NOT(%s)\n" bar base) bars;
+  Buffer.add_buffer b body;
+  Buffer.contents b
+
+let write oc aig = output_string oc (to_string aig)
+
+(* ---------------- reading ---------------- *)
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           match String.index_opt l '#' with
+           | Some i -> String.sub l 0 i
+           | None -> l)
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let inputs = ref [] and outputs = ref [] and defs = ref [] in
+  let parse_call s =
+    (* "OP(a, b, ...)" *)
+    match String.index_opt s '(' with
+    | None -> failwith ("Bench: expected call, got " ^ s)
+    | Some i ->
+        let op = String.trim (String.sub s 0 i) in
+        let close = String.rindex s ')' in
+        let args = String.sub s (i + 1) (close - i - 1) in
+        let args =
+          String.split_on_char ',' args |> List.map String.trim
+          |> List.filter (fun a -> a <> "")
+        in
+        (String.uppercase_ascii op, args)
+  in
+  List.iter
+    (fun line ->
+      match String.index_opt line '=' with
+      | None ->
+          let op, args = parse_call line in
+          (match (op, args) with
+          | "INPUT", [ x ] -> inputs := x :: !inputs
+          | "OUTPUT", [ x ] -> outputs := x :: !outputs
+          | _ -> failwith ("Bench: bad declaration " ^ line))
+      | Some i ->
+          let name = String.trim (String.sub line 0 i) in
+          let rhs = String.sub line (i + 1) (String.length line - i - 1) in
+          defs := (name, parse_call (String.trim rhs)) :: !defs)
+    lines;
+  let inputs = List.rev !inputs and outputs = List.rev !outputs in
+  let g = Aig.create () in
+  let signals = Hashtbl.create 64 in
+  List.iter
+    (fun name -> Hashtbl.replace signals name (Aig.add_input ~name g))
+    inputs;
+  let def_of = Hashtbl.create 64 in
+  List.iter (fun (n, d) -> Hashtbl.replace def_of n d) !defs;
+  let rec signal name =
+    match Hashtbl.find_opt signals name with
+    | Some l -> l
+    | None -> (
+        match Hashtbl.find_opt def_of name with
+        | None -> failwith ("Bench: undriven signal " ^ name)
+        | Some (op, args) ->
+            let ins = List.map signal args in
+            let l =
+              match (op, ins) with
+              | "AND", ls -> Aig.mk_and_list g ls
+              | "NAND", ls -> Aig.lnot (Aig.mk_and_list g ls)
+              | "OR", ls -> Aig.mk_or_list g ls
+              | "NOR", ls -> Aig.lnot (Aig.mk_or_list g ls)
+              | "XOR", l0 :: ls -> List.fold_left (Aig.mk_xor g) l0 ls
+              | "XNOR", l0 :: ls ->
+                  Aig.lnot (List.fold_left (Aig.mk_xor g) l0 ls)
+              | "NOT", [ l ] -> Aig.lnot l
+              | "BUFF", [ l ] | "BUF", [ l ] -> l
+              | _ -> failwith ("Bench: bad gate " ^ op)
+            in
+            Hashtbl.replace signals name l;
+            l)
+  in
+  List.iter (fun name -> Aig.add_output g name (signal name)) outputs;
+  g
+
+let read ic = of_string (In_channel.input_all ic)

@@ -1,0 +1,8 @@
+(** ISCAS-style [.bench] format: [INPUT(x)], [OUTPUT(y)],
+    [y = OP(a, b, ...)] with OP in AND/NAND/OR/NOR/XOR/XNOR/NOT/BUFF.
+    Multi-operand gates associate left. *)
+
+val to_string : Aig.t -> string
+val write : out_channel -> Aig.t -> unit
+val of_string : string -> Aig.t
+val read : in_channel -> Aig.t

@@ -1,0 +1,220 @@
+(* BLIF I/O for combinational networks. *)
+
+let node_name aig n =
+  if n = 0 then "const0"
+  else if Aig.is_input aig n then Aig.input_name aig (n - 1)
+  else Printf.sprintf "n%d" n
+
+let to_string ?model aig =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let model = match model with Some m -> m | None -> "circuit" in
+  add ".model %s\n" model;
+  add ".inputs";
+  for i = 0 to Aig.num_inputs aig - 1 do
+    add " %s" (Aig.input_name aig i)
+  done;
+  add "\n.outputs";
+  Array.iter (fun (name, _) -> add " %s" name) (Aig.outputs aig);
+  add "\n";
+  let uses_const = ref false in
+  Aig.iter_ands aig (fun n ->
+      if Aig.node_of (Aig.fanin0 aig n) = 0 || Aig.node_of (Aig.fanin1 aig n) = 0
+      then uses_const := true);
+  Array.iter
+    (fun (_, l) -> if Aig.node_of l = 0 then uses_const := true)
+    (Aig.outputs aig);
+  if !uses_const then add ".names const0\n";
+  Aig.iter_ands aig (fun n ->
+      let f0 = Aig.fanin0 aig n and f1 = Aig.fanin1 aig n in
+      add ".names %s %s %s\n"
+        (node_name aig (Aig.node_of f0))
+        (node_name aig (Aig.node_of f1))
+        (node_name aig n);
+      add "%c%c 1\n"
+        (if Aig.is_compl f0 then '0' else '1')
+        (if Aig.is_compl f1 then '0' else '1'));
+  Array.iter
+    (fun (name, l) ->
+      add ".names %s %s\n" (node_name aig (Aig.node_of l)) name;
+      add "%c 1\n" (if Aig.is_compl l then '0' else '1'))
+    (Aig.outputs aig);
+  add ".end\n";
+  Buffer.contents b
+
+let write oc ?model aig = output_string oc (to_string ?model aig)
+
+(* ---------------- reading ---------------- *)
+
+type pending = {
+  p_inputs : string list;  (* fanin signal names *)
+  p_output : string;
+  p_cubes : (string * char) list;  (* input pattern, output phase *)
+}
+
+let tokenize line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let of_string text =
+  let raw_lines = String.split_on_char '\n' text in
+  (* join continuations, strip comments *)
+  let lines =
+    let rec go acc pending = function
+      | [] -> List.rev (if pending = "" then acc else pending :: acc)
+      | line :: rest ->
+          let line =
+            match String.index_opt line '#' with
+            | Some i -> String.sub line 0 i
+            | None -> line
+          in
+          let line = String.trim (pending ^ " " ^ line) in
+          if String.length line > 0 && line.[String.length line - 1] = '\\'
+          then go acc (String.sub line 0 (String.length line - 1)) rest
+          else if line = "" then go acc "" rest
+          else go (line :: acc) "" rest
+    in
+    go [] "" raw_lines
+  in
+  let inputs = ref [] and outputs = ref [] in
+  let tables = ref [] in
+  let current = ref None in
+  let push_current () =
+    match !current with
+    | Some p -> tables := p :: !tables; current := None
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      match tokenize line with
+      | [] -> ()
+      | tok :: args when tok = ".model" -> ignore args
+      | tok :: args when tok = ".inputs" ->
+          push_current ();
+          inputs := !inputs @ args
+      | tok :: args when tok = ".outputs" ->
+          push_current ();
+          outputs := !outputs @ args
+      | tok :: args when tok = ".names" ->
+          push_current ();
+          (match List.rev args with
+          | out :: ins_rev ->
+              current :=
+                Some { p_inputs = List.rev ins_rev; p_output = out; p_cubes = [] }
+          | [] -> failwith "Blif: .names without signals")
+      | [ tok ] when tok = ".end" -> push_current ()
+      | tok :: _ when String.length tok > 0 && tok.[0] = '.' ->
+          push_current () (* ignore other directives (.latch unsupported) *)
+      | toks -> (
+          match !current with
+          | None -> failwith ("Blif: stray line " ^ line)
+          | Some p -> (
+              match toks with
+              | [ pat; out ] when (out = "0" || out = "1") ->
+                  current := Some { p with p_cubes = (pat, out.[0]) :: p.p_cubes }
+              | [ out ] when (out = "0" || out = "1") && p.p_inputs = [] ->
+                  current := Some { p with p_cubes = ("", out.[0]) :: p.p_cubes }
+              | _ -> failwith ("Blif: bad cube line " ^ line))))
+    lines;
+  push_current ();
+  let g = Aig.create () in
+  let signals = Hashtbl.create 64 in
+  List.iter
+    (fun name -> Hashtbl.replace signals name (Aig.add_input ~name g))
+    !inputs;
+  (* topological elaboration of tables by need *)
+  let table_of = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace table_of p.p_output p) !tables;
+  let rec signal name =
+    match Hashtbl.find_opt signals name with
+    | Some l -> l
+    | None -> (
+        match Hashtbl.find_opt table_of name with
+        | None -> failwith ("Blif: undriven signal " ^ name)
+        | Some p ->
+            Hashtbl.replace signals name Aig.lit_false (* cycle guard *)
+            |> ignore;
+            let ins = List.map signal p.p_inputs in
+            let l = build_table p ins in
+            Hashtbl.replace signals name l;
+            l)
+  and build_table p ins =
+    (* all cubes of a table must share the output phase per BLIF *)
+    let phase =
+      match p.p_cubes with
+      | [] -> '1'
+      | (_, ph) :: _ -> ph
+    in
+    let cube (pat, _) =
+      let lits =
+        List.mapi
+          (fun i l ->
+            match pat.[i] with
+            | '1' -> l
+            | '0' -> Aig.lnot l
+            | '-' -> Aig.lit_true
+            | c -> failwith (Printf.sprintf "Blif: bad pattern char %c" c))
+          ins
+      in
+      Aig.mk_and_list g lits
+    in
+    let sum = Aig.mk_or_list g (List.map cube p.p_cubes) in
+    if phase = '1' then sum else Aig.lnot sum
+  in
+  List.iter
+    (fun name -> Aig.add_output g name (signal name))
+    !outputs;
+  g
+
+let read ic = of_string (In_channel.input_all ic)
+
+let write_mapped oc ?(model = "mapped") (m : Mapped.t) =
+  Printf.fprintf oc ".model %s\n" model;
+  Printf.fprintf oc ".inputs";
+  Array.iter (fun n -> Printf.fprintf oc " %s" n) m.Mapped.input_names;
+  Printf.fprintf oc "\n.outputs";
+  Array.iter (fun (n, _) -> Printf.fprintf oc " %s" n) m.Mapped.outputs;
+  Printf.fprintf oc "\n";
+  let base_name (net : Mapped.net) =
+    match net.Mapped.driver with
+    | Mapped.Pi i -> m.Mapped.input_names.(i)
+    | Mapped.Inst j -> Printf.sprintf "g%d" j
+    | Mapped.Const b -> if b then "const1" else "const0"
+  in
+  let net_name (net : Mapped.net) =
+    let base = base_name net in
+    if net.Mapped.negated then base ^ "_bar" else base
+  in
+  (* define complemented rails used by free-phase cells *)
+  let bars = Hashtbl.create 16 in
+  let scan net =
+    if net.Mapped.negated then Hashtbl.replace bars (base_name net) ()
+  in
+  Array.iter
+    (fun (inst : Mapped.instance) -> Array.iter scan inst.Mapped.fanins)
+    m.Mapped.instances;
+  Array.iter (fun (_, net) -> scan net) m.Mapped.outputs;
+  Printf.fprintf oc ".names const0
+";
+  Printf.fprintf oc ".names const1
+1
+";
+  Hashtbl.iter
+    (fun base () -> Printf.fprintf oc ".names %s %s_bar
+0 1
+" base base)
+    bars;
+  Array.iteri
+    (fun j (inst : Mapped.instance) ->
+      Printf.fprintf oc ".gate %s" inst.Mapped.cell_name;
+      Array.iteri
+        (fun i f -> Printf.fprintf oc " %c=%s" (Char.chr (Char.code 'a' + i)) (net_name f))
+        inst.Mapped.fanins;
+      Printf.fprintf oc " o=g%d\n" j)
+    m.Mapped.instances;
+  Array.iter
+    (fun (name, net) ->
+      Printf.fprintf oc ".names %s %s\n1 1\n" (net_name net) name)
+    m.Mapped.outputs;
+  Printf.fprintf oc ".end\n"

@@ -1,0 +1,19 @@
+(** BLIF (Berkeley Logic Interchange Format) reading and writing for
+    combinational networks.
+
+    Writing flattens an AIG into two-input [.names] tables (one per AND
+    node, complemented edges folded into the input patterns).  Reading
+    accepts the combinational subset: [.model], [.inputs], [.outputs],
+    [.names] with multi-cube covers (both 1- and 0-phase), constants, and
+    backslash line continuation. *)
+
+val write : out_channel -> ?model:string -> Aig.t -> unit
+val to_string : ?model:string -> Aig.t -> string
+
+val read : in_channel -> Aig.t
+val of_string : string -> Aig.t
+(** Raises [Failure] with a line diagnostic on malformed input. *)
+
+val write_mapped : out_channel -> ?model:string -> Mapped.t -> unit
+(** Mapped netlists are emitted as [.gate] instantiations (the BLIF
+    mapped-network extension). *)

@@ -1,0 +1,229 @@
+(* genlib writing *)
+
+(* Render a 6-var replicated truth table as an expression over pins
+   a..f via ISOP on the shrunk function. *)
+let expr_of_tt arity tt =
+  let t = Tt.of_bits (max arity 1) tt in
+  if Tt.is_const0 t then "CONST0"
+  else if Tt.is_const1 t then "CONST1"
+  else begin
+    let sop = Sop.isop t in
+    let pin i = String.make 1 (Char.chr (Char.code 'a' + i)) in
+    let cube c =
+      match Cube.literals c with
+      | [] -> "CONST1"
+      | lits ->
+          String.concat "*"
+            (List.map (fun (i, s) -> if s then pin i else "!" ^ pin i) lits)
+    in
+    String.concat "+" (List.map cube sop.Sop.cubes)
+  end
+
+let to_string lib =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (c : Cell_lib.cell) ->
+      Printf.bprintf b "GATE %s %.4f o=%s;\n" c.Cell_lib.name c.Cell_lib.area
+        (expr_of_tt c.Cell_lib.arity c.Cell_lib.tt);
+      Printf.bprintf b "  PIN * NONINV 1 999 %.4f 0.0 %.4f 0.0\n"
+        c.Cell_lib.delay c.Cell_lib.delay)
+    (Cell_lib.cells lib);
+  Buffer.contents b
+
+(* ---------------- parsing ---------------- *)
+
+type token =
+  | Tid of string
+  | Tnum of float
+  | Tpunct of char
+
+let tokenize text =
+  let toks = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  let is_id c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_' || c = '.' || c = '-'
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '#' then begin
+      (* comment to end of line *)
+      while !i < n && text.[!i] <> '\n' do incr i done
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_id c then begin
+      let start = !i in
+      while !i < n && is_id text.[!i] do incr i done;
+      let word = String.sub text start (!i - start) in
+      match float_of_string_opt word with
+      | Some f when word.[0] >= '0' && word.[0] <= '9' || word.[0] = '-' ->
+          toks := Tnum f :: !toks
+      | _ -> toks := Tid word :: !toks
+    end
+    else begin
+      toks := Tpunct c :: !toks;
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* Boolean expression parser over pin names.  Returns an evaluator over a
+   pin-index map built on the fly. *)
+type bexpr =
+  | Bconst of bool
+  | Bpin of string
+  | Bnot of bexpr
+  | Band of bexpr * bexpr
+  | Bor of bexpr * bexpr
+  | Bxor of bexpr * bexpr
+
+let parse_expr toks =
+  (* grammar:  or := xor ('+' xor)* ; xor := and ('^' and)* ;
+     and := unary (('*')? unary)* ; unary := '!' unary | primary ('’)* ;
+     primary := id | '(' or ')' | CONST0 | CONST1 *)
+  let rest = ref toks in
+  let peek () = match !rest with [] -> None | t :: _ -> Some t in
+  let advance () = match !rest with [] -> () | _ :: t -> rest := t in
+  let rec p_or () =
+    let l = ref (p_xor ()) in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some (Tpunct '+') ->
+          advance ();
+          l := Bor (!l, p_xor ())
+      | _ -> continue := false
+    done;
+    !l
+  and p_xor () =
+    let l = ref (p_and ()) in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some (Tpunct '^') ->
+          advance ();
+          l := Bxor (!l, p_and ())
+      | _ -> continue := false
+    done;
+    !l
+  and p_and () =
+    let l = ref (p_unary ()) in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some (Tpunct '*') ->
+          advance ();
+          l := Band (!l, p_unary ())
+      | Some (Tid _) | Some (Tpunct '(') | Some (Tpunct '!') ->
+          (* juxtaposition is AND in genlib *)
+          l := Band (!l, p_unary ())
+      | _ -> continue := false
+    done;
+    !l
+  and p_unary () =
+    match peek () with
+    | Some (Tpunct '!') ->
+        advance ();
+        Bnot (p_unary ())
+    | _ -> p_postfix ()
+  and p_postfix () =
+    let e = ref (p_primary ()) in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some (Tpunct '\'') ->
+          advance ();
+          e := Bnot !e
+      | _ -> continue := false
+    done;
+    !e
+  and p_primary () =
+    match peek () with
+    | Some (Tpunct '(') ->
+        advance ();
+        let e = p_or () in
+        (match peek () with
+        | Some (Tpunct ')') -> advance ()
+        | _ -> failwith "Genlib: expected )");
+        e
+    | Some (Tid "CONST0") -> advance (); Bconst false
+    | Some (Tid "CONST1") -> advance (); Bconst true
+    | Some (Tid name) -> advance (); Bpin name
+    | _ -> failwith "Genlib: expected expression"
+  in
+  let e = p_or () in
+  (e, !rest)
+
+let rec pins_of acc = function
+  | Bconst _ -> acc
+  | Bpin p -> if List.mem p acc then acc else acc @ [ p ]
+  | Bnot e -> pins_of acc e
+  | Band (a, b) | Bor (a, b) | Bxor (a, b) -> pins_of (pins_of acc a) b
+
+let rec eval_bexpr env = function
+  | Bconst b -> b
+  | Bpin p -> env p
+  | Bnot e -> not (eval_bexpr env e)
+  | Band (a, b) -> eval_bexpr env a && eval_bexpr env b
+  | Bor (a, b) -> eval_bexpr env a || eval_bexpr env b
+  | Bxor (a, b) -> eval_bexpr env a <> eval_bexpr env b
+
+let of_string ~name ~free_phases ~tau_ps text =
+  let toks = tokenize text in
+  let cells = ref [] in
+  let id = ref 0 in
+  let rec go toks =
+    match toks with
+    | [] -> ()
+    | Tid "GATE" :: Tid gname :: Tnum area :: Tid _out :: Tpunct '=' :: rest ->
+        let e, rest = parse_expr rest in
+        let rest =
+          match rest with
+          | Tpunct ';' :: r -> r
+          | r -> r
+        in
+        (* PIN lines: collect the max block delay.  The pin-name slot is
+           an identifier or the wildcard '*'. *)
+        let delay = ref 0.0 in
+        let rec pins rest =
+          match rest with
+          | Tid "PIN" :: (Tid _ | Tpunct '*') :: Tid _ :: Tnum _ :: Tnum _
+            :: Tnum rb :: Tnum _ :: Tnum fb :: Tnum _ :: r ->
+              delay := max !delay (max rb fb);
+              pins r
+          | r -> r
+        in
+        let rest = pins rest in
+        (* deterministic pin order: sorted by name (our writer emits a..f) *)
+        let pin_names = List.sort compare (pins_of [] e) in
+        let arity = List.length pin_names in
+        if arity > 6 then failwith ("Genlib: gate too wide: " ^ gname);
+        let tt =
+          Tt.of_fun (max arity 1) (fun a ->
+              eval_bexpr
+                (fun p ->
+                  let rec idx i = function
+                    | [] -> failwith "Genlib: pin"
+                    | q :: _ when q = p -> i
+                    | _ :: t -> idx (i + 1) t
+                  in
+                  a land (1 lsl idx 0 pin_names) <> 0)
+                e)
+        in
+        cells :=
+          {
+            Cell_lib.id = !id;
+            name = gname;
+            arity;
+            tt = (Tt.words (Tt.extend tt 6)).(0);
+            area;
+            delay = !delay;
+          }
+          :: !cells;
+        incr id;
+        go rest
+    | _ :: rest -> go rest
+  in
+  go toks;
+  Cell_lib.of_cells ~name ~free_phases ~tau_ps (List.rev !cells)

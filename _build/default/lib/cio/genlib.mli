@@ -1,0 +1,13 @@
+(** The SIS/ABC [genlib] gate-library exchange format.
+
+    Writing emits one [GATE] line per cell with a uniform [PIN *] timing
+    record carrying the cell's delay; reading parses the Boolean expression
+    grammar ([! ' * + ^ ( )], constants [CONST0]/[CONST1]) and tabulates
+    each gate's function (at most 6 pins).  This is how the paper's
+    libraries were handed to ABC (Sec. 4.4). *)
+
+val to_string : Cell_lib.t -> string
+
+val of_string :
+  name:string -> free_phases:bool -> tau_ps:float -> string -> Cell_lib.t
+(** Raises [Failure] with a diagnostic on malformed input. *)

@@ -1,0 +1,1 @@
+lib/circuits/alu.ml: Aig Array Bitvec List Printf

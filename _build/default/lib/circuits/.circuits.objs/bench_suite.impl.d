@@ -1,0 +1,1 @@
+lib/circuits/bench_suite.ml: Aig Alu Arith Crypto Ecc List Logic_gen

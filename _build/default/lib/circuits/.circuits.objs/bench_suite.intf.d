@@ -1,0 +1,1 @@
+lib/circuits/bench_suite.mli: Aig

@@ -1,0 +1,1 @@
+lib/circuits/bitvec.ml: Aig Array List Printf

@@ -1,0 +1,1 @@
+lib/circuits/bitvec.mli: Aig

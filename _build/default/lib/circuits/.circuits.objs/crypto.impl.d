@@ -1,0 +1,1 @@
+lib/circuits/crypto.ml: Aig Array Bitvec List Printf Rand64

@@ -1,0 +1,1 @@
+lib/circuits/crypto.mli: Aig

@@ -1,0 +1,1 @@
+lib/circuits/ecc.ml: Aig Array Bitvec List

@@ -1,0 +1,1 @@
+lib/circuits/ecc.mli: Aig

@@ -1,0 +1,1 @@
+lib/circuits/logic_gen.ml: Aig Array Bitvec Int64 Printf Rand64

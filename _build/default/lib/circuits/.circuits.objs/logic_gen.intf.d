@@ -1,0 +1,1 @@
+lib/circuits/logic_gen.mli: Aig

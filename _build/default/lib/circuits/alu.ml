@@ -1,0 +1,124 @@
+(* ALU-and-control benchmark circuits: the substitutions for the ISCAS-85
+   "ALU and control" benchmarks (C2670, C3540, C5315, C7552) and the MCNC
+   "dalu".  All are parameterized word-level datapaths with operation
+   decode, masking, comparison and parity — the function classes the
+   original netlists implement. *)
+
+(* Eight-operation ALU core over existing bit vectors. *)
+let alu_core g a b cin sel =
+  let sum, cadd = Bitvec.add g ~cin a b in
+  let dif, csub = Bitvec.sub g a b in
+  let ops =
+    [|
+      sum;                          (* 0: a + b + cin *)
+      dif;                          (* 1: a - b *)
+      Bitvec.band g a b;            (* 2 *)
+      Bitvec.bor g a b;             (* 3 *)
+      Bitvec.bxor g a b;            (* 4 *)
+      Bitvec.bnot (Bitvec.bor g a b); (* 5: nor *)
+      Array.init (Bitvec.width a) (fun i ->
+          if i = 0 then cin else a.(i - 1));  (* 6: shift left *)
+      Bitvec.bnot a;                (* 7 *)
+    |]
+  in
+  let result = Bitvec.mux_tree g sel ops in
+  let cout = Aig.mk_mux g sel.(0) csub cadd in
+  (result, cout)
+
+let flags g a b result cout =
+  [
+    ("cout", cout);
+    ("zero", Aig.lnot (Bitvec.reduce_or g result));
+    ("neg", result.(Bitvec.width result - 1));
+    ("eq", Bitvec.equal g a b);
+    ("lt", Bitvec.ult g a b);
+    ("par", Bitvec.parity g result);
+  ]
+
+(* Masked ALU with control decode: C3540-like at width 16, dalu-like at
+   width 18 (result-only outputs). *)
+let alu ~width ~masked ~result_only () =
+  let g = Aig.create ~size_hint:(256 * width) () in
+  let a = Bitvec.inputs g "a" width in
+  let b = Bitvec.inputs g "b" width in
+  let m = if masked then Bitvec.inputs g "m" width else [||] in
+  let sel = Bitvec.inputs g "sel" 3 in
+  let cin = Aig.add_input ~name:"cin" g in
+  let b = if masked then Bitvec.band g b m else b in
+  let result, cout = alu_core g a b cin sel in
+  Bitvec.outputs g "r" result;
+  if not result_only then
+    List.iter (fun (n, l) -> Aig.add_output g n l) (flags g a b result cout);
+  g
+
+(* Wide ALU + selector + comparator + parity datapath: C2670/C5315/C7552
+   class.  [banks] adds a (count x bank_width) selector unit. *)
+let datapath ~width ~masked ~banks ~aux_compare ~parity_bytes () =
+  let g = Aig.create ~size_hint:(512 * width) () in
+  let a = Bitvec.inputs g "a" width in
+  let b = Bitvec.inputs g "b" width in
+  let m = if masked then Bitvec.inputs g "m" width else [||] in
+  let bank_vecs =
+    match banks with
+    | None -> [||]
+    | Some (count, w) ->
+        Array.init count (fun i -> Bitvec.inputs g (Printf.sprintf "k%d" i) w)
+  in
+  let bank_sel =
+    match banks with
+    | None -> [||]
+    | Some (count, _) ->
+        let bits = max 1 (int_of_float (ceil (log (float_of_int count) /. log 2.0))) in
+        Bitvec.inputs g "bs" bits
+  in
+  let cmp = if aux_compare > 0 then Bitvec.inputs g "c" aux_compare else [||] in
+  let sel = Bitvec.inputs g "sel" 3 in
+  let cin = Aig.add_input ~name:"cin" g in
+  let b' = if masked then Bitvec.band g b m else b in
+  let result, cout = alu_core g a b' cin sel in
+  Bitvec.outputs g "r" result;
+  List.iter (fun (n, l) -> Aig.add_output g n l) (flags g a b' result cout);
+  (match banks with
+  | None -> ()
+  | Some (count, _) ->
+      (* pad the ways to a power of two by wrapping around *)
+      let bits = Bitvec.width bank_sel in
+      let ways =
+        Array.init (1 lsl bits) (fun i -> bank_vecs.(i mod count))
+      in
+      let chosen = Bitvec.mux_tree g bank_sel ways in
+      (* selected bank combined with the ALU result slice *)
+      let w = Bitvec.width chosen in
+      let slice = Array.sub result 0 (min w width) in
+      let combined =
+        Bitvec.bxor g chosen (Array.append slice (Array.sub chosen (Array.length slice) (w - Array.length slice)))
+      in
+      Bitvec.outputs g "q" combined);
+  if aux_compare > 0 then begin
+    let half = aux_compare / 2 in
+    let x = Array.sub cmp 0 half and y = Array.sub cmp half half in
+    Aig.add_output g "ceq" (Bitvec.equal g x y);
+    Aig.add_output g "clt" (Bitvec.ult g x y);
+    Bitvec.outputs g "cx" (Bitvec.bxor g x y)
+  end;
+  if parity_bytes > 0 then
+    for k = 0 to parity_bytes - 1 do
+      let lo = k * width / parity_bytes in
+      let hi = (k + 1) * width / parity_bytes in
+      let byte = Array.sub result lo (hi - lo) in
+      Aig.add_output g (Printf.sprintf "pb%d" k) (Bitvec.parity g byte)
+    done;
+  g
+
+let c3540_like () = alu ~width:16 ~masked:true ~result_only:false ()
+let dalu_like () = alu ~width:18 ~masked:true ~result_only:true ()
+
+let c2670_like () =
+  datapath ~width:64 ~masked:true ~banks:None ~aux_compare:32 ~parity_bytes:8 ()
+
+let c5315_like () =
+  datapath ~width:40 ~masked:false ~banks:(Some (4, 16)) ~aux_compare:16
+    ~parity_bytes:4 ()
+
+let c7552_like () =
+  datapath ~width:56 ~masked:true ~banks:None ~aux_compare:28 ~parity_bytes:8 ()

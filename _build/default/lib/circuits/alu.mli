@@ -1,0 +1,29 @@
+(** ALU-and-control benchmark circuits — the substitutions for the
+    ISCAS-85 C2670/C3540/C5315/C7552 and MCNC dalu benchmarks
+    (see DESIGN.md §3 for interface profiles). *)
+
+val alu_core :
+  Aig.t -> Bitvec.t -> Bitvec.t -> Aig.lit -> Bitvec.t -> Bitvec.t * Aig.lit
+(** Eight-operation ALU over existing vectors:
+    add, sub, and, or, xor, nor, shift-left, not — selected by a 3-bit
+    code.  Returns (result, carry-out). *)
+
+val alu : width:int -> masked:bool -> result_only:bool -> unit -> Aig.t
+(** Masked ALU with operation decode and (unless [result_only]) the flag
+    outputs cout/zero/neg/eq/lt/parity. *)
+
+val datapath :
+  width:int ->
+  masked:bool ->
+  banks:(int * int) option ->
+  aux_compare:int ->
+  parity_bytes:int ->
+  unit -> Aig.t
+(** Wide ALU + optional selector banks + auxiliary comparator + byte
+    parity — the "ALU and control"/"ALU and selector" class. *)
+
+val c3540_like : unit -> Aig.t
+val dalu_like : unit -> Aig.t
+val c2670_like : unit -> Aig.t
+val c5315_like : unit -> Aig.t
+val c7552_like : unit -> Aig.t

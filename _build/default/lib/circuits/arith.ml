@@ -1,0 +1,66 @@
+(* Arithmetic benchmark circuits. *)
+
+(* n-bit ripple-carry adder: the paper's add-16/32/64 benchmarks
+   (inputs: a, b, cin; outputs: n-bit sum + carry-out). *)
+let adder n =
+  let g = Aig.create ~size_hint:(16 * n) () in
+  let a = Bitvec.inputs g "a" n in
+  let b = Bitvec.inputs g "b" n in
+  let cin = Aig.add_input ~name:"cin" g in
+  let sum, cout = Bitvec.add g ~cin a b in
+  Bitvec.outputs g "s" sum;
+  Aig.add_output g "cout" cout;
+  g
+
+(* n x n array multiplier: C6288 is the 16 x 16 instance. *)
+let multiplier n =
+  let g = Aig.create ~size_hint:(64 * n * n) () in
+  let a = Bitvec.inputs g "a" n in
+  let b = Bitvec.inputs g "b" n in
+  let p = Bitvec.mul g a b in
+  (* C6288 exposes 32 product bits *)
+  Bitvec.outputs g "p" p;
+  g
+
+(* Adder/subtractor with comparison flags. *)
+let addsub n =
+  let g = Aig.create ~size_hint:(32 * n) () in
+  let a = Bitvec.inputs g "a" n in
+  let b = Bitvec.inputs g "b" n in
+  let sel = Aig.add_input ~name:"sub" g in
+  let s_add, c_add = Bitvec.add g a b in
+  let s_sub, c_sub = Bitvec.sub g a b in
+  let s = Bitvec.mux g sel s_sub s_add in
+  let c = Aig.mk_mux g sel c_sub c_add in
+  Bitvec.outputs g "s" s;
+  Aig.add_output g "cout" c;
+  Aig.add_output g "zero" (Aig.lnot (Bitvec.reduce_or g s));
+  Aig.add_output g "eq" (Bitvec.equal g a b);
+  Aig.add_output g "lt" (Bitvec.ult g a b);
+  g
+
+(* Carry-select adder: blocks of [block] bits computed for both carry
+   assumptions and selected by the incoming carry — a lower-depth
+   alternative to the ripple structure (used by the depth ablations). *)
+let carry_select_adder n ~block =
+  if block <= 0 then invalid_arg "Arith.carry_select_adder";
+  let g = Aig.create ~size_hint:(48 * n) () in
+  let a = Bitvec.inputs g "a" n in
+  let b = Bitvec.inputs g "b" n in
+  let cin = Aig.add_input ~name:"cin" g in
+  let sum = Array.make n Aig.lit_false in
+  let carry = ref cin in
+  let pos = ref 0 in
+  while !pos < n do
+    let w = min block (n - !pos) in
+    let sa = Array.sub a !pos w and sb = Array.sub b !pos w in
+    let s0, c0 = Bitvec.add g ~cin:Aig.lit_false sa sb in
+    let s1, c1 = Bitvec.add g ~cin:Aig.lit_true sa sb in
+    let sel = Bitvec.mux g !carry s1 s0 in
+    Array.blit sel 0 sum !pos w;
+    carry := Aig.mk_mux g !carry c1 c0;
+    pos := !pos + w
+  done;
+  Bitvec.outputs g "s" sum;
+  Aig.add_output g "cout" !carry;
+  g

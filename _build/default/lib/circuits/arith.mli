@@ -1,0 +1,16 @@
+(** Arithmetic benchmark circuits (Table 3's adders and multiplier). *)
+
+val adder : int -> Aig.t
+(** [adder n]: n-bit ripple-carry adder; inputs [a0..], [b0..], [cin],
+    outputs [s0..], [cout] — the paper's add-16/32/64 benchmarks. *)
+
+val multiplier : int -> Aig.t
+(** [multiplier n]: n x n carry-save array multiplier (C6288 is the 16 x 16
+    instance); outputs the [2n] product bits. *)
+
+val addsub : int -> Aig.t
+(** Adder/subtractor with zero/eq/lt flags (datapath building block). *)
+
+val carry_select_adder : int -> block:int -> Aig.t
+(** Carry-select adder: per-block dual sums selected by the incoming
+    carry; same interface as {!adder}, lower depth, more area. *)

@@ -1,0 +1,31 @@
+type entry = {
+  name : string;
+  description : string;
+  build : unit -> Aig.t;
+}
+
+let all =
+  [
+    { name = "C2670"; description = "ALU and control"; build = Alu.c2670_like };
+    { name = "C1908"; description = "Error correcting"; build = Ecc.c1908_like };
+    { name = "C3540"; description = "ALU and control"; build = Alu.c3540_like };
+    { name = "dalu"; description = "Dedicated ALU"; build = Alu.dalu_like };
+    { name = "C7552"; description = "ALU and control"; build = Alu.c7552_like };
+    { name = "C6288"; description = "Multiplier";
+      build = (fun () -> Arith.multiplier 16) };
+    { name = "C5315"; description = "ALU and selector"; build = Alu.c5315_like };
+    { name = "des"; description = "Data encryption"; build = Crypto.des_like };
+    { name = "i10"; description = "Logic"; build = Logic_gen.i10_like };
+    { name = "t481"; description = "Logic"; build = Logic_gen.t481_like };
+    { name = "i18"; description = "Logic"; build = Logic_gen.i18_like };
+    { name = "C1355"; description = "Error correcting"; build = Ecc.c1355_like };
+    { name = "add-16"; description = "16-bit adder";
+      build = (fun () -> Arith.adder 16) };
+    { name = "add-32"; description = "32-bit adder";
+      build = (fun () -> Arith.adder 32) };
+    { name = "add-64"; description = "64-bit adder";
+      build = (fun () -> Arith.adder 64) };
+  ]
+
+let find name = List.find (fun e -> e.name = name) all
+let names = List.map (fun e -> e.name) all

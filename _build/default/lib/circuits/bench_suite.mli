@@ -1,0 +1,19 @@
+(** The 15-benchmark suite of the paper's Table 3.
+
+    The original ISCAS-85 / MCNC netlists are not redistributable here, so
+    each entry is a structural generator of the same function class with a
+    comparable interface profile (see DESIGN.md §3 for the substitution
+    rationale).  Generators are deterministic: repeated calls build
+    identical graphs. *)
+
+type entry = {
+  name : string;            (** the paper's benchmark name *)
+  description : string;     (** Table 3's "Function" column *)
+  build : unit -> Aig.t;
+}
+
+val all : entry list
+(** In the paper's Table 3 order. *)
+
+val find : string -> entry
+val names : string list

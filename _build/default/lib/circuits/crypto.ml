@@ -1,0 +1,82 @@
+(* Feistel-cipher datapath: the substitution for the MCNC "des" benchmark
+   ("data encryption").  The structure is DES-shaped — expansion, key
+   mixing, 6-to-4-bit S-boxes, permutation, Feistel XOR — with
+   deterministic seeded S-box tables (the original tables carry no
+   structural property a mapper could exploit; what matters for the
+   benchmark is the XOR-rich Feistel skeleton and the random-logic
+   S-boxes). *)
+
+let sbox_table rng =
+  Array.init 64 (fun _ -> Rand64.int rng 16)
+
+(* A 6-input/4-output S-box as two-level logic over the table. *)
+let sbox g table (bits : Aig.lit array) =
+  Array.init 4 (fun o ->
+      (* sum of minterms whose table entry has output bit o set *)
+      let minterms = ref [] in
+      for m = 0 to 63 do
+        if table.(m) land (1 lsl o) <> 0 then begin
+          let lits =
+            List.init 6 (fun i ->
+                if m land (1 lsl i) <> 0 then bits.(i) else Aig.lnot bits.(i))
+          in
+          minterms := Aig.mk_and_list g lits :: !minterms
+        end
+      done;
+      Aig.mk_or_list g !minterms)
+
+(* Expansion of 32 bits to 48 (DES E-box shape: 8 groups of 6 with
+   overlap). *)
+let expand (r : Aig.lit array) =
+  let sel i = r.((i + 32) mod 32) in
+  Array.init 48 (fun k ->
+      let group = k / 6 and pos = k mod 6 in
+      sel ((group * 4) - 1 + pos))
+
+(* P-permutation: a fixed seeded permutation of 32 bits. *)
+let permutation rng n =
+  let p = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Rand64.int rng (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let feistel_round g rng (l, r) key =
+  let e = expand r in
+  let x = Array.map2 (Aig.mk_xor g) e key in
+  let sboxed =
+    Array.concat
+      (List.init 8 (fun s ->
+           let bits = Array.sub x (6 * s) 6 in
+           sbox g (sbox_table rng) bits))
+  in
+  let p = permutation rng 32 in
+  let f = Array.init 32 (fun i -> sboxed.(p.(i))) in
+  let l' = r in
+  let r' = Array.map2 (Aig.mk_xor g) l f in
+  (l', r')
+
+(* [rounds] Feistel rounds with independent round keys; outputs every
+   round's right half plus the final state (245-ish outputs for 3 rounds at
+   64-bit state like the original des benchmark's profile). *)
+let feistel ~rounds () =
+  let g = Aig.create ~size_hint:65536 () in
+  let rng = Rand64.create 0xDE5L in
+  let l0 = Bitvec.inputs g "l" 32 in
+  let r0 = Bitvec.inputs g "r" 32 in
+  let keys = Array.init rounds (fun i -> Bitvec.inputs g (Printf.sprintf "k%d" i) 48) in
+  let state = ref (l0, r0) in
+  for i = 0 to rounds - 1 do
+    state := feistel_round g rng !state keys.(i);
+    let _, r = !state in
+    Bitvec.outputs g (Printf.sprintf "t%d_" i) r
+  done;
+  let l, r = !state in
+  Bitvec.outputs g "ol" l;
+  Bitvec.outputs g "or" r;
+  g
+
+let des_like () = feistel ~rounds:3 ()

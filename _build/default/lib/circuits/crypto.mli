@@ -1,0 +1,11 @@
+(** Feistel-cipher datapath — the substitution for the MCNC "des"
+    benchmark.  DES-shaped structure (expansion, key mixing, 6-to-4
+    S-boxes, permutation, Feistel XOR) with deterministic seeded S-box
+    tables; see DESIGN.md §3. *)
+
+val feistel : rounds:int -> unit -> Aig.t
+(** 64-bit state, one 48-bit round key per round; outputs every round's
+    right half plus the final state. *)
+
+val des_like : unit -> Aig.t
+(** Three rounds: 208 inputs / 160 outputs. *)

@@ -1,0 +1,89 @@
+(* Error-correcting circuits: XOR-dominated logic, the substitution for the
+   ISCAS-85 C1355/C1908 benchmarks (both described as "error correcting").
+
+   The code structure is a single-error-correcting block code: [checks]
+   parity groups over [data] bits with deterministic (seeded) membership
+   masks, a syndrome computation and a correction stage matching each
+   bit's signature. *)
+
+(* Deterministic parity-group signature of data bit [i]: a nonzero
+   [checks]-bit pattern; distinct bits get distinct signatures, which makes
+   single-bit errors correctable. *)
+let signature checks i =
+  let m = (1 lsl checks) - 1 in
+  (* skip signatures with fewer than 2 bits set to spread group sizes *)
+  let rec nth_valid k cand =
+    let cand = cand land m in
+    let pop =
+      let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+      go cand 0
+    in
+    if cand <> 0 && pop >= 2 then
+      if k = 0 then cand else nth_valid (k - 1) (cand + 1)
+    else nth_valid k (cand + 1)
+  in
+  nth_valid i 1
+
+(* Encoder: data in, data + check bits out. *)
+let encoder ~data ~checks =
+  let g = Aig.create ~size_hint:(data * checks * 8) () in
+  let d = Bitvec.inputs g "d" data in
+  let chk =
+    Array.init checks (fun c ->
+        let members =
+          Array.to_list d
+          |> List.filteri (fun i _ -> signature checks i land (1 lsl c) <> 0)
+        in
+        List.fold_left (Aig.mk_xor g) Aig.lit_false members)
+  in
+  Bitvec.outputs g "d" d;
+  Bitvec.outputs g "c" chk;
+  g
+
+(* Decoder/corrector: received data + check bits in, corrected data out
+   (plus an error indicator).  C1355-like: data=32, checks=8;
+   C1908-like: data=16, checks=8 with a global parity for detection. *)
+let decoder ~data ~checks ~detect =
+  let g = Aig.create ~size_hint:(data * checks * 16) () in
+  let d = Bitvec.inputs g "d" data in
+  let c = Bitvec.inputs g "c" checks in
+  let overall = if detect then Aig.add_input ~name:"p" g else Aig.lit_false in
+  let syndrome =
+    Array.init checks (fun k ->
+        let members =
+          Array.to_list d
+          |> List.filteri (fun i _ -> signature checks i land (1 lsl k) <> 0)
+        in
+        let recomputed = List.fold_left (Aig.mk_xor g) Aig.lit_false members in
+        Aig.mk_xor g recomputed c.(k))
+  in
+  let corrected =
+    Array.mapi
+      (fun i di ->
+        (* flip bit i when the syndrome equals its signature *)
+        let sg = signature checks i in
+        let hit =
+          Array.to_list syndrome
+          |> List.mapi (fun k s ->
+                 if sg land (1 lsl k) <> 0 then s else Aig.lnot s)
+          |> Aig.mk_and_list g
+        in
+        Aig.mk_xor g di hit)
+      d
+  in
+  Bitvec.outputs g "o" corrected;
+  let any_syndrome = Bitvec.reduce_or g syndrome in
+  Aig.add_output g "err" any_syndrome;
+  if detect then begin
+    (* double-error detection: nonzero syndrome with even overall parity *)
+    let all_parity =
+      Aig.mk_xor g
+        (Bitvec.parity g d)
+        (Aig.mk_xor g (Bitvec.parity g c) overall)
+    in
+    Aig.add_output g "ded" (Aig.mk_and g any_syndrome (Aig.lnot all_parity))
+  end;
+  g
+
+let c1355_like () = decoder ~data:32 ~checks:8 ~detect:false
+let c1908_like () = decoder ~data:24 ~checks:8 ~detect:true

@@ -1,0 +1,25 @@
+(** Error-correcting circuits — the XOR-dominated substitution for the
+    ISCAS-85 C1355/C1908 benchmarks (see DESIGN.md §3).
+
+    A single-error-correcting block code over deterministic parity-group
+    signatures: the encoder emits check bits, the decoder recomputes the
+    syndrome and corrects the matching data bit. *)
+
+val signature : int -> int -> int
+(** [signature checks i]: the parity-group membership mask of data bit [i]
+    (distinct, at least two bits set — which makes single errors
+    correctable). *)
+
+val encoder : data:int -> checks:int -> Aig.t
+(** Inputs [d0..]; outputs the data (pass-through) and the check bits. *)
+
+val decoder : data:int -> checks:int -> detect:bool -> Aig.t
+(** Inputs data + check bits (+ overall parity when [detect]); outputs the
+    corrected data, an error indicator, and — with [detect] — a
+    double-error-detected flag. *)
+
+val c1355_like : unit -> Aig.t
+(** 32-bit single-error corrector (C1355's profile). *)
+
+val c1908_like : unit -> Aig.t
+(** 24-bit SEC/DED corrector (C1908's profile). *)

@@ -1,0 +1,88 @@
+(* Structured synthetic control logic: the substitution for the MCNC
+   benchmarks i10, i18 and t481 ("Logic").  Deterministically seeded
+   layered networks of mixed AND/OR/XOR/MUX operators — the XOR share is
+   kept moderate, matching the paper's observation that these circuits gain
+   less from the ambipolar library than the arithmetic ones. *)
+
+type op = Oand | Oor | Oxor | Omux
+
+(* Pick an operator with a bounded XOR share. *)
+let pick_op rng xor_pct =
+  let r = Rand64.int rng 100 in
+  if r < xor_pct then Oxor
+  else if r < xor_pct + 30 then Oand
+  else if r < xor_pct + 60 then Oor
+  else Omux
+
+let random_lit rng pool =
+  let l = pool.(Rand64.int rng (Array.length pool)) in
+  if Rand64.bool rng then Aig.lnot l else l
+
+let layered ~seed ~num_inputs ~num_outputs ~layers ~layer_width ~xor_pct () =
+  let g = Aig.create ~size_hint:(8 * layers * layer_width) () in
+  let rng = Rand64.create (Int64.of_int seed) in
+  let inputs =
+    Array.init num_inputs (fun i -> Aig.add_input ~name:(Printf.sprintf "x%d" i) g)
+  in
+  let pool = ref inputs in
+  for _ = 1 to layers do
+    let fresh =
+      Array.init layer_width (fun _ ->
+          let a = random_lit rng !pool
+          and b = random_lit rng !pool in
+          match pick_op rng xor_pct with
+          | Oand -> Aig.mk_and g a b
+          | Oor -> Aig.mk_or g a b
+          | Oxor -> Aig.mk_xor g a b
+          | Omux ->
+              let s = random_lit rng !pool in
+              Aig.mk_mux g s a b)
+    in
+    (* keep some earlier signals visible to later layers *)
+    let keep =
+      Array.init (Array.length !pool / 2) (fun _ -> random_lit rng !pool)
+    in
+    pool := Array.append fresh keep
+  done;
+  for o = 0 to num_outputs - 1 do
+    Aig.add_output g (Printf.sprintf "y%d" o) (random_lit rng !pool)
+  done;
+  g
+
+let i10_like () =
+  layered ~seed:10 ~num_inputs:257 ~num_outputs:224 ~layers:14
+    ~layer_width:220 ~xor_pct:12 ()
+
+let i18_like () =
+  layered ~seed:18 ~num_inputs:133 ~num_outputs:81 ~layers:8
+    ~layer_width:160 ~xor_pct:8 ()
+
+(* A 16-input single-output decision function (t481's profile): a mux tree
+   over 4 control bits selecting among products/xors of the remaining 12
+   inputs. *)
+let t481_like () =
+  let g = Aig.create ~size_hint:4096 () in
+  let x = Array.init 16 (fun i -> Aig.add_input ~name:(Printf.sprintf "x%d" i) g) in
+  let rng = Rand64.create 481L in
+  let ctrl = Array.sub x 0 4 in
+  let rest = Array.sub x 4 12 in
+  let leaf k =
+    (* each selected case mixes the 12 data inputs differently *)
+    let rng' = Rand64.create (Int64.of_int (k * 7919)) in
+    let acc = ref (if k land 1 = 0 then Aig.lit_true else Aig.lit_false) in
+    Array.iteri
+      (fun i l ->
+        let l = if Rand64.bool rng' then Aig.lnot l else l in
+        acc :=
+          (match (k + i) mod 3 with
+          | 0 -> Aig.mk_and g !acc l
+          | 1 -> Aig.mk_or g !acc l
+          | _ -> Aig.mk_xor g !acc l))
+      rest;
+    !acc
+  in
+  ignore rng;
+  let ways = Array.init 16 (fun k -> [| leaf k |]) in
+  let out = Bitvec.mux_tree g ctrl ways in
+  Aig.add_output g "y" out.(0);
+  g

@@ -1,0 +1,22 @@
+(** Structured synthetic control logic — the substitutions for the MCNC
+    i10/i18/t481 benchmarks.  Deterministically seeded layered networks of
+    AND/OR/XOR/MUX operators with a bounded XOR share (these circuits gain
+    the least from the ambipolar library, as in the paper). *)
+
+val layered :
+  seed:int ->
+  num_inputs:int ->
+  num_outputs:int ->
+  layers:int ->
+  layer_width:int ->
+  xor_pct:int ->
+  unit -> Aig.t
+
+val i10_like : unit -> Aig.t
+(** 257 inputs / 224 outputs. *)
+
+val i18_like : unit -> Aig.t
+(** 133 inputs / 81 outputs. *)
+
+val t481_like : unit -> Aig.t
+(** 16-input single-output decision function (t481's profile). *)

@@ -1,0 +1,42 @@
+(** Public umbrella API of the ambipolar-CNTFET synthesis library.
+
+    The underlying modules ([Aig], [Synth], [Cell_lib], [Mapper], [Mapped],
+    [Catalog], [Charlib], [Experiments], …) are all usable directly; this
+    module bundles the common flow — build a circuit, optimize it, map it
+    against one of the paper's libraries — into a few calls.
+
+    {[
+      let aig = Arith.adder 16 in
+      let result = Core.run ~family:`Tg_static aig in
+      Format.printf "%a@." Mapped.pp_stats result.Core.mapped
+    ]} *)
+
+type family = [ `Tg_static | `Tg_pseudo | `Pass_pseudo | `Cmos ]
+
+val library :
+  ?delay:Cell_lib.delay_choice -> family -> Cell_lib.t
+(** Builds (and memoizes per process) the characterized match library. *)
+
+type result = {
+  original : Aig.t;
+  optimized : Aig.t;
+  mapped : Mapped.t;
+}
+
+val run :
+  ?synthesize:bool ->
+  ?cut_size:int ->
+  ?verify:bool ->
+  ?family:family ->
+  Aig.t ->
+  result
+(** The full flow: [resyn2rs]-style optimization (unless [synthesize] is
+    false), technology mapping (default family [`Tg_static]), and — with
+    [verify] (default true for graphs below 10k nodes) — a random-simulation
+    equivalence check of the mapping.  Raises [Failure] if verification
+    fails. *)
+
+val compare_families :
+  ?synthesize:bool -> Aig.t -> (string * Mapped.stats) list
+(** Maps the circuit against the static, pseudo and CMOS libraries and
+    returns the per-library statistics (the paper's Table 3 row). *)

@@ -1,0 +1,89 @@
+type block_type = Gnor | Gnand
+
+type config = { cell : string; polarities : int }
+
+type t = { rows : int; cols : int }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Fabric.create";
+  { rows; cols }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let block_type _ r c = if (r + c) land 1 = 0 then Gnor else Gnand
+
+let root_kind name =
+  let entry = Catalog.find name in
+  match entry.Catalog.spec with
+  | Gate_spec.Or _ -> `Or
+  | Gate_spec.And _ -> `And
+  | Gate_spec.Lit _ | Gate_spec.Xor _ -> `Either
+
+let compatible bt name =
+  match (bt, root_kind name) with
+  | _, `Either -> true
+  | Gnor, `Or | Gnand, `And -> true
+  | Gnor, `And | Gnand, `Or -> false
+
+let config_bits_per_block = 6 + 6
+
+(* Polarity-gate configuration: one bit per possible literal/XOR phase of
+   the cell's six pin slots; derived from the gate's complement-form needs.
+   For this model the positive configuration is encoded as the XOR-phase
+   mask of the spec. *)
+let polarity_bits name =
+  let entry = Catalog.find name in
+  let rec mask = function
+    | Gate_spec.Lit (v, ph) -> if ph then 0 else 1 lsl v
+    | Gate_spec.Xor (_, b, ph) -> if ph then 0 else 1 lsl b
+    | Gate_spec.And es | Gate_spec.Or es ->
+        List.fold_left (fun m e -> m lor mask e) 0 es
+  in
+  mask entry.Catalog.spec
+
+type placement = {
+  placed : (int * int * config) list;
+  tiles_used : int;
+  tiles_total : int;
+  utilization : float;
+  config_bits : int;
+}
+
+let place t (m : Mapped.t) =
+  let total = t.rows * t.cols in
+  let placed = ref [] in
+  let used = ref 0 in
+  let cursor = ref 0 in
+  Array.iter
+    (fun (inst : Mapped.instance) ->
+      let name = inst.Mapped.cell_name in
+      if not (List.exists (fun (e : Catalog.entry) -> e.Catalog.name = name)
+                Catalog.all)
+      then failwith ("Fabric.place: not a catalog cell: " ^ name);
+      (* advance to the next compatible tile *)
+      let rec find k =
+        if k >= total then failwith "Fabric.place: fabric too small"
+        else
+          let r = k / t.cols and c = k mod t.cols in
+          if compatible (block_type t r c) name then (r, c, k)
+          else find (k + 1)
+      in
+      let r, c, k = find !cursor in
+      cursor := k + 1;
+      incr used;
+      placed :=
+        (r, c, { cell = name; polarities = polarity_bits name }) :: !placed)
+    m.Mapped.instances;
+  {
+    placed = List.rev !placed;
+    tiles_used = !used;
+    tiles_total = total;
+    utilization = float_of_int !used /. float_of_int total;
+    config_bits = !used * config_bits_per_block;
+  }
+
+let pp_placement fmt p =
+  Format.fprintf fmt
+    "fabric: %d/%d tiles used (%.1f%% utilization), %d configuration bits"
+    p.tiles_used p.tiles_total (100.0 *. p.utilization) p.config_bits

@@ -1,0 +1,46 @@
+(** The Sec. 5 regular fabric: an array of interleaved logic blocks built
+    around generalized NOR (GNOR) and generalized NAND (GNAND) gates whose
+    function is set in-field through the polarity gates.
+
+    A type-1 block hosts an OR-rooted catalog cell (GNOR configurations), a
+    type-2 block an AND-rooted one; single-literal and single-XOR cells fit
+    either.  Configuring a block stores the catalog function index plus the
+    polarity-gate settings, which is what "in-field programming" writes. *)
+
+type block_type = Gnor | Gnand
+
+type config = {
+  cell : string;        (** catalog cell name (F00..F45) *)
+  polarities : int;     (** polarity-gate configuration bits *)
+}
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Checkerboard of alternating GNOR/GNAND blocks. *)
+
+val rows : t -> int
+val cols : t -> int
+val block_type : t -> int -> int -> block_type
+
+val compatible : block_type -> string -> bool
+(** Can this block type realize that catalog cell? *)
+
+val config_bits_per_block : int
+(** Function select (6 bits for 46 cells) + 6 polarity-gate bits. *)
+
+type placement = {
+  placed : (int * int * config) list;  (** row, col, configuration *)
+  tiles_used : int;
+  tiles_total : int;
+  utilization : float;
+  config_bits : int;
+}
+
+val place : t -> Mapped.t -> placement
+(** Greedy row-major placement of a CNTFET-mapped netlist onto the fabric:
+    each instance takes the next compatible tile.  Raises [Failure] if the
+    fabric is too small or the netlist uses a non-catalog cell (e.g. a CMOS
+    mapping). *)
+
+val pp_placement : Format.formatter -> placement -> unit

@@ -1,0 +1,1 @@
+lib/gates/catalog.ml: Array Gate_spec List Printf

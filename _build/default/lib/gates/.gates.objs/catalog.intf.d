@@ -1,0 +1,1 @@
+lib/gates/catalog.mli: Gate_spec

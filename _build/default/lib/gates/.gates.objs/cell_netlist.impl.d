@@ -1,0 +1,1 @@
+lib/gates/cell_netlist.ml: Format Gate_spec List

@@ -1,0 +1,1 @@
+lib/gates/cell_netlist.mli: Format Gate_spec

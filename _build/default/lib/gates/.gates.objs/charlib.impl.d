@@ -1,0 +1,1 @@
+lib/gates/charlib.ml: Catalog Cell_netlist Gate_spec Hashtbl List

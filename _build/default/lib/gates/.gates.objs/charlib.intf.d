@@ -1,0 +1,1 @@
+lib/gates/charlib.mli: Catalog Cell_netlist Gate_spec

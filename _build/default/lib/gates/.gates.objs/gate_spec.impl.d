@@ -1,0 +1,1 @@
+lib/gates/gate_spec.ml: Array Char Format List String Tt

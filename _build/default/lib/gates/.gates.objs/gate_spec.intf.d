@@ -1,0 +1,1 @@
+lib/gates/gate_spec.mli: Format Tt

@@ -1,0 +1,72 @@
+open Gate_spec
+
+type entry = { index : int; name : string; spec : Gate_spec.expr }
+
+(* Variable conventions of Table 1: A=0, B=1, C=2, D=3, E=4, F=5. *)
+let a = 0
+and b = 1
+and c = 2
+and d = 3
+and e = 4
+and f = 5
+
+let specs =
+  [|
+    (* F00 *) lit a;
+    (* F01 *) a ^: b;
+    (* F02 *) Or [ lit a; lit b ];
+    (* F03 *) And [ lit a; lit b ];
+    (* F04 *) Or [ a ^: b; lit c ];
+    (* F05 *) And [ a ^: b; lit c ];
+    (* F06 *) Or [ a ^: b; a ^: c ];
+    (* F07 *) And [ a ^: b; a ^: c ];
+    (* F08 *) Or [ a ^: b; c ^: d ];
+    (* F09 *) And [ a ^: b; c ^: d ];
+    (* F10 *) Or [ lit a; lit b; lit c ];
+    (* F11 *) And [ Or [ lit a; lit b ]; lit c ];
+    (* F12 *) Or [ lit a; And [ lit b; lit c ] ];
+    (* F13 *) And [ lit a; lit b; lit c ];
+    (* F14 *) Or [ a ^: d; lit b; lit c ];
+    (* F15 *) Or [ a ^: d; b ^: d; lit c ];
+    (* F16 *) Or [ a ^: d; b ^: d; c ^: d ];
+    (* F17 *) And [ Or [ a ^: d; lit b ]; lit c ];
+    (* F18 *) And [ Or [ a ^: d; b ^: d ]; lit c ];
+    (* F19 *) And [ Or [ a ^: d; lit b ]; c ^: d ];
+    (* F20 *) And [ Or [ a ^: d; b ^: d ]; c ^: d ];
+    (* F21 *) And [ Or [ lit a; lit b ]; c ^: d ];
+    (* F22 *) Or [ a ^: d; And [ lit b; lit c ] ];
+    (* F23 *) Or [ lit a; And [ b ^: d; lit c ] ];
+    (* F24 *) Or [ a ^: d; And [ b ^: d; lit c ] ];
+    (* F25 *) Or [ lit a; And [ b ^: d; c ^: d ] ];
+    (* F26 *) Or [ a ^: d; And [ b ^: d; c ^: d ] ];
+    (* F27 *) And [ a ^: d; lit b; lit c ];
+    (* F28 *) And [ a ^: d; b ^: d; lit c ];
+    (* F29 *) And [ a ^: d; b ^: d; c ^: d ];
+    (* F30 *) Or [ a ^: d; b ^: e; lit c ];
+    (* F31 *) Or [ a ^: d; b ^: d; c ^: e ];
+    (* F32 *) And [ Or [ a ^: d; b ^: e ]; lit c ];
+    (* F33 *) And [ Or [ a ^: d; lit b ]; c ^: e ];
+    (* F34 *) And [ Or [ a ^: d; b ^: d ]; c ^: e ];
+    (* F35 *) And [ Or [ a ^: d; b ^: e ]; c ^: d ];
+    (* F36 *) Or [ a ^: d; And [ b ^: e; lit c ] ];
+    (* F37 *) Or [ lit a; And [ b ^: d; c ^: e ] ];
+    (* F38 *) Or [ a ^: d; And [ b ^: e; c ^: e ] ];
+    (* F39 *) Or [ a ^: d; And [ b ^: e; c ^: d ] ];
+    (* F40 *) And [ a ^: d; b ^: e; lit c ];
+    (* F41 *) And [ a ^: d; b ^: d; c ^: e ];
+    (* F42 *) Or [ a ^: d; b ^: e; c ^: f ];
+    (* F43 *) And [ Or [ a ^: d; b ^: e ]; c ^: f ];
+    (* F44 *) Or [ a ^: d; And [ b ^: e; c ^: f ] ];
+    (* F45 *) And [ a ^: d; b ^: e; c ^: f ];
+  |]
+
+let all =
+  Array.to_list
+    (Array.mapi
+       (fun i spec -> { index = i; name = Printf.sprintf "F%02d" i; spec })
+       specs)
+
+let find name = List.find (fun e -> e.name = name) all
+
+let is_cmos_expressible e = Gate_spec.num_xors e.spec = 0
+let cmos_subset = List.filter is_cmos_expressible all

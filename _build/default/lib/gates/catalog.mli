@@ -1,0 +1,23 @@
+(** The gate catalog of the paper.
+
+    Table 1: the 46 functions implementable with at most three transmission
+    gates or transistors in series in each pull network of an ambipolar
+    CNTFET gate.  The CMOS-expressible subset (same topology constraint,
+    no XOR terms) is exactly {F00, F02, F03, F10, F11, F12, F13}. *)
+
+type entry = {
+  index : int;            (** 0..45 *)
+  name : string;          (** "F00".."F45" *)
+  spec : Gate_spec.expr;
+}
+
+val all : entry list
+(** The 46 entries in index order. *)
+
+val find : string -> entry
+(** Lookup by name; raises [Not_found]. *)
+
+val cmos_subset : entry list
+(** Entries whose function needs no XOR term. *)
+
+val is_cmos_expressible : entry -> bool

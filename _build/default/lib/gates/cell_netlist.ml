@@ -1,0 +1,251 @@
+type family = Tg_static | Tg_pseudo | Pass_pseudo | Pass_static | Cmos
+
+let family_name = function
+  | Tg_static -> "cntfet-tg-static"
+  | Tg_pseudo -> "cntfet-tg-pseudo"
+  | Pass_pseudo -> "cntfet-pass-pseudo"
+  | Pass_static -> "cntfet-pass-static"
+  | Cmos -> "cmos-static"
+
+let all_families = [ Tg_static; Tg_pseudo; Pass_pseudo; Pass_static; Cmos ]
+
+type signal = { v : int; ph : bool }
+
+type kind = Configured | Pass | Cmos_n | Cmos_p
+
+type device = {
+  kind : kind;
+  gate : signal;           (* signal driving the gate terminal *)
+  polgate : signal option; (* driven polarity gate (TG halves, pass XOR) *)
+  on : bool;               (* for single-control devices: conducts when the
+                              raw input variable equals [on] *)
+  width : float;
+}
+
+type net =
+  | D of device
+  | T of device * device
+  | S of net list
+  | P of net list
+
+type cell = {
+  family : family;
+  spec : Gate_spec.expr;
+  pull_up : net option;
+  pull_down : net;
+  bias_width : float;
+  restoring_inverter : bool;
+}
+
+(* Worst-direction resistance factor of a single device of unit width. *)
+let res_factor = function
+  | Configured | Cmos_n -> 1.0
+  | Pass | Cmos_p -> 2.0
+
+(* ---- structural construction (widths filled by [size]) ---- *)
+
+let mk_dev ?(on = true) kind gate polgate =
+  { kind; gate; polgate; on; width = 0.0 }
+
+let tg_pair a b xor_phase =
+  (* Conducts when (a XOR b) = xor_phase.  An ambipolar device with gate u
+     and polarity gate w conducts iff u <> w, so the pair below conducts iff
+     a <> (b = xor_phase), i.e. iff (a XOR b) = xor_phase; the twin device
+     sees both controls complemented and conducts simultaneously, in the
+     opposite (good/weak) direction. *)
+  let d1 =
+    mk_dev Configured { v = a; ph = true } (Some { v = b; ph = xor_phase })
+  in
+  let d2 =
+    mk_dev Configured { v = a; ph = false }
+      (Some { v = b; ph = not xor_phase })
+  in
+  T (d1, d2)
+
+let pass_dev a b xor_phase =
+  D (mk_dev Pass { v = a; ph = true } (Some { v = b; ph = xor_phase }))
+
+(* TG halves are Configured above only structurally; their kind matters for
+   sizing of single devices, while [T] carries its own 2R/3 rule. *)
+
+let rec build family cmos_side expr =
+  match expr with
+  | Gate_spec.Lit (v, ph) ->
+      let kind =
+        match family with
+        | Cmos -> if cmos_side = `Pd then Cmos_n else Cmos_p
+        | _ -> Configured
+      in
+      (* Every single-control device is driven by the positive input
+         signal: the conduction phase is provided by the in-field polarity
+         configuration (CNTFET) or by the device type and network position
+         (CMOS).  Only XOR transmission/pass structures need both input
+         polarities (Sec. 4.3). *)
+      D (mk_dev ~on:ph kind { v; ph = true } None)
+  | Gate_spec.Xor (a, b, ph) -> (
+      match family with
+      | Cmos -> invalid_arg "Cell_netlist: XOR term in a CMOS cell"
+      | Tg_static | Tg_pseudo -> tg_pair a b ph
+      | Pass_static | Pass_pseudo -> pass_dev a b ph)
+  | Gate_spec.And es -> S (List.map (build family cmos_side) es)
+  | Gate_spec.Or es -> P (List.map (build family cmos_side) es)
+
+(* Flatten nested series/parallel of the same flavor (And [x; And [y; z]]
+   cannot occur from the catalog, but keep the invariant anyway). *)
+let rec flatten = function
+  | (D _ | T _) as n -> n
+  | S es -> (
+      match
+        List.concat_map
+          (fun e -> match flatten e with S xs -> xs | x -> [ x ])
+          es
+      with
+      | [ x ] -> x
+      | xs -> S xs)
+  | P es -> (
+      match
+        List.concat_map
+          (fun e -> match flatten e with P xs -> xs | x -> [ x ])
+          es
+      with
+      | [ x ] -> x
+      | xs -> P xs)
+
+(* ---- sizing ---- *)
+
+let rec size g = function
+  | D dev -> D { dev with width = res_factor dev.kind *. g }
+  | T (d1, d2) ->
+      let w = 2.0 /. 3.0 *. g in
+      T ({ d1 with width = w }, { d2 with width = w })
+  | S es ->
+      let n = float_of_int (List.length es) in
+      S (List.map (size (g *. n)) es)
+  | P es -> P (List.map (size g) es)
+
+(* Capacitance presented to the adjacent node by an element: one drain per
+   device connected to it. *)
+let rec top_cap = function
+  | D d -> d.width
+  | T (d1, d2) -> d1.width +. d2.width
+  | S [] -> 0.0
+  | S (e :: _) -> top_cap e
+  | P es -> List.fold_left (fun a e -> a +. top_cap e) 0.0 es
+
+(* Order series stacks with the smallest-capacitance element adjacent to
+   the output: this minimizes the parasitic on the output node, which is
+   how the paper's stacks are drawn (e.g. Fig. 4, F04/F05). *)
+let rec order_stacks = function
+  | (D _ | T _) as n -> n
+  | S es ->
+      let es = List.map order_stacks es in
+      S (List.stable_sort (fun a b -> compare (top_cap a) (top_cap b)) es)
+  | P es -> P (List.map order_stacks es)
+
+let elaborate family spec =
+  let pu, pd, bias, inv =
+    match family with
+    | Tg_static | Pass_static ->
+        let pu = flatten (build family `Pu spec) in
+        let pd = flatten (build family `Pd (Gate_spec.complement_form spec)) in
+        ( Some (order_stacks (size 1.0 pu)),
+          order_stacks (size 1.0 pd), 0.0, family = Pass_static )
+    | Cmos ->
+        let pd = flatten (build family `Pd spec) in
+        let pu = flatten (build family `Pu (Gate_spec.complement_form spec)) in
+        (Some (order_stacks (size 1.0 pu)), order_stacks (size 1.0 pd), 0.0, false)
+    | Tg_pseudo | Pass_pseudo ->
+        (* The pull-down implements the function itself (inverting cell);
+           conductance 4/3 against an always-on 1/3 pull-up: worst-case
+           drive 1, strength ratio 4 (Sec. 4.2). *)
+        let pd = flatten (build family `Pd spec) in
+        (None, order_stacks (size (4.0 /. 3.0) pd), 1.0 /. 3.0, false)
+  in
+  { family; spec; pull_up = pu; pull_down = pd; bias_width = bias;
+    restoring_inverter = inv }
+
+(* ---- queries ---- *)
+
+let rec net_devices = function
+  | D d -> [ d ]
+  | T (d1, d2) -> [ d1; d2 ]
+  | S es | P es -> List.concat_map net_devices es
+
+let devices c =
+  (match c.pull_up with Some n -> net_devices n | None -> [])
+  @ net_devices c.pull_down
+
+let num_transistors c =
+  List.length (devices c)
+  + (if c.bias_width > 0.0 then 1 else 0)
+  + if c.restoring_inverter then 2 else 0
+
+let area c =
+  List.fold_left (fun a d -> a +. d.width) 0.0 (devices c)
+  +. c.bias_width
+  +. if c.restoring_inverter then 2.0 else 0.0
+
+let rec resistance = function
+  | D d -> res_factor d.kind /. d.width
+  | T (d1, _) -> 2.0 /. 3.0 /. d1.width
+  | S es -> List.fold_left (fun r e -> r +. resistance e) 0.0 es
+  | P es -> List.fold_left (fun r e -> max r (resistance e)) 0.0 es
+
+let signal_value bits s = bits s.v = s.ph
+
+let device_conducts d bits =
+  match d.polgate with
+  | Some pg -> signal_value bits d.gate <> signal_value bits pg
+  | None -> bits d.gate.v = d.on
+
+let rec net_conducts n bits =
+  match n with
+  | D d -> device_conducts d bits
+  | T (d1, d2) -> device_conducts d1 bits || device_conducts d2 bits
+  | S es -> List.for_all (fun e -> net_conducts e bits) es
+  | P es -> List.exists (fun e -> net_conducts e bits) es
+
+let pp_signal fmt s =
+  Format.fprintf fmt "%s%s" (Gate_spec.var_name s.v) (if s.ph then "" else "'")
+
+let pp_device fmt d =
+  let k =
+    match d.kind with
+    | Configured -> "cnt"
+    | Pass -> "pass"
+    | Cmos_n -> "nmos"
+    | Cmos_p -> "pmos"
+  in
+  (match d.polgate with
+  | None -> Format.fprintf fmt "%s(G=%a" k pp_signal d.gate
+  | Some pg -> Format.fprintf fmt "%s(G=%a, PG=%a" k pp_signal d.gate pp_signal pg);
+  Format.fprintf fmt ", W=%.3g)" d.width
+
+let rec pp_net fmt = function
+  | D d -> pp_device fmt d
+  | T (d1, d2) -> Format.fprintf fmt "TG[%a | %a]" pp_device d1 pp_device d2
+  | S es ->
+      Format.fprintf fmt "series(";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Format.fprintf fmt ", ";
+          pp_net fmt e)
+        es;
+      Format.fprintf fmt ")"
+  | P es ->
+      Format.fprintf fmt "par(";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Format.fprintf fmt ", ";
+          pp_net fmt e)
+        es;
+      Format.fprintf fmt ")"
+
+let pp_cell fmt c =
+  Format.fprintf fmt "family: %s@\nspec: %a@\n" (family_name c.family)
+    Gate_spec.pp c.spec;
+  (match c.pull_up with
+  | Some pu -> Format.fprintf fmt "PU: %a@\n" pp_net pu
+  | None -> Format.fprintf fmt "PU: weak bias (W=%.3g)@\n" c.bias_width);
+  Format.fprintf fmt "PD: %a" pp_net c.pull_down;
+  if c.restoring_inverter then Format.fprintf fmt "@\n+ restoring inverter"

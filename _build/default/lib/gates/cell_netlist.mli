@@ -1,0 +1,93 @@
+(** Transistor-level cell netlists for every logic family of the paper.
+
+    A cell is a pair of pull networks made of series/parallel compositions
+    of switch elements.  Three element kinds exist:
+    - a {e configured} ambipolar transistor (polarity set statically, the
+      input drives the gate): on-resistance [R/w];
+    - a {e transmission gate} (two ambipolar devices in parallel driven by
+      complementary gate/polarity-gate signals): one device always conducts
+      in its good direction, giving [2R/3] per unit device width;
+    - a {e pass} ambipolar device whose polarity gate is driven by a signal
+      (a one-transistor XOR switch): worst-case weak-direction resistance
+      [2R/w];
+    - a CMOS transistor: [R/w] for n-type, [2R/w] for p-type (hole
+      mobility), whereas CNTFET p- and n-devices are equal.
+
+    Sizing follows Sec. 4 of the paper: every root-to-rail path of a static
+    pull network is sized for the drive of a unit inverter; pseudo families
+    size the pull-down for conductance 4/3 and use an always-on weak
+    pull-up of conductance 1/3 (net worst-case drive 1, ratio 4). *)
+
+type family =
+  | Tg_static     (** transmission-gate static (the paper's main family) *)
+  | Tg_pseudo     (** transmission-gate pseudo logic *)
+  | Pass_pseudo   (** pass-transistor pseudo logic *)
+  | Pass_static   (** pass-transistor static + restoring inverter (Sec 3.2) *)
+  | Cmos          (** reference static CMOS *)
+
+val family_name : family -> string
+val all_families : family list
+
+type signal = { v : int; ph : bool }
+
+type kind =
+  | Configured        (** polarity fixed in-field; good direction *)
+  | Pass              (** polarity gate driven by a signal; may be weak *)
+  | Cmos_n
+  | Cmos_p
+
+type device = {
+  kind : kind;
+  gate : signal;            (** signal driving the gate terminal *)
+  polgate : signal option;  (** driven polarity gate (TG halves, pass XOR) *)
+  on : bool;                (** single-control devices conduct when the raw
+                                input variable equals [on] *)
+  width : float;
+}
+
+type net =
+  | D of device
+  | T of device * device  (** transmission gate: complementary pair *)
+  | S of net list         (** series, head adjacent to the output *)
+  | P of net list
+
+type cell = {
+  family : family;
+  spec : Gate_spec.expr;
+  pull_up : net option;   (** [None] for pseudo families *)
+  pull_down : net;
+  bias_width : float;     (** weak pull-up width (pseudo), else 0 *)
+  restoring_inverter : bool;  (** pass-static output stage *)
+}
+
+val elaborate : family -> Gate_spec.expr -> cell
+(** Builds and sizes the cell.  For [Cmos] the expression must contain no
+    XOR term. *)
+
+val devices : cell -> device list
+(** All devices of the pull networks (bias and restoring inverter excluded;
+    see {!num_transistors}). *)
+
+val num_transistors : cell -> int
+val area : cell -> float
+(** Normalized area: sum of W/L over every transistor, restoring inverter
+    and bias included. *)
+
+val top_cap : net -> float
+(** Capacitance presented to the adjacent node (one drain per device). *)
+
+val resistance : net -> float
+(** Worst-case switch resistance of a sized network (single conducting
+    path assumption for parallel branches). *)
+
+val signal_value : (int -> bool) -> signal -> bool
+(** Value of a signal under a raw-variable assignment. *)
+
+val device_conducts : device -> (int -> bool) -> bool
+
+val net_conducts : net -> (int -> bool) -> bool
+(** Whether the network conducts under an assignment of the raw input
+    variables; transmission gates and pass devices conduct when their gate
+    and polarity-gate signal values differ. *)
+
+val pp_cell : Format.formatter -> cell -> unit

@@ -1,0 +1,48 @@
+(** Switch-level RC characterization of library cells (Sec. 4.1–4.3).
+
+    The model the paper reports with:
+    - every gate is sized to drive the current of a unit inverter
+      ({!Cell_netlist} handles sizing);
+    - the FO4 delay of input pin [s] is
+      [R_path * (C_par + 4 * C_in(s)) / C_inv], where [C_par] is the
+      parasitic capacitance on the output node (one drain per adjacent
+      device), [C_in(s)] the capacitance the signal drives (gate and
+      polarity-gate capacitances assumed equal), and [C_inv] the input
+      capacitance of a unit inverter (2 for CNTFETs — equal n/p widths — and
+      3 for CMOS);
+    - the worst case maximizes over input signals and transitions, the
+      average averages the per-variable worst over the gate's variables;
+    - normalized delays convert to picoseconds with the technology constants
+      τ1 = 0.59 ps (CNTFET) and τ2 = 3.00 ps (CMOS) from Deng et al. [1]. *)
+
+type row = {
+  name : string;
+  family : Cell_netlist.family;
+  spec : Gate_spec.expr;
+  transistors : int;
+  area : float;
+  fo4_worst : float;
+  fo4_avg : float;
+}
+
+val tau_ps : Cell_netlist.family -> float
+(** Technology-dependent intrinsic delay of a fanout-1 inverter. *)
+
+val inverter_cin : Cell_netlist.family -> float
+
+val characterize : Cell_netlist.family -> Catalog.entry -> row
+
+val characterize_catalog : Cell_netlist.family -> row list
+(** Every catalog entry the family can implement (the full 46 for CNTFET
+    families, the 7-entry subset for CMOS). *)
+
+val input_cap : Cell_netlist.cell -> Cell_netlist.signal -> float
+val output_parasitic : Cell_netlist.cell -> float
+
+val averages : row list -> float * float * float * float
+(** [(transistors, area, fo4_worst, fo4_avg)] averaged over the rows. *)
+
+val with_output_inverter : row -> row
+(** The paper appends an output inverter to every cell so both output
+    polarities are available; this adds the inverter's transistors, area,
+    and average FO4 contribution (Table 2, penultimate row). *)

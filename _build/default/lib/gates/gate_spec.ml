@@ -1,0 +1,79 @@
+type expr =
+  | Lit of int * bool
+  | Xor of int * int * bool
+  | And of expr list
+  | Or of expr list
+
+let lit v = Lit (v, true)
+let ( ^: ) a b = Xor (a, b, true)
+
+let rec vars_acc acc = function
+  | Lit (v, _) -> v :: acc
+  | Xor (a, b, _) -> a :: b :: acc
+  | And es | Or es -> List.fold_left vars_acc acc es
+
+let vars e = List.sort_uniq compare (vars_acc [] e)
+
+let arity e = match List.rev (vars e) with [] -> 0 | v :: _ -> v + 1
+
+let rec num_xors = function
+  | Lit _ -> 0
+  | Xor _ -> 1
+  | And es | Or es -> List.fold_left (fun a e -> a + num_xors e) 0 es
+
+(* Series depth of the network implementing the expression: AND composes in
+   series, OR in parallel.  (The dual network has the same value with the
+   roles exchanged, and the maximum over both is symmetric for the
+   catalog's shapes; we report the AND-series depth, which is what the
+   paper's "3 in series" constraint bounds.) *)
+let rec max_stack = function
+  | Lit _ | Xor _ -> 1
+  | And es -> List.fold_left (fun a e -> a + max_stack e) 0 es
+  | Or es -> List.fold_left (fun a e -> max a (max_stack e)) 0 es
+
+let rec eval e env =
+  match e with
+  | Lit (v, ph) -> env v = ph
+  | Xor (a, b, ph) -> env a <> env b = ph
+  | And es -> List.for_all (fun e -> eval e env) es
+  | Or es -> List.exists (fun e -> eval e env) es
+
+let to_tt n e =
+  if n < arity e then invalid_arg "Gate_spec.to_tt";
+  Tt.of_fun n (fun a -> eval e (fun v -> a land (1 lsl v) <> 0))
+
+let tt6 e = (Tt.words (to_tt 6 e)).(0)
+
+let rec complement_form = function
+  | Lit (v, ph) -> Lit (v, not ph)
+  | Xor (a, b, ph) -> Xor (a, b, not ph)
+  | And es -> Or (List.map complement_form es)
+  | Or es -> And (List.map complement_form es)
+
+let var_name v =
+  if v < 0 || v > 25 then invalid_arg "Gate_spec.var_name";
+  String.make 1 (Char.chr (Char.code 'A' + v))
+
+let rec pp fmt = function
+  | Lit (v, ph) ->
+      Format.fprintf fmt "%s%s" (if ph then "" else "!") (var_name v)
+  | Xor (a, b, ph) ->
+      Format.fprintf fmt "(%s %s %s)" (var_name a)
+        (if ph then "^" else "~^")
+        (var_name b)
+  | And es ->
+      Format.fprintf fmt "(";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Format.fprintf fmt " * ";
+          pp fmt e)
+        es;
+      Format.fprintf fmt ")"
+  | Or es ->
+      Format.fprintf fmt "(";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Format.fprintf fmt " + ";
+          pp fmt e)
+        es;
+      Format.fprintf fmt ")"

@@ -1,0 +1,47 @@
+(** Algebraic specifications of library cells.
+
+    The paper's gates (Table 1) are series/parallel compositions of plain
+    literals and two-input XOR terms — XOR being the operation an ambipolar
+    CNTFET transmission gate (or a single ambipolar pass device) provides
+    natively.  Input variables are numbered 0..5 and conventionally printed
+    A..F.  Phases are explicit so that the complement form (used for the
+    opposite pull network) stays in the same shape class: a complemented
+    literal is the same ambipolar device configured with the other polarity,
+    and a complemented XOR term is an XNOR transmission gate. *)
+
+type expr =
+  | Lit of int * bool        (** variable, phase ([true] = positive) *)
+  | Xor of int * int * bool  (** [true] = XOR, [false] = XNOR *)
+  | And of expr list
+  | Or of expr list
+
+val lit : int -> expr
+val ( ^: ) : int -> int -> expr
+(** [a ^: b] is the XOR term of variables [a] and [b]. *)
+
+val vars : expr -> int list
+(** Variables used, ascending, without duplicates. *)
+
+val arity : expr -> int
+(** [1 + max variable index]; inputs are assumed contiguous from 0. *)
+
+val num_xors : expr -> int
+
+val max_stack : expr -> int
+(** Maximum number of switch elements in series in the corresponding
+    series/parallel network (the paper's "no more than 3 in series"). *)
+
+val eval : expr -> (int -> bool) -> bool
+
+val to_tt : int -> expr -> Tt.t
+(** Truth table over [n >= arity] variables. *)
+
+val tt6 : expr -> int64
+(** Truth table as a 6-variable replicated word (the {!Tt} convention). *)
+
+val complement_form : expr -> expr
+(** De Morgan dual with phases absorbed into literals and XOR terms; its
+    value is the pointwise negation of the argument. *)
+
+val var_name : int -> string
+val pp : Format.formatter -> expr -> unit

@@ -1,0 +1,1 @@
+lib/paper/coverage.ml: Buffer Cell_lib Hashtbl Int64 List Npn Printf Tt

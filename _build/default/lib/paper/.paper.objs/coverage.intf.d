@@ -1,0 +1,1 @@
+lib/paper/coverage.mli: Cell_lib

@@ -1,0 +1,1 @@
+lib/paper/experiments.ml: Aig Array Bench_suite Buffer Catalog Cell_lib Cell_netlist Charlib Format Gate_spec Int64 List Mapped Mapper Option Paper_data Printf Rand64 Synth

@@ -1,0 +1,1 @@
+lib/paper/experiments.mli: Bench_suite Cell_lib Cell_netlist Charlib Mapped Paper_data

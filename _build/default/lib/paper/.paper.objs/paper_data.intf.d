@@ -1,0 +1,1 @@
+lib/paper/paper_data.mli:

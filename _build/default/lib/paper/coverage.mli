@@ -1,0 +1,23 @@
+(** Expressive-power analysis of technology libraries.
+
+    The paper's headline comparison — 46 implementable functions versus 7
+    for CMOS under the same topology constraint — is a statement about the
+    raw catalogs.  This module quantifies the downstream consequence: how
+    many Boolean functions of exactly [k] support variables a library can
+    realize with a {e single} cell, with and without charging input/output
+    inverters.  Exhaustive for [k <= 4] (65536 functions). *)
+
+type report = {
+  k : int;
+  total : int;           (** functions with support of exactly [k] *)
+  covered_free : int;    (** single cell, no inverter needed *)
+  covered_any : int;     (** single cell allowing inverted pins/output *)
+  npn_classes_total : int;
+  npn_classes_covered : int;  (** classes with a free single-cell match *)
+}
+
+val analyze : Cell_lib.t -> int -> report
+(** [analyze lib k] for [1 <= k <= 4]. *)
+
+val render : Cell_lib.t list -> int list -> string
+(** Markdown comparison over libraries and support sizes. *)

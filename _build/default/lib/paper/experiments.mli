@@ -1,0 +1,77 @@
+(** Drivers that regenerate the paper's evaluation artifacts.
+
+    Each [run_*] function returns structured results; each [render_*]
+    produces a markdown report comparing computed values against the
+    published numbers in {!Paper_data}. *)
+
+type char_source =
+  | Computed   (** our switch-level characterization ({!Charlib}) *)
+  | Published  (** the numbers printed in the paper's Table 2 *)
+
+type options = {
+  char_source : char_source;
+  delay : Cell_lib.delay_choice;
+  synthesize : bool;       (** run the resyn2rs-like script before mapping *)
+  cut_size : int;
+  free_output_polarity : bool;
+      (** CNTFET cells provide both output polarities (the paper's
+          output-inverter convention); disabling charges inverters like
+          CMOS (ablation) *)
+  verify : bool;           (** check every mapping by random simulation *)
+}
+
+val default_options : options
+
+(** {1 Table 1} *)
+
+val render_table1 : unit -> string
+
+(** {1 Table 2} *)
+
+type t2_row = {
+  gate : string;
+  family : Cell_netlist.family;
+  computed : Charlib.row;
+  published : Paper_data.gate_char option;
+}
+
+val run_table2 : unit -> t2_row list
+val render_table2 : unit -> string
+
+(** {1 Table 3 / Figure 6} *)
+
+type t3_cell = {
+  stats : Mapped.stats;
+  cells_used : (string * int) list;
+}
+
+type t3_row = {
+  bench : string;
+  description : string;
+  aig_size : int;                  (** AND nodes after synthesis *)
+  static_r : t3_cell;
+  pseudo_r : t3_cell;
+  cmos_r : t3_cell;
+}
+
+val libraries : options -> Cell_lib.t * Cell_lib.t * Cell_lib.t
+(** (static, pseudo, cmos) — built once per options. *)
+
+val run_bench : options -> Cell_lib.t * Cell_lib.t * Cell_lib.t ->
+  Bench_suite.entry -> t3_row
+
+val run_table3 : ?options:options -> ?benches:string list -> unit -> t3_row list
+val render_table3 : ?options:options -> ?benches:string list -> unit -> string
+
+val run_fig6 : ?options:options -> ?benches:string list -> unit ->
+  (string * float * float) list
+(** Per benchmark: (name, static speed-up vs CMOS, pseudo speed-up). *)
+
+val render_fig6 : ?options:options -> ?benches:string list -> unit -> string
+
+val summarize :
+  t3_row list ->
+  (string * float) list
+(** Aggregate improvement metrics matching Table 3's last rows:
+    gate/area/level/delay reductions and absolute speed-ups for both
+    CNTFET families. *)

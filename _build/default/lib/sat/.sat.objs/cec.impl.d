@@ -1,0 +1,1 @@
+lib/sat/cec.ml: Aig Array Cnf Int64 Rand64 Solver

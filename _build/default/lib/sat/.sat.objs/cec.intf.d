@@ -1,0 +1,1 @@
+lib/sat/cec.mli: Aig

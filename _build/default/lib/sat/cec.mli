@@ -1,0 +1,17 @@
+(** Combinational equivalence checking of two AIGs.
+
+    The graphs must have the same number of primary inputs and outputs;
+    outputs are compared positionally.  A random-simulation filter runs
+    first (cheap counterexamples), then a SAT miter decides. *)
+
+type verdict =
+  | Equivalent
+  | Inequivalent of bool array  (** a distinguishing input assignment *)
+  | Undecided                   (** conflict budget exhausted *)
+
+val check :
+  ?sim_rounds:int -> ?conflict_budget:int -> ?seed:int64 ->
+  Aig.t -> Aig.t -> verdict
+
+val equivalent : Aig.t -> Aig.t -> bool
+(** [check] specialized: raises [Failure] on [Undecided]. *)

@@ -1,0 +1,15 @@
+(** Tseitin encoding of AIGs into CNF. *)
+
+val lit_of : int array -> Aig.lit -> int
+(** [lit_of vars l] is the solver literal for AIG literal [l], given the
+    node-to-variable map returned by {!encode}. *)
+
+val encode : Solver.t -> Aig.t -> int array
+(** Adds one solver variable per AIG node (constant node included, clamped
+    to false) and the three AND-gate clauses per node.  Returns the
+    node-indexed variable map.  Can be called for several graphs on one
+    solver; to share inputs use {!encode_shared}. *)
+
+val encode_shared : Solver.t -> Aig.t -> inputs:int array -> int array
+(** Like {!encode} but uses the given solver variables for the primary
+    inputs ([inputs.(i)] for input [i]). *)

@@ -1,0 +1,412 @@
+(* CDCL solver.  Clauses live in a single int arena: a clause is
+   [size; lit_0; ...; lit_{size-1}] and is referred to by the offset of its
+   size field.  The first two literals of a clause are its watches. *)
+
+type result = Sat | Unsat | Unknown
+
+module Vec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 16 0; n = 0 }
+
+  let push v x =
+    if v.n >= Array.length v.a then begin
+      let b = Array.make (2 * Array.length v.a) 0 in
+      Array.blit v.a 0 b 0 v.n;
+      v.a <- b
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let get v i = v.a.(i)
+  let set v i x = v.a.(i) <- x
+  let size v = v.n
+  let shrink v n = v.n <- n
+  let _clear v = v.n <- 0
+end
+
+type t = {
+  mutable nvars : int;
+  mutable assigns : int array;      (* var -> -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : int array;       (* var -> clause offset, or -1 *)
+  mutable activity : float array;
+  mutable polarity : bool array;    (* saved phase *)
+  mutable heap_pos : int array;     (* var -> heap index or -1 *)
+  heap : Vec.t;                     (* binary max-heap of vars *)
+  arena : Vec.t;
+  mutable watches : Vec.t array;    (* lit -> clause offsets *)
+  trail : Vec.t;
+  trail_lim : Vec.t;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable seen : bool array;
+  mutable ok : bool;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    assigns = Array.make 16 (-1);
+    level = Array.make 16 0;
+    reason = Array.make 16 (-1);
+    activity = Array.make 16 0.0;
+    polarity = Array.make 16 false;
+    heap_pos = Array.make 16 (-1);
+    heap = Vec.create ();
+    arena = Vec.create ();
+    watches = Array.init 32 (fun _ -> Vec.create ());
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    var_inc = 1.0;
+    seen = Array.make 16 false;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+  }
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let lit_not l = l lxor 1
+let lit_var l = l lsr 1
+let lit_sign l = l land 1 = 0 (* true for positive *)
+
+let num_vars s = s.nvars
+let num_conflicts s = s.conflicts
+let num_decisions s = s.decisions
+let num_propagations s = s.propagations
+
+(* -1 unassigned, 0 false, 1 true *)
+let lit_value s l =
+  let a = s.assigns.(lit_var l) in
+  if a < 0 then -1 else if lit_sign l then a else 1 - a
+
+(* Heap operations (max-heap on activity). *)
+let heap_less s v1 v2 = s.activity.(v1) > s.activity.(v2)
+
+let heap_swap s i j =
+  let a = Vec.get s.heap i and b = Vec.get s.heap j in
+  Vec.set s.heap i b;
+  Vec.set s.heap j a;
+  s.heap_pos.(a) <- j;
+  s.heap_pos.(b) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less s (Vec.get s.heap i) (Vec.get s.heap p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let n = Vec.size s.heap in
+  let best = ref i in
+  if l < n && heap_less s (Vec.get s.heap l) (Vec.get s.heap !best) then best := l;
+  if r < n && heap_less s (Vec.get s.heap r) (Vec.get s.heap !best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    Vec.push s.heap v;
+    s.heap_pos.(v) <- Vec.size s.heap - 1;
+    heap_up s (Vec.size s.heap - 1)
+  end
+
+let heap_pop s =
+  let top = Vec.get s.heap 0 in
+  let last = Vec.get s.heap (Vec.size s.heap - 1) in
+  Vec.shrink s.heap (Vec.size s.heap - 1);
+  s.heap_pos.(top) <- -1;
+  if Vec.size s.heap > 0 then begin
+    Vec.set s.heap 0 last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  top
+
+let grow_arrays s =
+  let n = Array.length s.assigns in
+  let m = 2 * n in
+  let ext def a =
+    let b = Array.make m def in
+    Array.blit a 0 b 0 n;
+    b
+  in
+  s.assigns <- ext (-1) s.assigns;
+  s.level <- ext 0 s.level;
+  s.reason <- ext (-1) s.reason;
+  s.activity <- Array.append s.activity (Array.make n 0.0);
+  s.polarity <- Array.append s.polarity (Array.make n false);
+  s.heap_pos <- ext (-1) s.heap_pos;
+  s.seen <- Array.append s.seen (Array.make n false);
+  let w = Array.init (2 * m) (fun _ -> Vec.create ()) in
+  Array.blit s.watches 0 w 0 (2 * n);
+  s.watches <- w
+
+let new_var s =
+  if s.nvars >= Array.length s.assigns then grow_arrays s;
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assigns.(v) <- -1;
+  s.reason.(v) <- -1;
+  s.heap_pos.(v) <- -1;
+  heap_insert s v;
+  v
+
+let decision_level s = Vec.size s.trail_lim
+
+let enqueue s l reason =
+  s.assigns.(lit_var l) <- (if lit_sign l then 1 else 0);
+  s.level.(lit_var l) <- decision_level s;
+  s.reason.(lit_var l) <- reason;
+  Vec.push s.trail l
+
+(* Returns the offset of a conflicting clause, or -1. *)
+let propagate s =
+  let confl = ref (-1) in
+  while !confl < 0 && s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let false_lit = lit_not p in
+    let ws = s.watches.(false_lit) in
+    let i = ref 0 and j = ref 0 in
+    let n = Vec.size ws in
+    while !i < n do
+      let cref = Vec.get ws !i in
+      incr i;
+      if !confl >= 0 then begin
+        (* conflict found: keep remaining watches untouched *)
+        Vec.set ws !j cref;
+        incr j
+      end
+      else begin
+        let size = Vec.get s.arena cref in
+        (* Ensure the false literal is at position 1. *)
+        if Vec.get s.arena (cref + 1) = false_lit then begin
+          Vec.set s.arena (cref + 1) (Vec.get s.arena (cref + 2));
+          Vec.set s.arena (cref + 2) false_lit
+        end;
+        let first = Vec.get s.arena (cref + 1) in
+        if lit_value s first = 1 then begin
+          (* satisfied: keep watching *)
+          Vec.set ws !j cref;
+          incr j
+        end
+        else begin
+          (* find a new watch *)
+          let found = ref false in
+          let k = ref 3 in
+          while (not !found) && !k <= size do
+            let l = Vec.get s.arena (cref + !k) in
+            if lit_value s l <> 0 then begin
+              Vec.set s.arena (cref + 2) l;
+              Vec.set s.arena (cref + !k) false_lit;
+              (* [l] is not false, hence [l <> false_lit]: never the list
+                 being compacted. *)
+              Vec.push s.watches.(l) cref;
+              found := true
+            end;
+            incr k
+          done;
+          if not !found then begin
+            (* unit or conflict *)
+            Vec.set ws !j cref;
+            incr j;
+            if lit_value s first = 0 then confl := cref
+            else enqueue s first cref
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !confl
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for u = 0 to s.nvars - 1 do
+      s.activity.(u) <- s.activity.(u) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+(* Install a clause already pushed in the arena at [cref].  A clause
+   watching literal [w] is registered in [watches.(w)]; propagation of a
+   newly-true [p] therefore visits [watches.(lit_not p)]. *)
+let attach s cref =
+  Vec.push s.watches.(Vec.get s.arena (cref + 1)) cref;
+  Vec.push s.watches.(Vec.get s.arena (cref + 2)) cref
+
+let push_clause s lits =
+  let cref = Vec.size s.arena in
+  Vec.push s.arena (List.length lits);
+  List.iter (Vec.push s.arena) lits;
+  attach s cref;
+  cref
+
+let backtrack s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = lit_var l in
+      s.assigns.(v) <- -1;
+      s.polarity.(v) <- lit_sign l;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* First-UIP conflict analysis.  Returns (learned clause with the asserting
+   literal first, backtrack level). *)
+let analyze s confl =
+  let learned = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (Vec.size s.trail - 1) in
+  let confl = ref confl in
+  let continue = ref true in
+  let btlevel = ref 0 in
+  while !continue do
+    let size = Vec.get s.arena !confl in
+    let start = if !p < 0 then 1 else 2 in
+    for k = start to size do
+      let q = Vec.get s.arena (!confl + k) in
+      let v = lit_var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        var_bump s v;
+        if s.level.(v) >= decision_level s then incr path
+        else begin
+          learned := q :: !learned;
+          if s.level.(v) > !btlevel then btlevel := s.level.(v)
+        end
+      end
+    done;
+    (* find next literal to expand on the trail *)
+    while not s.seen.(lit_var (Vec.get s.trail !idx)) do
+      decr idx
+    done;
+    p := Vec.get s.trail !idx;
+    decr idx;
+    s.seen.(lit_var !p) <- false;
+    decr path;
+    if !path > 0 then confl := s.reason.(lit_var !p) else continue := false
+  done;
+  let clause = lit_not !p :: !learned in
+  List.iter (fun l -> s.seen.(lit_var l) <- false) !learned;
+  (clause, !btlevel)
+
+let add_clause s lits =
+  if s.ok then begin
+    (* Incremental use: undo any model left by a previous [solve]. *)
+    backtrack s 0;
+    (* Level-0 simplification: drop false literals, detect satisfied or
+       tautological clauses, deduplicate. *)
+    let lits = List.sort_uniq compare lits in
+    let tauto =
+      List.exists (fun l -> List.mem (lit_not l) lits) lits
+      || List.exists (fun l -> lit_value s l = 1) lits
+    in
+    if not tauto then begin
+      let lits = List.filter (fun l -> lit_value s l <> 0) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+          enqueue s l (-1);
+          if propagate s >= 0 then s.ok <- false
+      | lits -> ignore (push_clause s lits)
+    end
+  end
+
+(* The reluctant-doubling (Luby) sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 … *)
+let rec luby i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do incr k done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby (i - (1 lsl (!k - 1)) + 1)
+
+let decide s =
+  let rec pick () =
+    if Vec.size s.heap = 0 then -1
+    else
+      let v = heap_pop s in
+      if s.assigns.(v) < 0 then v else pick ()
+  in
+  let v = pick () in
+  if v < 0 then false
+  else begin
+    s.decisions <- s.decisions + 1;
+    Vec.push s.trail_lim (Vec.size s.trail);
+    enqueue s (if s.polarity.(v) then pos v else neg v) (-1);
+    true
+  end
+
+exception Finished of result
+
+let solve ?(conflict_budget = max_int) s =
+  if not s.ok then Unsat
+  else begin
+    let budget = ref conflict_budget in
+    let restart_num = ref 1 in
+    let until_restart = ref (100 * luby !restart_num) in
+    try
+      while true do
+        let confl = propagate s in
+        if confl >= 0 then begin
+          s.conflicts <- s.conflicts + 1;
+          decr budget;
+          decr until_restart;
+          if decision_level s = 0 then begin
+            s.ok <- false;
+            raise (Finished Unsat)
+          end;
+          if !budget <= 0 then begin
+            backtrack s 0;
+            raise (Finished Unknown)
+          end;
+          let clause, btlevel = analyze s confl in
+          backtrack s btlevel;
+          (match clause with
+          | [ l ] -> enqueue s l (-1)
+          | l :: _ ->
+              let cref = push_clause s clause in
+              enqueue s l cref
+          | [] -> assert false);
+          var_decay s
+        end
+        else if !until_restart <= 0 then begin
+          incr restart_num;
+          until_restart := 100 * luby !restart_num;
+          backtrack s 0
+        end
+        else if not (decide s) then
+          (* Full assignment without conflict: the trail is the model; it is
+             kept in place so [model_value] can read it. *)
+          raise (Finished Sat)
+      done;
+      assert false
+    with Finished r -> r
+  end
+
+let model_value s v =
+  if v < 0 || v >= s.nvars then invalid_arg "Solver.model_value";
+  s.assigns.(v) = 1

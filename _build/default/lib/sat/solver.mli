@@ -1,0 +1,44 @@
+(** A CDCL SAT solver.
+
+    Conflict-driven clause learning with two-watched-literal propagation,
+    first-UIP conflict analysis, VSIDS branching, phase saving and Luby
+    restarts.  Good enough for the combinational-equivalence queries this
+    project issues (tens of thousands of variables).
+
+    Literal encoding: variable [v] yields the positive literal [2*v] and the
+    negative literal [2*v+1]. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Returns the new variable's index. *)
+
+val num_vars : t -> int
+
+val pos : int -> int
+(** Positive literal of a variable. *)
+
+val neg : int -> int
+(** Negative literal of a variable. *)
+
+val lit_not : int -> int
+
+val add_clause : t -> int list -> unit
+(** Adding the empty clause (or clauses that simplify to it at level 0)
+    makes the instance trivially unsatisfiable. *)
+
+val solve : ?conflict_budget:int -> t -> result
+(** Runs the search, optionally bounded by a number of conflicts
+    ([Unknown] when exhausted).  May be called repeatedly after adding more
+    clauses (incremental use). *)
+
+val model_value : t -> int -> bool
+(** Value of a variable in the model found by the last [Sat] answer. *)
+
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int

@@ -1,0 +1,1 @@
+lib/sop/factored.ml: Cube Format Hashtbl List Sop Tt

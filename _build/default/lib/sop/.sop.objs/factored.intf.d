@@ -1,0 +1,1 @@
+lib/sop/factored.mli: Cube Format Sop Tt

@@ -1,0 +1,1 @@
+lib/sop/sop.ml: Cube Format List Tt

@@ -1,0 +1,1 @@
+lib/sop/sop.mli: Cube Format Tt

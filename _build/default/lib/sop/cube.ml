@@ -1,0 +1,73 @@
+type t = { pos : int; neg : int }
+
+let top = { pos = 0; neg = 0 }
+
+let of_literals lits =
+  List.fold_left
+    (fun c (i, sign) ->
+      let bit = 1 lsl i in
+      if sign then begin
+        if c.neg land bit <> 0 then invalid_arg "Cube.of_literals: contradiction";
+        { c with pos = c.pos lor bit }
+      end else begin
+        if c.pos land bit <> 0 then invalid_arg "Cube.of_literals: contradiction";
+        { c with neg = c.neg lor bit }
+      end)
+    top lits
+
+let literals c =
+  let rec go i acc =
+    if 1 lsl i > c.pos lor c.neg then List.rev acc
+    else
+      let bit = 1 lsl i in
+      let acc =
+        if c.pos land bit <> 0 then (i, true) :: acc
+        else if c.neg land bit <> 0 then (i, false) :: acc
+        else acc
+      in
+      go (i + 1) acc
+  in
+  go 0 []
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let num_literals c = popcount c.pos + popcount c.neg
+let has_pos c i = c.pos land (1 lsl i) <> 0
+let has_neg c i = c.neg land (1 lsl i) <> 0
+let mem_var c i = has_pos c i || has_neg c i
+
+let and_lit c i sign =
+  let bit = 1 lsl i in
+  if sign then
+    if c.neg land bit <> 0 then None else Some { c with pos = c.pos lor bit }
+  else if c.pos land bit <> 0 then None
+  else Some { c with neg = c.neg lor bit }
+
+let remove_var c i =
+  let bit = lnot (1 lsl i) in
+  { pos = c.pos land bit; neg = c.neg land bit }
+
+let contains a b = a.pos land b.pos = a.pos && a.neg land b.neg = a.neg
+
+let evaluates c a = a land c.pos = c.pos && lnot a land c.neg = c.neg
+
+let to_tt n c =
+  
+  List.fold_left
+    (fun acc (i, sign) ->
+      let v = Tt.var n i in
+      Tt.band acc (if sign then v else Tt.bnot v))
+    (Tt.const1 n) (literals c)
+
+let compare a b = Stdlib.compare (a.pos, a.neg) (b.pos, b.neg)
+
+let pp fmt c =
+  if c = top then Format.fprintf fmt "1"
+  else
+    List.iteri
+      (fun k (i, sign) ->
+        if k > 0 then Format.fprintf fmt "*";
+        Format.fprintf fmt "%sx%d" (if sign then "" else "!") i)
+      (literals c)

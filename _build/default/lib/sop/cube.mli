@@ -1,0 +1,37 @@
+(** Cubes (products of literals) over up to {!Tt.max_vars} variables.
+
+    A cube is a pair of bit masks: [pos] for positive literals and [neg] for
+    negative literals.  The empty cube (both masks zero) is the constant-true
+    product. *)
+
+type t = { pos : int; neg : int }
+
+val top : t
+(** The universal cube (no literals, constant true). *)
+
+val of_literals : (int * bool) list -> t
+(** [(i, true)] is the positive literal [x_i]; [(i, false)] is [NOT x_i].
+    Contradictory literal pairs are rejected. *)
+
+val literals : t -> (int * bool) list
+(** Ascending by variable. *)
+
+val num_literals : t -> int
+val has_pos : t -> int -> bool
+val has_neg : t -> int -> bool
+val mem_var : t -> int -> bool
+
+val and_lit : t -> int -> bool -> t option
+(** Add a literal; [None] if the result would be contradictory. *)
+
+val remove_var : t -> int -> t
+val contains : t -> t -> bool
+(** [contains a b]: every minterm of [b] is a minterm of [a] (i.e. [a]'s
+    literal set is a subset of [b]'s). *)
+
+val evaluates : t -> int -> bool
+(** [evaluates c a]: assignment [a] (bit [i] = variable [i]) lies in [c]. *)
+
+val to_tt : int -> t -> Tt.t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+
+
+type t =
+  | Const of bool
+  | Lit of int * bool
+  | And of t list
+  | Or of t list
+
+let of_cube c =
+  match Cube.literals c with
+  | [] -> Const true
+  | [ (i, s) ] -> Lit (i, s)
+  | lits -> And (List.map (fun (i, s) -> Lit (i, s)) lits)
+
+(* Most frequent literal among cubes with >= 2 occurrences, if any. *)
+let best_literal cubes =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun lit ->
+          let n = try Hashtbl.find counts lit with Not_found -> 0 in
+          Hashtbl.replace counts lit (n + 1))
+        (Cube.literals c))
+    cubes;
+  Hashtbl.fold
+    (fun lit n best ->
+      match best with
+      | Some (_, m) when m >= n -> best
+      | _ when n >= 2 -> Some (lit, n)
+      | _ -> best)
+    counts None
+
+let rec factor_cubes cubes =
+  match cubes with
+  | [] -> Const false
+  | [ c ] -> of_cube c
+  | _ -> (
+      match best_literal cubes with
+      | None -> Or (List.map of_cube cubes)
+      | Some (((i, sign) as _lit), _) ->
+          let with_l, without =
+            List.partition
+              (fun c -> if sign then Cube.has_pos c i else Cube.has_neg c i)
+              cubes
+          in
+          let quotient = List.map (fun c -> Cube.remove_var c i) with_l in
+          let lhs =
+            match factor_cubes quotient with
+            | Const true -> Lit (i, sign)
+            | And fs -> And (Lit (i, sign) :: fs)
+            | f -> And [ Lit (i, sign); f ]
+          in
+          if without = [] then lhs
+          else
+            match factor_cubes without with
+            | Or fs -> Or (lhs :: fs)
+            | f -> Or [ lhs; f ])
+
+let factor (s : Sop.t) = factor_cubes s.Sop.cubes
+
+let rec num_literals = function
+  | Const _ -> 0
+  | Lit _ -> 1
+  | And fs | Or fs -> List.fold_left (fun a f -> a + num_literals f) 0 fs
+
+let rec num_and2 = function
+  | Const _ | Lit _ -> 0
+  | And fs | Or fs ->
+      List.length fs - 1
+      + List.fold_left (fun a f -> a + num_and2 f) 0 fs
+
+let rec to_tt n = function
+  | Const b -> if b then Tt.const1 n else Tt.const0 n
+  | Lit (i, s) -> if s then Tt.var n i else Tt.bnot (Tt.var n i)
+  | And fs ->
+      List.fold_left (fun acc f -> Tt.band acc (to_tt n f)) (Tt.const1 n) fs
+  | Or fs ->
+      List.fold_left (fun acc f -> Tt.bor acc (to_tt n f)) (Tt.const0 n) fs
+
+let rec pp fmt = function
+  | Const b -> Format.fprintf fmt "%d" (if b then 1 else 0)
+  | Lit (i, s) -> Format.fprintf fmt "%sx%d" (if s then "" else "!") i
+  | And fs ->
+      Format.fprintf fmt "(";
+      List.iteri
+        (fun k f ->
+          if k > 0 then Format.fprintf fmt " * ";
+          pp fmt f)
+        fs;
+      Format.fprintf fmt ")"
+  | Or fs ->
+      Format.fprintf fmt "(";
+      List.iteri
+        (fun k f ->
+          if k > 0 then Format.fprintf fmt " + ";
+          pp fmt f)
+        fs;
+      Format.fprintf fmt ")"

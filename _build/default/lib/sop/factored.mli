@@ -1,0 +1,26 @@
+(** Factored Boolean forms (SIS-style quick factoring of SOP covers).
+
+    A factored form is a tree of AND/OR operators over literals; its literal
+    count is the classic estimate of multi-level implementation cost and
+    drives the refactoring gain test in the synthesis passes. *)
+
+type t =
+  | Const of bool
+  | Lit of int * bool  (** variable index, sign ([true] = positive) *)
+  | And of t list
+  | Or of t list
+
+val of_cube : Cube.t -> t
+
+val factor : Sop.t -> t
+(** Quick algebraic factoring: repeatedly divides by the most frequent
+    literal.  The result is logically equal to the cover. *)
+
+val num_literals : t -> int
+
+val num_and2 : t -> int
+(** Number of two-input AND/OR gates needed by a naive tree decomposition
+    (an upper bound on fresh AIG nodes before structural hashing). *)
+
+val to_tt : int -> t -> Tt.t
+val pp : Format.formatter -> t -> unit

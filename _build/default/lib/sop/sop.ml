@@ -1,0 +1,79 @@
+
+
+type t = { n : int; cubes : Cube.t list }
+
+let const0 n = { n; cubes = [] }
+let const1 n = { n; cubes = [ Cube.top ] }
+let make n cubes = { n; cubes }
+let num_cubes s = List.length s.cubes
+let num_literals s =
+  List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 s.cubes
+
+let to_tt s =
+  List.fold_left
+    (fun acc c -> Tt.bor acc (Cube.to_tt s.n c))
+    (Tt.const0 s.n) s.cubes
+
+(* Minato–Morreale: returns the cover together with its truth table. *)
+let rec isop_rec n lower upper =
+  if Tt.is_const0 lower then ([], Tt.const0 n)
+  else begin
+    (* Split on the largest variable in the support of either bound. *)
+    let top_var =
+      let rec go i =
+        if i < 0 then -1
+        else if Tt.depends_on lower i || Tt.depends_on upper i then i
+        else go (i - 1)
+      in
+      go (n - 1)
+    in
+    if top_var < 0 then
+      (* lower is constant true here (non-zero and support-free). *)
+      ([ Cube.top ], Tt.const1 n)
+    else begin
+      let x = top_var in
+      let l0 = Tt.cofactor0 lower x and l1 = Tt.cofactor1 lower x in
+      let u0 = Tt.cofactor0 upper x and u1 = Tt.cofactor1 upper x in
+      let c0, t0 = isop_rec n (Tt.bandn l0 u1) u0 in
+      let c1, t1 = isop_rec n (Tt.bandn l1 u0) u1 in
+      let lnew = Tt.bor (Tt.bandn l0 t0) (Tt.bandn l1 t1) in
+      let cd, td = isop_rec n lnew (Tt.band u0 u1) in
+      let add_lit sign c =
+        match Cube.and_lit c x sign with
+        | Some c -> c
+        | None -> assert false
+      in
+      let cover =
+        List.map (add_lit false) c0
+        @ List.map (add_lit true) c1
+        @ cd
+      in
+      let v = Tt.var n x in
+      let tt =
+        Tt.bor (Tt.bor (Tt.bandn t0 v) (Tt.band t1 v)) td
+      in
+      (cover, tt)
+    end
+  end
+
+let isop_lu lower upper =
+  let n = Tt.nvars lower in
+  if n <> Tt.nvars upper then invalid_arg "Sop.isop_lu";
+  if not (Tt.is_const0 (Tt.bandn lower upper)) then
+    invalid_arg "Sop.isop_lu: lower not contained in upper";
+  let cover, tt = isop_rec n lower upper in
+  (* The cover must lie between the bounds. *)
+  assert (Tt.is_const0 (Tt.bandn lower tt));
+  assert (Tt.is_const0 (Tt.bandn tt upper));
+  { n; cubes = cover }
+
+let isop f = isop_lu f f
+
+let pp fmt s =
+  if s.cubes = [] then Format.fprintf fmt "0"
+  else
+    List.iteri
+      (fun k c ->
+        if k > 0 then Format.fprintf fmt " + ";
+        Cube.pp fmt c)
+      s.cubes

@@ -1,0 +1,143 @@
+open Cell_netlist
+
+type level = L0 | L1
+type strength = Strong | Degraded
+type drive = Driven of level * strength | Floating | Contention
+
+(* Effective polarity of a device whose polarity gate is driven: PG = 0
+   configures n-type, PG = 1 configures p-type (Fig. 1d).  An n-type device
+   passes 0 strongly and 1 weakly; p-type the other way around.  Devices
+   with a statically configured polarity are always placed in their good
+   direction by construction. *)
+let device_strength d bits level =
+  match d.polgate with
+  | None -> Strong
+  | Some pg ->
+      let is_p = signal_value bits pg in
+      (match (level, is_p) with
+      | L1, true | L0, false -> Strong
+      | L1, false | L0, true -> Degraded)
+
+(* (conducts, best strength among conducting paths) *)
+let rec net_drive n bits level =
+  match n with
+  | D d ->
+      if device_conducts d bits then (true, device_strength d bits level)
+      else (false, Degraded)
+  | T (d1, d2) ->
+      let c1 = device_conducts d1 bits and c2 = device_conducts d2 bits in
+      if not (c1 || c2) then (false, Degraded)
+      else
+        let s1 = if c1 then device_strength d1 bits level else Degraded in
+        let s2 = if c2 then device_strength d2 bits level else Degraded in
+        (true, if s1 = Strong || s2 = Strong then Strong else Degraded)
+  | S es ->
+      List.fold_left
+        (fun (c, s) e ->
+          let ce, se = net_drive e bits level in
+          (c && ce, if se = Degraded then Degraded else s))
+        (true, Strong) es
+  | P es ->
+      let results = List.map (fun e -> net_drive e bits level) es in
+      let conducts = List.exists fst results in
+      let strong = List.exists (fun (c, s) -> c && s = Strong) results in
+      (conducts, if strong then Strong else Degraded)
+
+let stage_output (c : cell) bits =
+  match c.pull_up with
+  | Some pu -> (
+      let up, sup = net_drive pu bits L1 in
+      let dn, sdn = net_drive c.pull_down bits L0 in
+      match (up, dn) with
+      | true, true -> Contention
+      | false, false -> Floating
+      | true, false -> Driven (L1, sup)
+      | false, true -> Driven (L0, sdn))
+  | None ->
+      (* ratioed pseudo logic: pull-down fights the weak always-on bias *)
+      let dn, sdn = net_drive c.pull_down bits L0 in
+      if dn then Driven (L0, sdn) else Driven (L1, Strong)
+
+let cell_output (c : cell) bits =
+  let s = stage_output c bits in
+  if not c.restoring_inverter then s
+  else
+    match s with
+    | Driven (L0, _) -> Driven (L1, Strong)
+    | Driven (L1, _) -> Driven (L0, Strong)
+    | other -> other
+
+let logic_value c bits =
+  match cell_output c bits with
+  | Driven (L1, _) -> Some true
+  | Driven (L0, _) -> Some false
+  | Floating | Contention -> None
+
+let for_all_assignments (c : cell) f =
+  let n = Gate_spec.arity c.spec in
+  let ok = ref true in
+  for a = 0 to (1 lsl n) - 1 do
+    if not (f a (fun v -> a land (1 lsl v) <> 0)) then ok := false
+  done;
+  !ok
+
+let full_swing c =
+  for_all_assignments c (fun _ bits ->
+      match cell_output c bits with
+      | Driven (_, Strong) -> true
+      | Driven (_, Degraded) | Floating | Contention -> false)
+
+let inverting (c : cell) =
+  match c.family with
+  | Tg_static -> false
+  | Pass_static -> true (* restored node carries the complement *)
+  | Tg_pseudo | Pass_pseudo | Cmos -> true
+
+let check_function c =
+  let inv = inverting c in
+  for_all_assignments c (fun _ bits ->
+      match logic_value c bits with
+      | None -> false
+      | Some v -> v = (Gate_spec.eval c.spec bits <> inv))
+
+(* ---------------- dynamic GNOR (Sec. 3, Fig. 2) ---------------- *)
+
+module Dynamic = struct
+  type term = { input : bool; control : bool }
+
+  (* The dynamic GNOR's pull-down is a parallel bank of single ambipolar
+     devices: gate = input, polarity gate = control; a device conducts iff
+     input <> control and is n-type (strong pull-down) iff the control is
+     low.  The output is precharged high and discharges through whatever
+     conducts during evaluation — the paper's problem case is every
+     conducting device configured p-type (all controls high), which only
+     pulls the output to ~|VTp| above ground. *)
+  let gnor terms =
+    let conducting =
+      List.filter (fun t -> t.input <> t.control) terms
+    in
+    if conducting = [] then Driven (L1, Strong) (* stays precharged *)
+    else if List.exists (fun t -> not t.control) conducting then
+      Driven (L0, Strong)
+    else Driven (L0, Degraded)
+
+  (* Value of the gate seen as Y = OR of (input XOR control) terms, at the
+     discharge node (inverting). *)
+  let value terms =
+    match gnor terms with
+    | Driven (L0, _) -> false
+    | Driven (L1, _) -> true
+    | Floating | Contention -> assert false
+
+  (* Does some input assignment degrade the output?  True for any GNOR with
+     at least one term — the weakness that motivates the transmission-gate
+     static family (Sec. 3.1). *)
+  let has_degraded_assignment nterms =
+    nterms >= 1
+    &&
+    (* all controls high, all inputs low: every device conducts as p-type *)
+    let terms =
+      List.init nterms (fun _ -> { input = false; control = true })
+    in
+    gnor terms = Driven (L0, Degraded)
+end

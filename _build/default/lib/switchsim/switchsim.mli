@@ -1,0 +1,60 @@
+(** Switch-level simulation of cell netlists with signal-strength tracking.
+
+    This substitutes for the paper's SPICE runs (Sec. 4): it verifies the
+    logic function of every elaborated cell and, crucially, reproduces the
+    Sec. 3 argument about output levels — an ambipolar device passing a
+    level in its weak direction only reaches [VDD - VTn] (or [|VTp|]), so a
+    path whose every branch crosses such a device yields a {e degraded}
+    level, while transmission gates always provide one strong branch and
+    hence full swing. *)
+
+type level = L0 | L1
+
+type strength =
+  | Strong    (** full swing: some conducting path passes strongly *)
+  | Degraded  (** every conducting path crosses a weak-direction device *)
+
+type drive =
+  | Driven of level * strength
+  | Floating     (** neither network conducts (dynamic nodes) *)
+  | Contention   (** both networks conduct — a design error *)
+
+val cell_output : Cell_netlist.cell -> (int -> bool) -> drive
+(** Output of a cell under a raw-input assignment.  Pseudo cells never
+    float (the weak pull-up is always on); cells with a restoring inverter
+    report the restored (always strong) level. *)
+
+val logic_value : Cell_netlist.cell -> (int -> bool) -> bool option
+(** Just the Boolean value ([None] on [Floating]/[Contention]).  Note that
+    pseudo and CMOS single-stage cells are inverting: this is the value at
+    the cell's output node, to be compared against the spec or its
+    complement according to the family. *)
+
+val full_swing : Cell_netlist.cell -> bool
+(** True when every input assignment yields a strongly driven output. *)
+
+val check_function : Cell_netlist.cell -> bool
+(** Verifies the cell's output against its spec on all assignments:
+    non-inverting for static CNTFET families, inverting for pseudo and
+    CMOS; restoring-inverter cells are inverting as well (the inverter
+    flips the pass-network stage, which itself implements the spec). *)
+
+(** Dynamic generalized-NOR gates (the paper's Fig. 2), modeled at switch
+    level.  These are the prior-art gates whose two weaknesses — dynamic
+    signal races and non-full-swing outputs when every conducting pull-down
+    device is configured p-type — motivate the paper's transmission-gate
+    static family. *)
+module Dynamic : sig
+  type term = { input : bool; control : bool }
+
+  val gnor : term list -> drive
+  (** Evaluation-phase output of a precharged GNOR whose pull-down is one
+      ambipolar device per term (conducting iff [input <> control]). *)
+
+  val value : term list -> bool
+  (** Boolean value at the dynamic node: [not (OR of (input XOR control))]. *)
+
+  val has_degraded_assignment : int -> bool
+  (** Whether a GNOR with that many terms has an input assignment with a
+      degraded output level (it always does, for >= 1 term). *)
+end

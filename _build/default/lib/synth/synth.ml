@@ -1,0 +1,321 @@
+(* Multi-level AIG optimization: balance / rewrite / refactor.
+
+   Every pass rebuilds into a fresh graph (keeping structural hashing
+   dense) and finishes with a cleanup copy that drops dead nodes. *)
+
+let lit_map_get map l =
+  let nl = Hashtbl.find map (Aig.node_of l) in
+  if Aig.is_compl l then Aig.lnot nl else nl
+
+(* ---------------- balance ---------------- *)
+
+module Lvl_heap = struct
+  (* tiny binary min-heap of (level, lit) *)
+  type t = { mutable a : (int * int) array; mutable n : int }
+
+  let create () = { a = Array.make 16 (0, 0); n = 0 }
+
+  let push h x =
+    if h.n >= Array.length h.a then begin
+      let b = Array.make (2 * Array.length h.a) (0, 0) in
+      Array.blit h.a 0 b 0 h.n;
+      h.a <- b
+    end;
+    h.a.(h.n) <- x;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && fst h.a.((!i - 1) / 2) > fst h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let best = ref !i in
+      if l < h.n && fst h.a.(l) < fst h.a.(!best) then best := l;
+      if r < h.n && fst h.a.(r) < fst h.a.(!best) then best := r;
+      if !best = !i then continue := false
+      else begin
+        let tmp = h.a.(!best) in
+        h.a.(!best) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !best
+      end
+    done;
+    top
+
+  let size h = h.n
+end
+
+let balance aig =
+  let fresh = Aig.create ~size_hint:(Aig.num_nodes aig) () in
+  let map = Hashtbl.create (Aig.num_nodes aig) in
+  Hashtbl.add map 0 Aig.lit_false;
+  for i = 0 to Aig.num_inputs aig - 1 do
+    Hashtbl.add map (i + 1) (Aig.add_input ~name:(Aig.input_name aig i) fresh)
+  done;
+  let refs = Aig.fanout_counts aig in
+  let lvl = Hashtbl.create (Aig.num_nodes aig) in
+  let level_of l =
+    try Hashtbl.find lvl (Aig.node_of l) with Not_found -> 0
+  in
+  (* Collect the leaves of the AND tree rooted at [nd], flattening through
+     non-complemented single-fanout AND fanins. *)
+  let rec leaves_of acc l root =
+    let nd = Aig.node_of l in
+    if
+      (not root)
+      && (Aig.is_compl l || (not (Aig.is_and aig nd)) || refs.(nd) > 1)
+    then l :: acc
+    else leaves_of (leaves_of acc (Aig.fanin0 aig nd) false)
+           (Aig.fanin1 aig nd) false
+  in
+  Aig.iter_ands aig (fun nd ->
+      let leaves = leaves_of [] (Aig.lit_of_node nd) true in
+      let h = Lvl_heap.create () in
+      List.iter
+        (fun l ->
+          let nl = lit_map_get map l in
+          Lvl_heap.push h (level_of nl, nl))
+        leaves;
+      let result =
+        if Lvl_heap.size h = 0 then Aig.lit_true
+        else begin
+          while Lvl_heap.size h > 1 do
+            let l1, a = Lvl_heap.pop h in
+            let l2, b = Lvl_heap.pop h in
+            let c = Aig.mk_and fresh a b in
+            let lv = 1 + max l1 l2 in
+            Hashtbl.replace lvl (Aig.node_of c) lv;
+            Lvl_heap.push h (lv, c)
+          done;
+          snd (Lvl_heap.pop h)
+        end
+      in
+      Hashtbl.replace map nd result);
+  Array.iter
+    (fun (name, l) -> Aig.add_output fresh name (lit_map_get map l))
+    (Aig.outputs aig);
+  Aig.cleanup fresh
+
+(* ---------------- refactor / rewrite ---------------- *)
+
+(* Greedy reconvergence-driven cut of at most [k] leaves. *)
+let greedy_cut aig nd k =
+  let leaves = Hashtbl.create 8 in
+  let add n = Hashtbl.replace leaves n () in
+  add (Aig.node_of (Aig.fanin0 aig nd));
+  add (Aig.node_of (Aig.fanin1 aig nd));
+  let continue = ref true in
+  let steps = ref 0 in
+  while !continue && !steps < 64 do
+    incr steps;
+    (* pick the expandable leaf with the smallest growth *)
+    let best = ref None in
+    Hashtbl.iter
+      (fun leaf () ->
+        if Aig.is_and aig leaf then begin
+          let f0 = Aig.node_of (Aig.fanin0 aig leaf) in
+          let f1 = Aig.node_of (Aig.fanin1 aig leaf) in
+          let growth =
+            (if Hashtbl.mem leaves f0 || f0 = leaf then 0 else 1)
+            + (if Hashtbl.mem leaves f1 || f1 = leaf then 0 else 1)
+            - 1
+          in
+          let size' = Hashtbl.length leaves + growth in
+          if size' <= k then
+            match !best with
+            | Some (_, g) when g <= growth -> ()
+            | _ -> best := Some (leaf, growth)
+        end)
+      leaves;
+    match !best with
+    | None -> continue := false
+    | Some (leaf, _) ->
+        Hashtbl.remove leaves leaf;
+        add (Aig.node_of (Aig.fanin0 aig leaf));
+        add (Aig.node_of (Aig.fanin1 aig leaf))
+  done;
+  let arr = Array.of_seq (Hashtbl.to_seq_keys leaves) in
+  Array.sort compare arr;
+  arr
+
+let rec build_form g leaf_lits = function
+  | Factored.Const b -> if b then Aig.lit_true else Aig.lit_false
+  | Factored.Lit (i, s) ->
+      if s then leaf_lits.(i) else Aig.lnot leaf_lits.(i)
+  | Factored.And fs ->
+      Aig.mk_and_list g (List.map (build_form g leaf_lits) fs)
+  | Factored.Or fs ->
+      Aig.mk_or_list g (List.map (build_form g leaf_lits) fs)
+
+let max_isop_cubes = 96
+
+(* Number of AND nodes that stop being referenced when the cone of [nd]
+   above the cut is bypassed: the node's MFFC restricted to the cone.
+   [refs] are whole-graph fanout counts. *)
+let deaths_in_cone aig refs nd cut =
+  let in_cut = Hashtbl.create 8 in
+  Array.iter (fun n -> Hashtbl.replace in_cut n ()) cut;
+  let dec = Hashtbl.create 8 in
+  let deref n =
+    let d = try Hashtbl.find dec n with Not_found -> 0 in
+    Hashtbl.replace dec n (d + 1);
+    refs.(n) - (d + 1) = 0
+  in
+  let count = ref 0 in
+  let rec go n =
+    incr count;
+    let visit f =
+      let m = Aig.node_of f in
+      if Aig.is_and aig m && (not (Hashtbl.mem in_cut m)) && deref m then go m
+    in
+    visit (Aig.fanin0 aig n);
+    visit (Aig.fanin1 aig n)
+  in
+  go nd;
+  !count
+
+let refactor ?(zero_gain = false) ?(cut_size = 10) aig =
+  let cut_size = min cut_size Tt.max_vars in
+  let fresh = Aig.create ~size_hint:(Aig.num_nodes aig) () in
+  let map = Hashtbl.create (Aig.num_nodes aig) in
+  Hashtbl.add map 0 Aig.lit_false;
+  for i = 0 to Aig.num_inputs aig - 1 do
+    Hashtbl.add map (i + 1) (Aig.add_input ~name:(Aig.input_name aig i) fresh)
+  done;
+  let refs = Aig.fanout_counts aig in
+  (* Small cuts: use the priority-cut enumeration (several candidate cones
+     per node, like ABC's rewrite); large cuts: one greedy reconvergent
+     cut per node (like ABC's refactor). *)
+  let enum_cuts =
+    if cut_size <= 6 then
+      let cuts = Cut.compute aig ~k:cut_size ~limit:8 in
+      fun nd ->
+        (* priority cuts plus the greedy reconvergent cut (the enumeration
+           favors small cuts and can crowd out the reconvergent one) *)
+        let prio =
+          List.filter_map
+            (fun c ->
+              let l = c.Cut.leaves in
+              if Array.length l < 2 then None else Some l)
+            cuts.(nd)
+        in
+        let g = greedy_cut aig nd cut_size in
+        if Array.length g >= 2 && not (List.exists (fun l -> l = g) prio)
+        then g :: prio
+        else prio
+    else fun nd ->
+      let c = greedy_cut aig nd cut_size in
+      if Array.length c >= 2 then [ c ] else []
+  in
+  Aig.iter_ands aig (fun nd ->
+      let mffc = Aig.mffc_size aig refs nd in
+      let replaced = ref false in
+      if refs.(nd) > 0 then begin
+        let pick_form t =
+          let sop = Sop.isop t in
+          if Sop.num_cubes sop > max_isop_cubes then None
+          else
+            let f = Factored.factor sop in
+            Some (f, Factored.num_and2 f)
+        in
+        (* Candidates over all cuts and both output polarities.  The value
+           of a candidate is (nodes that die) - (strash-aware rebuild
+           cost); the plain copy scores 0, so any positive score is a
+           strict improvement. *)
+        let candidates =
+          List.concat_map
+            (fun cut ->
+              let deaths = deaths_in_cone aig refs nd cut in
+              let tt = Aig.tt_of_cut aig (Aig.lit_of_node nd) cut in
+              List.filter_map
+                (fun (t, neg) ->
+                  match pick_form t with
+                  | Some (f, est) -> Some (cut, f, neg, deaths, deaths - est)
+                  | None -> None)
+                [ (tt, false); (Tt.bnot tt, true) ])
+            (enum_cuts nd)
+        in
+        let candidates =
+          List.sort
+            (fun (_, _, _, _, a) (_, _, _, _, b) -> compare b a)
+            candidates
+        in
+        (* Dry-run candidates (strash-aware cost), keep the best score. *)
+        let best = ref None in
+        List.iteri
+          (fun i (cut, form, neg, deaths, _) ->
+            if i < 12 then begin
+              let leaf_lits =
+                Array.map (fun nd' -> lit_map_get map (Aig.lit_of_node nd')) cut
+              in
+              let ckpt = Aig.checkpoint fresh in
+              ignore (build_form fresh leaf_lits form);
+              let cost = Aig.checkpoint fresh - ckpt in
+              Aig.rollback fresh ckpt;
+              (* Optimistic score (full MFFC as savings) with the real
+                 deaths as tie-breaker, preferring larger cuts: enables
+                 cross-node sharing that per-node accounting cannot see;
+                 the pass-level guard bounds the risk. *)
+              let score = (mffc - cost, deaths - cost, Array.length cut) in
+              let ok =
+                if zero_gain then mffc - cost >= 0 && deaths - cost >= -1
+                else mffc - cost > 0 && deaths - cost >= 0
+              in
+              if ok then
+                match !best with
+                | Some (sc, _, _, _) when sc >= score -> ()
+                | _ -> best := Some (score, cut, form, neg)
+            end)
+          candidates;
+        (match !best with
+        | Some (_, cut, form, neg) ->
+            let leaf_lits =
+              Array.map (fun nd' -> lit_map_get map (Aig.lit_of_node nd')) cut
+            in
+            let l = build_form fresh leaf_lits form in
+            Hashtbl.replace map nd (if neg then Aig.lnot l else l);
+            replaced := true
+        | None -> ())
+      end;
+      if not !replaced then begin
+        let a = lit_map_get map (Aig.fanin0 aig nd) in
+        let b = lit_map_get map (Aig.fanin1 aig nd) in
+        Hashtbl.replace map nd (Aig.mk_and fresh a b)
+      end);
+  Array.iter
+    (fun (name, l) -> Aig.add_output fresh name (lit_map_get map l))
+    (Aig.outputs aig);
+  Aig.cleanup fresh
+
+(* The rebuild-based gain test compares against the source graph's MFFC,
+   which can overestimate savings once earlier replacements strash-merge
+   copies; a whole-pass guard keeps every pass size-monotone. *)
+let guard pass aig =
+  let out = pass aig in
+  (if Sys.getenv_opt "SYNTH_DEBUG" <> None then
+     Printf.eprintf "[synth] pass: %d -> %d ands\n%!" (Aig.num_ands aig)
+       (Aig.num_ands out));
+  if Aig.num_ands out <= Aig.num_ands aig then out else aig
+
+let refactor ?zero_gain ?cut_size aig =
+  guard (refactor ?zero_gain ?cut_size) aig
+
+let rewrite ?(zero_gain = false) aig = refactor ~zero_gain ~cut_size:4 aig
+
+let resyn2rs aig =
+  aig |> rewrite |> refactor |> balance |> rewrite
+  |> rewrite ~zero_gain:true |> balance |> refactor ~zero_gain:true
+  |> rewrite ~zero_gain:true |> balance
+
+let light aig = aig |> rewrite |> balance

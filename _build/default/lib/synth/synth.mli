@@ -1,0 +1,29 @@
+(** Multi-level logic optimization on AIGs.
+
+    The passes mirror the algorithm family behind ABC's [resyn2rs] script,
+    which the paper runs before mapping (Sec. 4.4):
+    - {!balance} — rebuilds AND trees in minimum-depth (Huffman) order;
+    - {!rewrite} — DAG-aware replacement of small (4-cut) cones by better
+      factored-form structures;
+    - {!refactor} — the same with large reconvergent cuts (10 leaves),
+      using ISOP + algebraic factoring to re-express each cone;
+    - {!resyn2rs} — the composed script.
+
+    Every pass returns a fresh, structurally hashed, dead-node-free AIG
+    that is combinationally equivalent to its input (tested by CEC). *)
+
+val balance : Aig.t -> Aig.t
+
+val rewrite : ?zero_gain:bool -> Aig.t -> Aig.t
+(** Cut size 4; replaces a cone when the factored rebuild uses fewer nodes
+    than the cone's MFFC ([zero_gain] accepts equal size, useful as a
+    perturbation between other passes). *)
+
+val refactor : ?zero_gain:bool -> ?cut_size:int -> Aig.t -> Aig.t
+(** Default cut size 10 (at most {!Tt.max_vars}). *)
+
+val resyn2rs : Aig.t -> Aig.t
+(** b; rw; rf; b; rw; rw -z; b; rf -z; rw -z; b. *)
+
+val light : Aig.t -> Aig.t
+(** b; rw; b — a cheap script for quick runs. *)

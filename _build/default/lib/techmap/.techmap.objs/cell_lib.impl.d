@@ -1,0 +1,1 @@
+lib/techmap/cell_lib.ml: Array Cell_netlist Charlib Gate_spec Hashtbl Int64 List Npn

@@ -1,0 +1,1 @@
+lib/techmap/cell_lib.mli: Cell_netlist

@@ -1,0 +1,1 @@
+lib/techmap/mapped.ml: Aig Array Format Hashtbl Int64 List Tt

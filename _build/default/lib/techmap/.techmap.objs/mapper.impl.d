@@ -1,0 +1,1 @@
+lib/techmap/mapper.ml: Aig Array Cell_lib Cut Hashtbl Int64 List Mapped Npn Printf Tt

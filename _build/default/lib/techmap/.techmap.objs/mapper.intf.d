@@ -1,0 +1,1 @@
+lib/techmap/mapper.mli: Aig Cell_lib Mapped

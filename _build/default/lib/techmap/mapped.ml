@@ -1,0 +1,168 @@
+type driver = Pi of int | Inst of int | Const of bool
+type net = { driver : driver; negated : bool }
+
+type instance = {
+  cell_name : string;
+  area : float;
+  delay : float;
+  fanins : net array;
+  tt : int64;
+}
+
+type t = {
+  lib_name : string;
+  tau_ps : float;
+  num_inputs : int;
+  input_names : string array;
+  instances : instance array;
+  outputs : (string * net) array;
+}
+
+type stats = {
+  gates : int;
+  area : float;
+  levels : int;
+  norm_delay : float;
+  abs_delay_ps : float;
+}
+
+let arrival_times m =
+  let arr = Array.make (Array.length m.instances) 0.0 in
+  Array.iteri
+    (fun j inst ->
+      let worst =
+        Array.fold_left
+          (fun acc net ->
+            match net.driver with
+            | Inst i -> max acc arr.(i)
+            | Pi _ | Const _ -> acc)
+          0.0 inst.fanins
+      in
+      arr.(j) <- worst +. inst.delay)
+    m.instances;
+  arr
+
+let instance_levels m =
+  let lv = Array.make (Array.length m.instances) 0 in
+  Array.iteri
+    (fun j inst ->
+      let worst =
+        Array.fold_left
+          (fun acc net ->
+            match net.driver with
+            | Inst i -> max acc lv.(i)
+            | Pi _ | Const _ -> acc)
+          0 inst.fanins
+      in
+      lv.(j) <- worst + 1)
+    m.instances;
+  lv
+
+let stats m =
+  let area =
+    Array.fold_left (fun a (i : instance) -> a +. i.area) 0.0 m.instances
+  in
+  let arr = arrival_times m in
+  let lv = instance_levels m in
+  let out_max f dflt =
+    Array.fold_left
+      (fun acc (_, net) ->
+        match net.driver with
+        | Inst i -> max acc (f i)
+        | Pi _ | Const _ -> acc)
+      dflt m.outputs
+  in
+  {
+    gates = Array.length m.instances;
+    area;
+    levels = out_max (fun i -> lv.(i)) 0;
+    norm_delay = out_max (fun i -> arr.(i)) 0.0;
+    abs_delay_ps = out_max (fun i -> arr.(i)) 0.0 *. m.tau_ps;
+  }
+
+let simulate m words =
+  if Array.length words <> m.num_inputs then invalid_arg "Mapped.simulate";
+  let vals = Array.make (Array.length m.instances) 0L in
+  let net_value net =
+    let v =
+      match net.driver with
+      | Pi i -> words.(i)
+      | Inst j -> vals.(j)
+      | Const b -> if b then -1L else 0L
+    in
+    if net.negated then Int64.lognot v else v
+  in
+  Array.iteri
+    (fun j inst ->
+      (* evaluate the 6-var function bit-sliced over the fanin words *)
+      let k = Array.length inst.fanins in
+      let out = ref 0L in
+      for bit = 0 to 63 do
+        let idx = ref 0 in
+        for i = 0 to k - 1 do
+          if Int64.(logand (shift_right_logical (net_value inst.fanins.(i)) bit) 1L)
+             <> 0L
+          then idx := !idx lor (1 lsl i)
+        done;
+        if Int64.(logand (shift_right_logical inst.tt !idx) 1L) <> 0L then
+          out := Int64.logor !out (Int64.shift_left 1L bit)
+      done;
+      vals.(j) <- !out)
+    m.instances;
+  Array.map (fun (_, net) -> net_value net) m.outputs
+
+let eval m bits =
+  let words = Array.map (fun b -> if b then -1L else 0L) bits in
+  let out = simulate m words in
+  Array.map (fun w -> Int64.logand w 1L <> 0L) out
+
+let to_aig m =
+  let g = Aig.create ~size_hint:(Array.length m.instances * 8) () in
+  let pis = Array.init m.num_inputs (fun i -> Aig.add_input ~name:m.input_names.(i) g) in
+  let vals = Array.make (Array.length m.instances) Aig.lit_false in
+  let net_lit net =
+    let l =
+      match net.driver with
+      | Pi i -> pis.(i)
+      | Inst j -> vals.(j)
+      | Const b -> if b then Aig.lit_true else Aig.lit_false
+    in
+    if net.negated then Aig.lnot l else l
+  in
+  Array.iteri
+    (fun j inst ->
+      let k = Array.length inst.fanins in
+      let leaves = Array.map net_lit inst.fanins in
+      (* Shannon-expand the instance function over its fanin literals. *)
+      let tt = Tt.of_bits (max k 1) inst.tt in
+      let rec build tt i =
+        if Tt.is_const0 tt then Aig.lit_false
+        else if Tt.is_const1 tt then Aig.lit_true
+        else if i >= k then Aig.lit_false
+        else if not (Tt.depends_on tt i) then build tt (i + 1)
+        else
+          let lo = build (Tt.cofactor0 tt i) (i + 1) in
+          let hi = build (Tt.cofactor1 tt i) (i + 1) in
+          Aig.mk_mux g leaves.(i) hi lo
+      in
+      vals.(j) <- build tt 0)
+    m.instances;
+  Array.iter (fun (name, net) -> Aig.add_output g name (net_lit net)) m.outputs;
+  g
+
+let count_cells m =
+  let h = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      let c = try Hashtbl.find h i.cell_name with Not_found -> 0 in
+      Hashtbl.replace h i.cell_name (c + 1))
+    m.instances;
+  List.sort
+    (fun (_, a) (_, b) -> compare b a)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+
+let pp_stats fmt m =
+  let s = stats m in
+  Format.fprintf fmt
+    "%s: gates=%d area=%.1f levels=%d delay=%.1f (%.1f ps)" m.lib_name
+    s.gates s.area s.levels s.norm_delay s.abs_delay_ps

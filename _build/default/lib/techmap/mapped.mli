@@ -1,0 +1,59 @@
+(** Mapped netlists: the result of technology mapping, with the statistics
+    the paper's Table 3 reports (gate count, area, logic depth, normalized
+    and absolute delay), plus simulation for verification. *)
+
+type driver =
+  | Pi of int        (** primary input index *)
+  | Inst of int      (** instance index *)
+  | Const of bool
+
+type net = { driver : driver; negated : bool }
+(** [negated] uses the complemented value of the driver — free for
+    free-phase (ambipolar) libraries whose cells expose both polarities,
+    and for complemented constants/inputs where the library allows it. *)
+
+type instance = {
+  cell_name : string;
+  area : float;
+  delay : float;
+  fanins : net array;
+  tt : int64;  (** output function over the fanin values (Tt convention) *)
+}
+
+type t = {
+  lib_name : string;
+  tau_ps : float;
+  num_inputs : int;
+  input_names : string array;
+  instances : instance array;  (** topologically ordered *)
+  outputs : (string * net) array;
+}
+
+type stats = {
+  gates : int;
+  area : float;
+  levels : int;
+  norm_delay : float;
+  abs_delay_ps : float;
+}
+
+val stats : t -> stats
+
+val arrival_times : t -> float array
+(** Per-instance arrival (sum of cell delays along the slowest path). *)
+
+val instance_levels : t -> int array
+
+val simulate : t -> int64 array -> int64 array
+(** 64 parallel patterns: word per input, word per output. *)
+
+val eval : t -> bool array -> bool array
+
+val to_aig : t -> Aig.t
+(** Re-expands every instance function into AND/INV logic — used to verify
+    a mapping against its source AIG with the {!Cec} checker. *)
+
+val count_cells : t -> (string * int) list
+(** Instance count per cell name, descending. *)
+
+val pp_stats : Format.formatter -> t -> unit

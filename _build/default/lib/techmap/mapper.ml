@@ -1,0 +1,375 @@
+type params = { cut_size : int; cut_limit : int; area_passes : int }
+
+let default_params = { cut_size = 6; cut_limit = 12; area_passes = 3 }
+
+(* A mapping choice for (node, phase): how the value [node ^ phase] is
+   produced. *)
+type choice =
+  | Unmapped
+  | Wire of int * bool
+    (** [Wire (leaf, ph)]: the value equals [leaf ^ ph] (support-1 cut) *)
+  | Match of Cell_lib.match_entry * int array * int64
+    (** entry, cut leaves (support only), implemented function over the
+        leaves (the lookup key) *)
+  | Bridge  (** inverter from the opposite phase (non-free libraries) *)
+
+type slot = {
+  mutable choice : choice;
+  mutable arrival : float;
+  mutable flow : float;  (** area flow estimate *)
+}
+
+let infinity_f = infinity
+
+let map ?(params = default_params) lib aig =
+  let k = min 6 params.cut_size in
+  let free = Cell_lib.free_phases lib in
+  let nph = if free then 1 else 2 in
+  let inv = Cell_lib.inverter lib in
+  let inv_delay, inv_area =
+    match inv with
+    | Some c -> (c.Cell_lib.delay, c.Cell_lib.area)
+    | None -> (infinity_f, infinity_f)
+  in
+  if (not free) && inv = None then
+    invalid_arg "Mapper.map: non-free-phase library without an inverter";
+  let n = Aig.num_nodes aig in
+  let cuts = Cut.compute aig ~k ~limit:params.cut_limit in
+  let refs = Aig.fanout_counts aig in
+  let refs_f = Array.map (fun r -> float_of_int (max 1 r)) refs in
+  let slots =
+    Array.init n (fun _ ->
+        Array.init nph (fun _ ->
+            { choice = Unmapped; arrival = infinity_f; flow = infinity_f }))
+  in
+  let slot node ph = slots.(node).(if free then 0 else ph) in
+  (* primary inputs and the constant node *)
+  for i = 0 to Aig.num_inputs aig do
+    (* node 0 is the constant; inputs are 1..num_inputs *)
+    let s0 = slots.(i).(0) in
+    s0.choice <- Wire (i, false);
+    s0.arrival <- 0.0;
+    s0.flow <- 0.0;
+    if nph = 2 then begin
+      let s1 = slots.(i).(1) in
+      if i = 0 then begin
+        (* complemented constant is still a constant *)
+        s1.choice <- Wire (0, true);
+        s1.arrival <- 0.0;
+        s1.flow <- 0.0
+      end
+      else begin
+        s1.choice <- Bridge;
+        s1.arrival <- inv_delay;
+        s1.flow <- inv_area
+      end
+    end
+  done;
+  (* Precompute, per AND node, the list of usable (leaves, key) pairs:
+     cut function shrunk to its support. *)
+  let node_cutinfo = Array.make n [] in
+  Aig.iter_ands aig (fun nd ->
+      let infos =
+        List.filter_map
+          (fun cut ->
+            let leaves = cut.Cut.leaves in
+            if Array.length leaves = 1 && leaves.(0) = nd then None
+            else begin
+              let tt = Aig.tt_of_cut aig (Aig.lit_of_node nd) leaves in
+              let small, sup = Tt.shrink_to_support tt in
+              let s = Tt.nvars small in
+              if s > 6 then None
+              else
+                let real_leaves = Array.map (fun i -> leaves.(i)) sup in
+                let key = (Tt.words small).(0) in
+                Some (real_leaves, s, key)
+            end)
+          cuts.(nd)
+      in
+      node_cutinfo.(nd) <- infos);
+  (* arrival/flow of consuming (leaf ^ want_ph) where want_ph already
+     accounts for the entry phase bit and the AIG edge complement *)
+  let leaf_cost leaf want_ph =
+    let s = slot leaf want_ph in
+    (s.arrival, s.flow /. refs_f.(leaf))
+  in
+  let eval_match leaves entry =
+    let arr = ref 0.0 and fl = ref entry.Cell_lib.cell.Cell_lib.area in
+    Array.iteri
+      (fun i leaf ->
+        let want = (entry.Cell_lib.phase lsr i) land 1 = 1 in
+        let a, f = leaf_cost leaf (if want then 1 else 0) in
+        if a > !arr then arr := a;
+        fl := !fl +. f)
+      leaves;
+    (!arr +. entry.Cell_lib.cell.Cell_lib.delay, !fl)
+  in
+  (* One matching pass.  [mode] selects the objective:
+     `Delay: lexicographic (arrival, flow);
+     `Area reqs: minimize flow subject to arrival <= reqs(ph). *)
+  let match_node mode nd =
+    for ph = 0 to nph - 1 do
+      let s = slot nd ph in
+      let mode =
+        match mode with
+        | `Delay -> `Delay
+        | `Area reqs -> `Area (reqs ph)
+      in
+      let best_choice = ref Unmapped
+      and best_arr = ref infinity_f
+      and best_flow = ref infinity_f in
+      let consider choice arr flow =
+        let better =
+          match mode with
+          | `Delay ->
+              arr < !best_arr -. 1e-9
+              || (arr < !best_arr +. 1e-9 && flow < !best_flow -. 1e-9)
+          | `Area req ->
+              let feasible x = x <= req +. 1e-6 in
+              if feasible arr && not (feasible !best_arr) then true
+              else if feasible arr = feasible !best_arr then
+                flow < !best_flow -. 1e-9
+                || (flow < !best_flow +. 1e-9 && arr < !best_arr -. 1e-9)
+              else false
+        in
+        if better then begin
+          best_choice := choice;
+          best_arr := arr;
+          best_flow := flow
+        end
+      in
+      List.iter
+        (fun (leaves, s_arity, key) ->
+          let want_key = if ph = 0 then key else Int64.lognot key in
+          if s_arity = 0 then begin
+            (* constant function: should not happen in a strashed AIG *)
+            ()
+          end
+          else if s_arity = 1 then begin
+            (* wire or complement of a single leaf *)
+            let neg_leaf = want_key = Npn.flip 0xAAAAAAAAAAAAAAAAL 0 in
+            let pos_leaf = want_key = 0xAAAAAAAAAAAAAAAAL in
+            if pos_leaf || neg_leaf then begin
+              let lph = if neg_leaf then 1 else 0 in
+              if free then begin
+                let a, f = leaf_cost leaves.(0) 0 in
+                consider (Wire (leaves.(0), neg_leaf)) a f
+              end
+              else begin
+                let a, f = leaf_cost leaves.(0) lph in
+                consider (Wire (leaves.(0), neg_leaf)) a f
+              end
+            end
+          end
+          else
+            List.iter
+              (fun entry ->
+                let arr, fl = eval_match leaves entry in
+                consider (Match (entry, leaves, want_key)) arr fl)
+              (Cell_lib.matches lib s_arity want_key))
+        node_cutinfo.(nd);
+      s.choice <- !best_choice;
+      s.arrival <- !best_arr;
+      s.flow <- !best_flow
+    done;
+    (* inverter bridging between phases *)
+    if nph = 2 then begin
+      let s0 = slot nd 0 and s1 = slot nd 1 in
+      if s1.arrival +. inv_delay < s0.arrival then begin
+        s0.choice <- Bridge;
+        s0.arrival <- s1.arrival +. inv_delay;
+        s0.flow <- s1.flow +. inv_area
+      end;
+      if s0.arrival +. inv_delay < s1.arrival then begin
+        s1.choice <- Bridge;
+        s1.arrival <- s0.arrival +. inv_delay;
+        s1.flow <- s0.flow +. inv_area
+      end
+    end
+  in
+  (* delay-oriented pass *)
+  Aig.iter_ands aig (fun nd -> match_node `Delay nd);
+  (* verify every node got mapped *)
+  Aig.iter_ands aig (fun nd ->
+      for ph = 0 to nph - 1 do
+        if (slot nd ph).choice = Unmapped then
+          failwith
+            (Printf.sprintf "Mapper: node %d phase %d has no match" nd ph)
+      done);
+  let outputs = Aig.outputs aig in
+  let output_slots () =
+    Array.to_list outputs
+    |> List.filter_map (fun (_, l) ->
+           let nd = Aig.node_of l in
+           if Aig.is_and aig nd then
+             Some (nd, if Aig.is_compl l then 1 mod nph else 0)
+           else None)
+  in
+  let global_arrival () =
+    List.fold_left
+      (fun acc (nd, ph) -> max acc (slot nd ph).arrival)
+      0.0 (output_slots ())
+  in
+  (* required-time computation over the current cover *)
+  let compute_required () =
+    let req = Array.init n (fun _ -> Array.make nph infinity_f) in
+    let t = global_arrival () in
+    List.iter
+      (fun (nd, ph) ->
+        let p = if free then 0 else ph in
+        if t < req.(nd).(p) then req.(nd).(p) <- t)
+      (output_slots ());
+    for nd = n - 1 downto 1 do
+      if Aig.is_and aig nd then
+        for p = 0 to nph - 1 do
+          let r = req.(nd).(p) in
+          if r < infinity_f then begin
+            match (slot nd p).choice with
+            | Unmapped -> ()
+            | Wire (leaf, lph) ->
+                let lp = if free || not lph then 0 else 1 in
+                if r < req.(leaf).(lp) then req.(leaf).(lp) <- r
+            | Bridge ->
+                let other = 1 - p in
+                let r' = r -. inv_delay in
+                if r' < req.(nd).(other) then req.(nd).(other) <- r'
+            | Match (entry, leaves, _) ->
+                let r' = r -. entry.Cell_lib.cell.Cell_lib.delay in
+                Array.iteri
+                  (fun i leaf ->
+                    let want =
+                      if free then 0
+                      else (entry.Cell_lib.phase lsr i) land 1
+                    in
+                    if r' < req.(leaf).(want) then req.(leaf).(want) <- r')
+                  leaves
+          end
+        done
+    done;
+    (req, t)
+  in
+  (* area-recovery passes *)
+  for _ = 1 to params.area_passes do
+    let req, t = compute_required () in
+    Aig.iter_ands aig (fun nd ->
+        let reqs ph =
+          let r = req.(nd).(if free then 0 else ph) in
+          if r = infinity_f then t else r
+        in
+        match_node (`Area reqs) nd)
+  done;
+  (* ---- extraction ---- *)
+  let insts = ref [] in
+  let ninsts = ref 0 in
+  let memo = Hashtbl.create 1024 in
+  let rec resolve nd ph : Mapped.net =
+    if nd = 0 then { Mapped.driver = Mapped.Const (ph = 1); negated = false }
+    else if Aig.is_input aig nd then begin
+      if ph = 0 then { Mapped.driver = Mapped.Pi (nd - 1); negated = false }
+      else if free then { Mapped.driver = Mapped.Pi (nd - 1); negated = true }
+      else begin
+        match Hashtbl.find_opt memo (nd, 1) with
+        | Some net -> net
+        | None ->
+            let net = emit_inverter { Mapped.driver = Mapped.Pi (nd - 1); negated = false } in
+            Hashtbl.add memo (nd, 1) net;
+            net
+      end
+    end
+    else begin
+      let p = if free then 0 else ph in
+      match Hashtbl.find_opt memo (nd, p) with
+      | Some net ->
+          if free && ph = 1 then { net with Mapped.negated = not net.Mapped.negated }
+          else net
+      | None ->
+          let net =
+            match (slot nd p).choice with
+            | Unmapped -> assert false
+            | Wire (leaf, lph) ->
+                if free then begin
+                  let base = resolve leaf 0 in
+                  if lph then
+                    { base with Mapped.negated = not base.Mapped.negated }
+                  else base
+                end
+                else resolve leaf (if lph then 1 else 0)
+            | Bridge -> emit_inverter (resolve nd (1 - p))
+            | Match (entry, leaves, key) ->
+                let fanins =
+                  Array.mapi
+                    (fun i leaf ->
+                      let want = (entry.Cell_lib.phase lsr i) land 1 in
+                      if free then begin
+                        let base = resolve leaf 0 in
+                        if want = 1 then
+                          { base with Mapped.negated = not base.Mapped.negated }
+                        else base
+                      end
+                      else resolve leaf want)
+                    leaves
+                in
+                (* instance function over fanin values: fanin i carries
+                   leaf_i ^ phase_i, so substitute back *)
+                let tt = Npn.apply_phase key entry.Cell_lib.phase in
+                let idx = !ninsts in
+                incr ninsts;
+                insts :=
+                  {
+                    Mapped.cell_name = entry.Cell_lib.cell.Cell_lib.name;
+                    area = entry.Cell_lib.cell.Cell_lib.area;
+                    delay = entry.Cell_lib.cell.Cell_lib.delay;
+                    fanins;
+                    tt;
+                  }
+                  :: !insts;
+                { Mapped.driver = Mapped.Inst idx; negated = false }
+          in
+          Hashtbl.add memo (nd, p) net;
+          if free && ph = 1 then { net with Mapped.negated = not net.Mapped.negated }
+          else net
+    end
+  and emit_inverter input : Mapped.net =
+    match inv with
+    | None ->
+        (* free-phase library: complement is free *)
+        { input with Mapped.negated = not input.Mapped.negated }
+    | Some c ->
+        let idx = !ninsts in
+        incr ninsts;
+        insts :=
+          {
+            Mapped.cell_name = c.Cell_lib.name;
+            area = c.Cell_lib.area;
+            delay = c.Cell_lib.delay;
+            fanins = [| input |];
+            tt = Int64.lognot 0xAAAAAAAAAAAAAAAAL;
+          }
+          :: !insts;
+        { Mapped.driver = Mapped.Inst idx; negated = false }
+  in
+  let out_nets =
+    Array.map
+      (fun (name, l) ->
+        let nd = Aig.node_of l in
+        let c = Aig.is_compl l in
+        let net =
+          if free then begin
+            let base = resolve nd 0 in
+            if c then { base with Mapped.negated = not base.Mapped.negated }
+            else base
+          end
+          else resolve nd (if c then 1 else 0)
+        in
+        (name, net))
+      outputs
+  in
+  {
+    Mapped.lib_name = Cell_lib.name lib;
+    tau_ps = Cell_lib.tau_ps lib;
+    num_inputs = Aig.num_inputs aig;
+    input_names =
+      Array.init (Aig.num_inputs aig) (fun i -> Aig.input_name aig i);
+    instances = Array.of_list (List.rev !insts);
+    outputs = out_nets;
+  }

@@ -1,0 +1,22 @@
+(** Cut-based structural technology mapping (the algorithm family of ABC's
+    [map]): K-feasible priority cuts, Boolean matching by hash lookup in the
+    NPN-expanded library tables, delay-optimal covering, and required-time
+    driven area recovery.
+
+    Both node phases are mapped.  In free-phase libraries (ambipolar
+    CNTFET) the complement of every net is available for free — matching
+    the paper's convention that each cell carries an output inverter — so a
+    single phase is computed.  In the CMOS library, complement phases cost
+    explicit inverter cells, which the mapper inserts and charges. *)
+
+type params = {
+  cut_size : int;      (** K, at most 6 (the largest library pin count) *)
+  cut_limit : int;     (** priority cuts kept per node *)
+  area_passes : int;   (** required-time-driven area-recovery iterations *)
+}
+
+val default_params : params
+
+val map : ?params:params -> Cell_lib.t -> Aig.t -> Mapped.t
+(** Maps a combinational AIG.  The mapped netlist is logically equivalent
+    to the AIG (checkable with {!Mapped.to_aig} and {!Cec}). *)

@@ -1,0 +1,1 @@
+lib/ttab/npn.ml: Array Hashtbl Int64

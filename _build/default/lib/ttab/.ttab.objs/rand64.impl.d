@@ -1,0 +1,1 @@
+lib/ttab/rand64.ml: Int64

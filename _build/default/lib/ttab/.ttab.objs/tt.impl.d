@@ -1,0 +1,1 @@
+lib/ttab/tt.ml: Array Buffer Format Int64 List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ttab/tt.mli: Format

@@ -1,0 +1,13 @@
+(** Deterministic 64-bit pseudo-random stream (SplitMix64).
+
+    Used for simulation patterns and property-based inputs so that runs are
+    reproducible without threading OCaml's global [Random] state. *)
+
+type t
+
+val create : int64 -> t
+val next : t -> int64
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound-1] ([bound > 0]). *)
+
+val bool : t -> bool

@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Cut Int64 List Printf Rand64 Tt

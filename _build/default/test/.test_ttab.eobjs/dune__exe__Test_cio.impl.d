@@ -1,0 +1,1 @@
+test/test_cio.ml: Aig Alcotest Arith Array Bench_fmt Blif Cec Cell_lib Ecc Filename Genlib In_channel List Logic_gen Mapped Mapper String Sys

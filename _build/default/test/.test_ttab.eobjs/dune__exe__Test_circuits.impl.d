@@ -1,0 +1,1 @@
+test/test_circuits.ml: Aig Alcotest Alu Arith Array Bench_suite Bitvec Crypto Ecc Int64 List Printf Rand64

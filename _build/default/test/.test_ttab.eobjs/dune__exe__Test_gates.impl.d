@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Catalog Cell_netlist Charlib Gate_spec List Paper_data Printf Switchsim Tt

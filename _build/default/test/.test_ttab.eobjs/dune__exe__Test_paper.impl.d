@@ -1,0 +1,1 @@
+test/test_paper.ml: Aig Alcotest Arith Catalog Cell_netlist Core Coverage Experiments Fabric Lazy List Mapped String Switchsim

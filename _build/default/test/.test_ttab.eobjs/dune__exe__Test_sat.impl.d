@@ -1,0 +1,1 @@
+test/test_sat.ml: Aig Alcotest Array Cec Cnf List Printf QCheck QCheck_alcotest Rand64 Solver

@@ -1,0 +1,1 @@
+test/test_sop.ml: Alcotest Array Cube Factored Format List QCheck QCheck_alcotest Rand64 Sop Tt

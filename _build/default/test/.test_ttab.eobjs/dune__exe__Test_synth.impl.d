@@ -1,0 +1,1 @@
+test/test_synth.ml: Aig Alcotest Arith Array Cec Ecc Int64 List Printf Rand64 Synth

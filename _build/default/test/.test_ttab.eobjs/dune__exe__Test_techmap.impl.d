@@ -1,0 +1,1 @@
+test/test_techmap.ml: Aig Alcotest Alu Arith Array Catalog Cec Cell_lib Cell_netlist Ecc Gate_spec Genlib Int64 List Mapped Mapper Npn Printf Rand64 Synth

@@ -1,0 +1,1 @@
+test/test_ttab.ml: Alcotest Array Format List Npn Printf QCheck QCheck_alcotest Rand64 Tt

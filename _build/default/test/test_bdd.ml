@@ -1,0 +1,118 @@
+(* Tests for the ROBDD engine, crosschecked against truth tables. *)
+
+let rng = Rand64.create 13L
+
+let random_tt n =
+  if n <= 6 then Tt.of_bits n (Rand64.next rng)
+  else Tt.of_words n (Array.init (1 lsl (n - 6)) (fun _ -> Rand64.next rng))
+
+let arb_tt =
+  QCheck.make
+    ~print:(fun t -> Format.asprintf "%a" Tt.pp t)
+    QCheck.Gen.(int_range 1 8 >>= fun n -> return (random_tt n))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_tt/to_tt roundtrip" ~count:300 arb_tt (fun t ->
+      let n = Tt.nvars t in
+      let m = Bdd.create n in
+      let f = Bdd.of_tt m t in
+      Tt.equal (Bdd.to_tt m n f) t)
+
+let prop_canonicity =
+  QCheck.Test.make ~name:"equal functions share a node" ~count:200
+    (QCheck.pair arb_tt arb_tt) (fun (a, b) ->
+      QCheck.assume (Tt.nvars a = Tt.nvars b);
+      let n = Tt.nvars a in
+      let m = Bdd.create n in
+      let fa = Bdd.of_tt m a and fb = Bdd.of_tt m b in
+      Tt.equal a b = (fa = fb))
+
+let prop_ops_match =
+  QCheck.Test.make ~name:"BDD ops match Tt ops" ~count:200
+    (QCheck.pair arb_tt arb_tt) (fun (a, b) ->
+      QCheck.assume (Tt.nvars a = Tt.nvars b);
+      let n = Tt.nvars a in
+      let m = Bdd.create n in
+      let fa = Bdd.of_tt m a and fb = Bdd.of_tt m b in
+      Bdd.mand m fa fb = Bdd.of_tt m (Tt.band a b)
+      && Bdd.mor m fa fb = Bdd.of_tt m (Tt.bor a b)
+      && Bdd.mxor m fa fb = Bdd.of_tt m (Tt.bxor a b)
+      && Bdd.mnot m fa = Bdd.of_tt m (Tt.bnot a))
+
+let prop_sat_count =
+  QCheck.Test.make ~name:"sat_count matches count_ones" ~count:200 arb_tt
+    (fun t ->
+      let n = Tt.nvars t in
+      let m = Bdd.create n in
+      let f = Bdd.of_tt m t in
+      int_of_float (Bdd.sat_count m f) = Tt.count_ones t)
+
+let prop_any_sat =
+  QCheck.Test.make ~name:"any_sat returns a witness" ~count:200 arb_tt
+    (fun t ->
+      let n = Tt.nvars t in
+      let m = Bdd.create n in
+      let f = Bdd.of_tt m t in
+      match Bdd.any_sat m f with
+      | None -> Tt.is_const0 t
+      | Some partial ->
+          let a =
+            List.fold_left
+              (fun acc (v, s) -> if s then acc lor (1 lsl v) else acc)
+              0 partial
+          in
+          Tt.eval t a)
+
+let prop_cofactor =
+  QCheck.Test.make ~name:"cofactor matches Tt" ~count:200 arb_tt (fun t ->
+      let n = Tt.nvars t in
+      let i = Rand64.int rng n in
+      let m = Bdd.create n in
+      let f = Bdd.of_tt m t in
+      Bdd.cofactor m f i true = Bdd.of_tt m (Tt.cofactor1 t i)
+      && Bdd.cofactor m f i false = Bdd.of_tt m (Tt.cofactor0 t i))
+
+let test_var_order () =
+  let m = Bdd.create 4 in
+  let x0 = Bdd.var m 0 and x3 = Bdd.var m 3 in
+  let f = Bdd.mand m x0 x3 in
+  Alcotest.(check int) "x0*x3 has 2 nodes" 2 (Bdd.size m f)
+
+let test_xor_chain_size () =
+  (* XOR of n variables has exactly n BDD nodes under any order. *)
+  let n = 10 in
+  let m = Bdd.create n in
+  let f =
+    List.fold_left
+      (fun acc i -> Bdd.mxor m acc (Bdd.var m i))
+      Bdd.zero
+      (List.init n (fun i -> i))
+  in
+  Alcotest.(check int) "xor-10 nodes" ((2 * n) - 1) (Bdd.size m f)
+
+let test_terminal_cases () =
+  let m = Bdd.create 3 in
+  Alcotest.(check int) "zero size" 0 (Bdd.size m Bdd.zero);
+  Alcotest.(check bool) "ite(1,a,b)=a" true
+    (Bdd.ite m Bdd.one (Bdd.var m 1) Bdd.zero = Bdd.var m 1);
+  Alcotest.(check bool) "x and !x = 0" true
+    (Bdd.mand m (Bdd.var m 2) (Bdd.mnot m (Bdd.var m 2)) = Bdd.zero)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "bdd",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminal_cases;
+          Alcotest.test_case "var order" `Quick test_var_order;
+          Alcotest.test_case "xor chain" `Quick test_xor_chain_size;
+          qt prop_roundtrip;
+          qt prop_canonicity;
+          qt prop_ops_match;
+          qt prop_sat_count;
+          qt prop_any_sat;
+          qt prop_cofactor;
+        ] );
+    ]

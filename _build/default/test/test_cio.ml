@@ -1,0 +1,161 @@
+(* Tests for the file formats: BLIF and .bench roundtrips (checked by CEC),
+   genlib parse/print. *)
+
+let roundtrip_equiv fmt_name to_s of_s aig =
+  let text = to_s aig in
+  let back = of_s text in
+  (match Cec.check aig back with
+  | Cec.Equivalent -> ()
+  | Cec.Inequivalent _ -> Alcotest.failf "%s roundtrip broke semantics" fmt_name
+  | Cec.Undecided -> Alcotest.failf "%s roundtrip undecided" fmt_name);
+  Alcotest.(check int)
+    (fmt_name ^ " inputs")
+    (Aig.num_inputs aig) (Aig.num_inputs back);
+  Alcotest.(check int)
+    (fmt_name ^ " outputs")
+    (Aig.num_outputs aig) (Aig.num_outputs back)
+
+let circuits () =
+  [ ("adder", Arith.adder 8);
+    ("ecc", Ecc.decoder ~data:8 ~checks:5 ~detect:true);
+    ("t481", Logic_gen.t481_like ()) ]
+
+let test_blif_roundtrip () =
+  List.iter
+    (fun (name, aig) ->
+      roundtrip_equiv ("blif:" ^ name)
+        (fun a -> Blif.to_string a)
+        Blif.of_string aig)
+    (circuits ());
+  Alcotest.(check pass) "blif roundtrips" () ()
+
+let test_bench_roundtrip () =
+  List.iter
+    (fun (name, aig) ->
+      roundtrip_equiv ("bench:" ^ name) Bench_fmt.to_string Bench_fmt.of_string
+        aig)
+    (circuits ());
+  Alcotest.(check pass) "bench roundtrips" () ()
+
+let test_blif_parser_features () =
+  let text =
+    ".model demo\n\
+     .inputs a b c\n\
+     .outputs y z\n\
+     # a comment\n\
+     .names a b t1\n\
+     11 1\n\
+     .names t1 \\\n\
+     c y\n\
+     1- 1\n\
+     -1 1\n\
+     .names a z\n\
+     0 1\n\
+     .end\n"
+  in
+  let g = Blif.of_string text in
+  Alcotest.(check int) "inputs" 3 (Aig.num_inputs g);
+  Alcotest.(check int) "outputs" 2 (Aig.num_outputs g);
+  (* y = (a&b) | c ; z = !a *)
+  let check a b c =
+    let out = Aig.eval g [| a; b; c |] in
+    Alcotest.(check bool) "y" ((a && b) || c) out.(0);
+    Alcotest.(check bool) "z" (not a) out.(1)
+  in
+  check true true false;
+  check false false true;
+  check true false false
+
+let test_blif_zero_phase () =
+  (* 0-phase cover: complement of the cube sum *)
+  let text =
+    ".model inv\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+  in
+  let g = Blif.of_string text in
+  let out = Aig.eval g [| true; true |] in
+  Alcotest.(check bool) "nand" false out.(0);
+  let out = Aig.eval g [| true; false |] in
+  Alcotest.(check bool) "nand2" true out.(0)
+
+let test_bench_parser () =
+  let text =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+     t = XOR(a, b)\nu = NAND(a, b)\ny = AND(t, u)\n"
+  in
+  let g = Bench_fmt.of_string text in
+  let f a b = (a <> b) && not (a && b) in
+  List.iter
+    (fun (a, b) ->
+      let out = Aig.eval g [| a; b |] in
+      Alcotest.(check bool) "bench semantics" (f a b) out.(0))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_bad_inputs_rejected () =
+  Alcotest.check_raises "undriven blif"
+    (Failure "Blif: undriven signal q") (fun () ->
+      ignore (Blif.of_string ".model m\n.inputs a\n.outputs q\n.end\n"));
+  (match Bench_fmt.of_string "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bad gate accepted")
+
+let test_genlib_parse () =
+  let text =
+    "# tiny library\n\
+     GATE INV 1.0 o=!a; PIN * INV 1 999 1.0 0.0 1.0 0.0\n\
+     GATE NAND2 2.0 o=!(a*b); PIN * INV 1 999 1.5 0.0 1.5 0.0\n\
+     GATE XOR2 3.0 o=a*!b+!a*b; PIN * NONINV 1 999 2.0 0.0 2.0 0.0\n"
+  in
+  let lib = Genlib.of_string ~name:"tiny" ~free_phases:false ~tau_ps:1.0 text in
+  Alcotest.(check int) "three cells" 3 (List.length (Cell_lib.cells lib));
+  Alcotest.(check bool) "inverter found" true (Cell_lib.inverter lib <> None);
+  (* map an xor with it: must use the XOR2 cell *)
+  let g = Aig.create () in
+  let a = Aig.add_input g and b = Aig.add_input g in
+  Aig.add_output g "y" (Aig.mk_xor g a b);
+  let m = Mapper.map lib g in
+  Alcotest.(check (list (pair string int))) "xor cell" [ ("XOR2", 1) ]
+    (Mapped.count_cells m)
+
+let test_mapped_blif_writer () =
+  let aig = Arith.adder 4 in
+  let m = Mapper.map (Cell_lib.cntfet ()) aig in
+  let buf_path = Filename.temp_file "mapped" ".blif" in
+  let oc = open_out buf_path in
+  Blif.write_mapped oc m;
+  close_out oc;
+  let content = In_channel.with_open_text buf_path In_channel.input_all in
+  Sys.remove buf_path;
+  Alcotest.(check bool) "has gates" true
+    (String.length content > 100
+    && String.index_opt content 'g' <> None);
+  (* every instance appears *)
+  let count_sub sub =
+    let n = ref 0 in
+    let sl = String.length sub in
+    for i = 0 to String.length content - sl do
+      if String.sub content i sl = sub then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "gate lines" (Array.length m.Mapped.instances)
+    (count_sub ".gate ")
+
+let () =
+  Alcotest.run "cio"
+    [
+      ( "blif",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
+          Alcotest.test_case "parser features" `Quick test_blif_parser_features;
+          Alcotest.test_case "zero phase" `Quick test_blif_zero_phase;
+          Alcotest.test_case "mapped writer" `Quick test_mapped_blif_writer;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip;
+          Alcotest.test_case "parser" `Quick test_bench_parser;
+          Alcotest.test_case "errors" `Quick test_bad_inputs_rejected;
+        ] );
+      ( "genlib",
+        [ Alcotest.test_case "parse and map" `Quick test_genlib_parse ] );
+    ]

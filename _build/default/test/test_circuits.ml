@@ -1,0 +1,234 @@
+(* Tests for the benchmark circuit generators: functional correctness of
+   the arithmetic/ECC/ALU/crypto structures and determinism of the suite. *)
+
+let rng = Rand64.create 41L
+
+let to_bits n v = Array.init n (fun i -> v land (1 lsl i) <> 0)
+
+let of_bits bits =
+  Array.to_list bits |> List.rev
+  |> List.fold_left (fun acc b -> (2 * acc) + if b then 1 else 0) 0
+
+let test_adder () =
+  let n = 10 in
+  let g = Arith.adder n in
+  for _ = 1 to 200 do
+    let a = Rand64.int rng (1 lsl n) and b = Rand64.int rng (1 lsl n) in
+    let cin = Rand64.bool rng in
+    let input = Array.concat [ to_bits n a; to_bits n b; [| cin |] ] in
+    let out = Aig.eval g input in
+    let v = of_bits out in
+    Alcotest.(check int) "sum" (a + b + if cin then 1 else 0) v
+  done
+
+let test_multiplier () =
+  let n = 7 in
+  let g = Arith.multiplier n in
+  for _ = 1 to 200 do
+    let a = Rand64.int rng (1 lsl n) and b = Rand64.int rng (1 lsl n) in
+    let input = Array.append (to_bits n a) (to_bits n b) in
+    let out = Aig.eval g input in
+    Alcotest.(check int) "product" (a * b) (of_bits out)
+  done
+
+let test_carry_select_adder () =
+  let n = 12 in
+  List.iter
+    (fun block ->
+      let g = Arith.carry_select_adder n ~block in
+      for _ = 1 to 100 do
+        let a = Rand64.int rng (1 lsl n) and b = Rand64.int rng (1 lsl n) in
+        let cin = Rand64.bool rng in
+        let input = Array.concat [ to_bits n a; to_bits n b; [| cin |] ] in
+        let v = of_bits (Aig.eval g input) in
+        Alcotest.(check int) "csa sum" (a + b + if cin then 1 else 0) v
+      done;
+      (* shallower than the ripple structure for mid-size blocks *)
+      if block = 4 then
+        Alcotest.(check bool) "csa shallower" true
+          (Aig.depth g < Aig.depth (Arith.adder n)))
+    [ 2; 4; 5 ]
+
+let test_addsub () =
+  let n = 8 in
+  let g = Arith.addsub n in
+  for _ = 1 to 100 do
+    let a = Rand64.int rng 256 and b = Rand64.int rng 256 in
+    let sub = Rand64.bool rng in
+    let input = Array.concat [ to_bits n a; to_bits n b; [| sub |] ] in
+    let out = Aig.eval g input in
+    let s = of_bits (Array.sub out 0 n) in
+    let expect = if sub then (a - b) land 255 else (a + b) land 255 in
+    Alcotest.(check int) "result" expect s;
+    (* flags live after the sum bits: cout zero eq lt *)
+    Alcotest.(check bool) "eq flag" (a = b) out.(n + 2);
+    Alcotest.(check bool) "lt flag" (a < b) out.(n + 3)
+  done
+
+let test_ecc_roundtrip () =
+  (* encode, flip any single data bit, decode: must correct it *)
+  let data = 16 and checks = 8 in
+  let enc = Ecc.encoder ~data ~checks in
+  let dec = Ecc.decoder ~data ~checks ~detect:false in
+  for _ = 1 to 50 do
+    let word = Rand64.int rng (1 lsl data) in
+    let encoded = Aig.eval enc (to_bits data word) in
+    (* encoded = data bits then check bits *)
+    let flip = Rand64.int rng data in
+    let received =
+      Array.mapi (fun i b -> if i = flip then not b else b) encoded
+    in
+    let out = Aig.eval dec received in
+    let corrected = of_bits (Array.sub out 0 data) in
+    Alcotest.(check int) "corrected word" word corrected;
+    Alcotest.(check bool) "error flagged" true out.(data)
+  done;
+  (* no error: clean pass, no error flag *)
+  let word = Rand64.int rng (1 lsl data) in
+  let encoded = Aig.eval enc (to_bits data word) in
+  let out = Aig.eval dec encoded in
+  Alcotest.(check int) "clean word" word (of_bits (Array.sub out 0 data));
+  Alcotest.(check bool) "no error flag" false out.(data)
+
+let test_ecc_check_bit_error () =
+  (* flipping a check bit must not corrupt the data *)
+  let data = 16 and checks = 8 in
+  let enc = Ecc.encoder ~data ~checks in
+  let dec = Ecc.decoder ~data ~checks ~detect:false in
+  let word = 0xBEEF land ((1 lsl data) - 1) in
+  let encoded = Aig.eval enc (to_bits data word) in
+  let received =
+    Array.mapi (fun i b -> if i = data + 2 then not b else b) encoded
+  in
+  let out = Aig.eval dec received in
+  Alcotest.(check int) "data intact" word (of_bits (Array.sub out 0 data))
+
+let test_alu_ops () =
+  let w = 8 in
+  let g = Alu.alu ~width:w ~masked:false ~result_only:false () in
+  (* inputs: a(8) b(8) sel(3) cin *)
+  let eval a b sel cin =
+    let input =
+      Array.concat [ to_bits w a; to_bits w b; to_bits 3 sel; [| cin |] ]
+    in
+    Aig.eval g input
+  in
+  for _ = 1 to 60 do
+    let a = Rand64.int rng 256 and b = Rand64.int rng 256 in
+    let check sel expect =
+      let out = eval a b sel false in
+      Alcotest.(check int)
+        (Printf.sprintf "op %d on %d,%d" sel a b)
+        (expect land 255)
+        (of_bits (Array.sub out 0 w))
+    in
+    check 0 (a + b);
+    check 1 (a - b);
+    check 2 (a land b);
+    check 3 (a lor b);
+    check 4 (a lxor b);
+    check 5 (lnot (a lor b));
+    check 6 (a lsl 1);
+    check 7 (lnot a)
+  done
+
+let test_feistel_invertibility_structure () =
+  (* the Feistel network's round outputs must depend on the key inputs *)
+  let g = Crypto.des_like () in
+  Alcotest.(check bool) "plausible size" true (Aig.num_ands g > 3000);
+  let rng' = Rand64.create 5L in
+  let w1 = Array.init (Aig.num_inputs g) (fun _ -> Rand64.next rng') in
+  let w2 = Array.copy w1 in
+  (* flip one key bit (input index 64 = first key bit) *)
+  w2.(64) <- Int64.lognot w2.(64);
+  let o1 = Aig.simulate_outputs g w1 and o2 = Aig.simulate_outputs g w2 in
+  Alcotest.(check bool) "key affects outputs" true (o1 <> o2)
+
+let test_suite_determinism () =
+  List.iter
+    (fun (e : Bench_suite.entry) ->
+      let a = e.Bench_suite.build () and b = e.Bench_suite.build () in
+      Alcotest.(check int)
+        (e.Bench_suite.name ^ " size stable")
+        (Aig.num_ands a) (Aig.num_ands b);
+      (* same simulation signature *)
+      let rng' = Rand64.create 77L in
+      let w = Array.init (Aig.num_inputs a) (fun _ -> Rand64.next rng') in
+      if Aig.simulate_outputs a w <> Aig.simulate_outputs b w then
+        Alcotest.failf "%s differs between builds" e.Bench_suite.name)
+    Bench_suite.all;
+  Alcotest.(check pass) "deterministic suite" () ()
+
+let test_suite_profiles () =
+  (* interface sanity for every suite entry *)
+  List.iter
+    (fun (e : Bench_suite.entry) ->
+      let g = e.Bench_suite.build () in
+      if Aig.num_inputs g < 16 || Aig.num_outputs g < 1 then
+        Alcotest.failf "%s has a degenerate interface" e.Bench_suite.name;
+      if Aig.num_ands g < 100 then
+        Alcotest.failf "%s is too small" e.Bench_suite.name)
+    Bench_suite.all;
+  Alcotest.(check int) "15 benchmarks" 15 (List.length Bench_suite.all)
+
+let test_bitvec_shifts () =
+  let g = Aig.create () in
+  let v = Bitvec.inputs g "v" 8 in
+  let amt = Bitvec.inputs g "k" 3 in
+  Bitvec.outputs g "l" (Bitvec.shift_left g v amt);
+  Bitvec.outputs g "r" (Bitvec.shift_right g v amt);
+  for _ = 1 to 100 do
+    let x = Rand64.int rng 256 and k = Rand64.int rng 8 in
+    let out = Aig.eval g (Array.append (to_bits 8 x) (to_bits 3 k)) in
+    Alcotest.(check int) "shl" ((x lsl k) land 255)
+      (of_bits (Array.sub out 0 8));
+    Alcotest.(check int) "shr" (x lsr k) (of_bits (Array.sub out 8 8))
+  done
+
+let test_mux_tree () =
+  let g = Aig.create () in
+  let sel = Bitvec.inputs g "s" 2 in
+  let ways = Array.init 4 (fun _ -> Bitvec.inputs g "w" 4) in
+  Bitvec.outputs g "o" (Bitvec.mux_tree g sel ways);
+  for _ = 1 to 50 do
+    let vals = Array.init 4 (fun _ -> Rand64.int rng 16) in
+    let s = Rand64.int rng 4 in
+    let input =
+      Array.concat
+        (to_bits 2 s :: Array.to_list (Array.map (to_bits 4) vals))
+    in
+    let out = Aig.eval g input in
+    Alcotest.(check int) "selected" vals.(s) (of_bits out)
+  done
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "arith",
+        [
+          Alcotest.test_case "adder" `Quick test_adder;
+          Alcotest.test_case "multiplier" `Quick test_multiplier;
+          Alcotest.test_case "addsub+flags" `Quick test_addsub;
+          Alcotest.test_case "carry-select adder" `Quick test_carry_select_adder;
+        ] );
+      ( "ecc",
+        [
+          Alcotest.test_case "single-error correction" `Quick test_ecc_roundtrip;
+          Alcotest.test_case "check-bit error" `Quick test_ecc_check_bit_error;
+        ] );
+      ( "alu",
+        [ Alcotest.test_case "all operations" `Quick test_alu_ops ] );
+      ( "crypto",
+        [ Alcotest.test_case "feistel structure" `Quick
+            test_feistel_invertibility_structure ] );
+      ( "suite",
+        [
+          Alcotest.test_case "determinism" `Quick test_suite_determinism;
+          Alcotest.test_case "profiles" `Quick test_suite_profiles;
+        ] );
+      ( "bitvec",
+        [
+          Alcotest.test_case "shifts" `Quick test_bitvec_shifts;
+          Alcotest.test_case "mux tree" `Quick test_mux_tree;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+(* Tests for cube algebra, the Minato–Morreale ISOP and algebraic factoring. *)
+
+let rng = Rand64.create 11L
+
+let random_tt n =
+  if n <= 6 then Tt.of_bits n (Rand64.next rng)
+  else Tt.of_words n (Array.init (1 lsl (n - 6)) (fun _ -> Rand64.next rng))
+
+let arb_tt =
+  QCheck.make
+    ~print:(fun t -> Format.asprintf "%a" Tt.pp t)
+    QCheck.Gen.(int_range 1 8 >>= fun n -> return (random_tt n))
+
+let test_cube_basics () =
+  let c = Cube.of_literals [ (0, true); (3, false) ] in
+  Alcotest.(check int) "literal count" 2 (Cube.num_literals c);
+  Alcotest.(check bool) "has pos 0" true (Cube.has_pos c 0);
+  Alcotest.(check bool) "has neg 3" true (Cube.has_neg c 3);
+  Alcotest.(check bool) "eval 0b0001" true (Cube.evaluates c 0b0001);
+  Alcotest.(check bool) "eval 0b1001" false (Cube.evaluates c 0b1001);
+  Alcotest.(check bool) "top contains" true (Cube.contains Cube.top c);
+  Alcotest.(check bool) "not contained" false (Cube.contains c Cube.top);
+  (match Cube.and_lit c 0 false with
+  | None -> ()
+  | Some _ -> Alcotest.fail "contradiction accepted");
+  let c' = Cube.remove_var c 3 in
+  Alcotest.(check int) "after removal" 1 (Cube.num_literals c')
+
+let test_cube_contradiction () =
+  Alcotest.check_raises "of_literals contradiction"
+    (Invalid_argument "Cube.of_literals: contradiction") (fun () ->
+      ignore (Cube.of_literals [ (1, true); (1, false) ]))
+
+let prop_cube_tt =
+  QCheck.Test.make ~name:"cube to_tt matches evaluates" ~count:200
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (p, q) ->
+      let pos = p land lnot q and neg = q land lnot p in
+      let c = { Cube.pos; neg } in
+      let n = 8 in
+      let tt = Cube.to_tt n c in
+      let ok = ref true in
+      for a = 0 to (1 lsl n) - 1 do
+        if Tt.eval tt a <> Cube.evaluates c a then ok := false
+      done;
+      !ok)
+
+let prop_isop_exact =
+  QCheck.Test.make ~name:"isop cover equals function" ~count:300 arb_tt
+    (fun t ->
+      let s = Sop.isop t in
+      Tt.equal (Sop.to_tt s) t)
+
+let prop_isop_irredundant =
+  QCheck.Test.make ~name:"isop cover is irredundant" ~count:100 arb_tt
+    (fun t ->
+      let s = Sop.isop t in
+      let n = Tt.nvars t in
+      (* dropping any single cube must lose some minterm *)
+      List.for_all
+        (fun c ->
+          let rest = List.filter (fun d -> d <> c) s.Sop.cubes in
+          not (Tt.equal (Sop.to_tt (Sop.make n rest)) t))
+        s.Sop.cubes)
+
+let prop_isop_lu_bounds =
+  QCheck.Test.make ~name:"isop_lu lies within bounds" ~count:300
+    (QCheck.pair arb_tt arb_tt) (fun (a, b) ->
+      QCheck.assume (Tt.nvars a = Tt.nvars b);
+      let lower = Tt.band a b and upper = Tt.bor a b in
+      let s = Sop.isop_lu lower upper in
+      let f = Sop.to_tt s in
+      Tt.is_const0 (Tt.bandn lower f) && Tt.is_const0 (Tt.bandn f upper))
+
+let prop_factor_equal =
+  QCheck.Test.make ~name:"factored form equals cover" ~count:300 arb_tt
+    (fun t ->
+      let s = Sop.isop t in
+      let f = Factored.factor s in
+      Tt.equal (Factored.to_tt (Tt.nvars t) f) t)
+
+let prop_factor_no_more_literals =
+  QCheck.Test.make ~name:"factoring does not add literals" ~count:200 arb_tt
+    (fun t ->
+      let s = Sop.isop t in
+      Factored.num_literals (Factored.factor s) <= Sop.num_literals s)
+
+let test_factor_examples () =
+  (* f = a*b + a*c: factoring must produce 3 literals, not 4. *)
+  let n = 3 in
+  let a = Tt.var n 0 and b = Tt.var n 1 and c = Tt.var n 2 in
+  let f = Tt.bor (Tt.band a b) (Tt.band a c) in
+  let form = Factored.factor (Sop.isop f) in
+  Alcotest.(check int) "a(b+c) has 3 literals" 3 (Factored.num_literals form);
+  (* xor needs 4 literals in SOP *)
+  let x = Tt.bxor a b in
+  let sx = Sop.isop x in
+  Alcotest.(check int) "xor cubes" 2 (Sop.num_cubes sx);
+  Alcotest.(check int) "xor literals" 4 (Sop.num_literals sx)
+
+let test_isop_constants () =
+  let s0 = Sop.isop (Tt.const0 4) in
+  Alcotest.(check int) "const0 cubes" 0 (Sop.num_cubes s0);
+  let s1 = Sop.isop (Tt.const1 4) in
+  Alcotest.(check int) "const1 cubes" 1 (Sop.num_cubes s1);
+  Alcotest.(check int) "const1 literals" 0 (Sop.num_literals s1)
+
+let test_isop_big () =
+  (* 10-variable parity: ISOP must have 512 cubes of 10 literals. *)
+  let n = 10 in
+  let parity =
+    List.fold_left
+      (fun acc i -> Tt.bxor acc (Tt.var n i))
+      (Tt.const0 n)
+      (List.init n (fun i -> i))
+  in
+  let s = Sop.isop parity in
+  Alcotest.(check int) "parity cubes" 512 (Sop.num_cubes s);
+  Alcotest.(check bool) "parity exact" true (Tt.equal (Sop.to_tt s) parity)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sop"
+    [
+      ( "cube",
+        [
+          Alcotest.test_case "basics" `Quick test_cube_basics;
+          Alcotest.test_case "contradiction" `Quick test_cube_contradiction;
+          qt prop_cube_tt;
+        ] );
+      ( "isop",
+        [
+          Alcotest.test_case "constants" `Quick test_isop_constants;
+          Alcotest.test_case "parity-10" `Quick test_isop_big;
+          qt prop_isop_exact;
+          qt prop_isop_irredundant;
+          qt prop_isop_lu_bounds;
+        ] );
+      ( "factoring",
+        [
+          Alcotest.test_case "examples" `Quick test_factor_examples;
+          qt prop_factor_equal;
+          qt prop_factor_no_more_literals;
+        ] );
+    ]
