@@ -1,0 +1,156 @@
+(* Electrical-rule-check and structural-analysis CLI.
+
+   Runs the three lint analyzers over (1) the full F00-F45 catalog across
+   all five logic families and (2) every Bench_suite circuit taken through
+   the synthesis + technology-mapping flow, verifying each mapped netlist
+   cell-by-cell against the AIG it was mapped from.  Exits nonzero when any
+   Error-severity finding is reported. *)
+
+let synth_mode = ref "light"
+let families = ref "static"
+let benches = ref []
+let catalog_only = ref false
+let tsv = ref false
+let quiet = ref false
+let max_print = ref 50
+let list_rules = ref false
+
+let specs =
+  [
+    ("--catalog-only", Arg.Set catalog_only, " only run the cell ERC");
+    ( "--bench",
+      Arg.String (fun s -> benches := s :: !benches),
+      "NAME restrict to one benchmark (repeatable)" );
+    ( "--family",
+      Arg.Set_string families,
+      "FAMS mapping families, comma-separated subset of \
+       static,pseudo,pass-pseudo,cmos or 'all' (default static)" );
+    ( "--synth",
+      Arg.Set_string synth_mode,
+      "MODE optimization before mapping: none|light|full (default light)" );
+    ("--tsv", Arg.Set tsv, " machine-readable tab-separated output");
+    ("--quiet", Arg.Set quiet, " print only the summary");
+    ( "--max-print",
+      Arg.Set_int max_print,
+      "N cap printed diagnostics (default 50; ignored with --tsv)" );
+    ("--rules", Arg.Set list_rules, " list every rule id and exit");
+  ]
+
+let usage = "lint [options]  (see --help)"
+
+let parse_families () =
+  let of_name = function
+    | "static" -> `Tg_static
+    | "pseudo" -> `Tg_pseudo
+    | "pass-pseudo" -> `Pass_pseudo
+    | "cmos" -> `Cmos
+    | f ->
+        prerr_endline ("lint: unknown family " ^ f);
+        exit 2
+  in
+  match !families with
+  | "all" -> [ `Tg_static; `Tg_pseudo; `Pass_pseudo; `Cmos ]
+  | s -> List.map of_name (String.split_on_char ',' s)
+
+let family_name = function
+  | `Tg_static -> "static"
+  | `Tg_pseudo -> "pseudo"
+  | `Pass_pseudo -> "pass-pseudo"
+  | `Cmos -> "cmos"
+
+let synth aig =
+  match !synth_mode with
+  | "none" -> aig
+  | "light" -> Synth.light aig
+  | "full" -> Synth.resyn2rs aig
+  | m ->
+      prerr_endline ("lint: unknown synth mode " ^ m);
+      exit 2
+
+let () =
+  Arg.parse (Arg.align specs)
+    (fun a ->
+      prerr_endline ("lint: unexpected argument " ^ a);
+      exit 2)
+    usage;
+  if !list_rules then begin
+    List.iter
+      (fun (id, descr) -> Printf.printf "%-20s %s\n" id descr)
+      (Cell_erc.rules @ Aig_lint.rules @ Map_lint.rules);
+    exit 0
+  end;
+  let t0 = Unix.gettimeofday () in
+  let all = ref [] in
+  let checked_cells = ref 0 and checked_circuits = ref 0 in
+  (* ---- cell ERC over the catalog ---- *)
+  List.iter
+    (fun family ->
+      let entries =
+        if family = Cell_netlist.Cmos then Catalog.cmos_subset
+        else Catalog.all
+      in
+      List.iter
+        (fun e ->
+          incr checked_cells;
+          all := Cell_erc.check_entry family e :: !all)
+        entries)
+    Cell_netlist.all_families;
+  (* ---- benchmark circuits through the flow ---- *)
+  if not !catalog_only then begin
+    let entries =
+      match !benches with
+      | [] -> Bench_suite.all
+      | names ->
+          List.map
+            (fun s ->
+              match Bench_suite.find s with
+              | e -> e
+              | exception Not_found ->
+                  prerr_endline ("lint: unknown benchmark " ^ s);
+                  exit 2)
+            (List.rev names)
+    in
+    let map_families = parse_families () in
+    List.iter
+      (fun (e : Bench_suite.entry) ->
+        incr checked_circuits;
+        let aig = e.Bench_suite.build () in
+        all := Aig_lint.check ~name:e.Bench_suite.name aig :: !all;
+        let opt = synth aig in
+        all :=
+          Aig_lint.check ~name:(e.Bench_suite.name ^ "/opt") opt :: !all;
+        List.iter
+          (fun fam ->
+            let lib = Core.library fam in
+            let m = Mapper.map lib opt in
+            all :=
+              Map_lint.check
+                ~name:(e.Bench_suite.name ^ "/" ^ family_name fam)
+                ~lib ~golden:opt m
+              :: !all)
+          map_families)
+      entries
+  end;
+  let diags = Diag.sort (List.concat (List.rev !all)) in
+  (if !tsv then
+     List.iter (fun d -> print_endline (Diag.to_tsv d)) diags
+   else if not !quiet then begin
+     let shown = ref 0 in
+     List.iter
+       (fun d ->
+         if !shown < !max_print then begin
+           incr shown;
+           Format.printf "%a@." Diag.pp d
+         end)
+       diags;
+     let total = List.length diags in
+     if total > !shown then
+       Format.printf "... and %d more (use --max-print or --tsv)@."
+         (total - !shown)
+   end);
+  if not !tsv then
+    Format.printf "lint: %d cells, %d circuits checked in %.1fs — %a@."
+      !checked_cells !checked_circuits
+      (Unix.gettimeofday () -. t0)
+      Diag.pp_summary diags;
+  exit (if Diag.has_errors diags then 1 else 0)

@@ -199,6 +199,12 @@ let mffc_size t refs root =
     !count
   end
 
+let unsafe_set_and t n f0 f1 =
+  if not (is_and t n) then invalid_arg "Aig.unsafe_set_and";
+  Hashtbl.remove t.strash (strash_key t.fanin0.(n) t.fanin1.(n));
+  t.fanin0.(n) <- f0;
+  t.fanin1.(n) <- f1
+
 let checkpoint t = t.num
 
 let rollback t ckpt =

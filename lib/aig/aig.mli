@@ -76,6 +76,15 @@ val mffc_size : t -> int array -> int -> int
     [n] given the fanout counts [refs] (number of AND nodes that would die if
     [n] were removed). *)
 
+val unsafe_set_and : t -> int -> lit -> lit -> unit
+(** [unsafe_set_and t n f0 f1] overwrites the fanins of the existing AND
+    node [n] without structural hashing or any invariant checking: the
+    result may contain cycles, forward references, or duplicate nodes.
+    This deliberately breaks the representation — it exists only so tests
+    and the {e lint} subsystem can build negative fixtures (a well-formed
+    AIG cannot be made ill-formed through the regular constructors).  Never
+    use it on a graph that will be optimized or mapped. *)
+
 (** {1 Checkpointing}
 
     Used for speculative construction: build tentatively, measure, and roll

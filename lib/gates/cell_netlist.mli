@@ -60,6 +60,11 @@ type cell = {
   restoring_inverter : bool;  (** pass-static output stage *)
 }
 
+val res_factor : kind -> float
+(** Worst-direction resistance factor of a unit-width device: 1 for a
+    configured ambipolar or n-type CMOS device, 2 for a driven-polarity
+    pass device or p-type CMOS device. *)
+
 val elaborate : family -> Gate_spec.expr -> cell
 (** Builds and sizes the cell.  For [Cmos] the expression must contain no
     XOR term. *)

@@ -1,0 +1,203 @@
+let rules =
+  [
+    ("aig-range", "fanin or output literal out of node range");
+    ("aig-order", "AND fanin index not smaller than the node");
+    ("aig-cycle", "combinational cycle");
+    ("aig-dup", "duplicate AND node (structural hashing violated)");
+    ("aig-dangling", "AND node with no references");
+    ("aig-unreachable", "referenced AND node outside every output cone");
+    ("aig-bookkeeping", "levels/fanout bookkeeping inconsistent");
+    ("aig-no-output", "graph has no outputs");
+  ]
+
+let check ?(name = "aig") g =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let num = Aig.num_nodes g in
+  let node_loc n = Diag.Aig_node (name, n) in
+  let in_range m = m >= 0 && m < num in
+  (* ---- fanin range / topological order / duplicates ---- *)
+  let range_ok = ref true in
+  let seen_pairs = Hashtbl.create 256 in
+  Aig.iter_ands g (fun n ->
+      let f0 = Aig.fanin0 g n and f1 = Aig.fanin1 g n in
+      List.iter
+        (fun f ->
+          let m = Aig.node_of f in
+          if not (in_range m) then begin
+            range_ok := false;
+            add
+              (Diag.errorf ~rule:"aig-range" (node_loc n)
+                 "fanin literal %d references node %d outside [0, %d)" f m
+                 num)
+          end
+          else if m >= n then
+            add
+              (Diag.errorf ~rule:"aig-order" (node_loc n)
+                 "fanin node %d is not below the node (topological order \
+                  broken)"
+                 m))
+        [ f0; f1 ];
+      let a, b = if f0 <= f1 then (f0, f1) else (f1, f0) in
+      match Hashtbl.find_opt seen_pairs (a, b) with
+      | Some first ->
+          add
+            (Diag.errorf ~rule:"aig-dup" (node_loc n)
+               "same fanins (%d, %d) as node %d" a b first)
+      | None -> Hashtbl.add seen_pairs (a, b) n);
+  (* ---- outputs ---- *)
+  let nouts = Aig.num_outputs g in
+  if nouts = 0 then
+    add
+      (Diag.warnf ~rule:"aig-no-output" (Diag.Circuit name)
+         "graph has no outputs");
+  let outs_ok = ref true in
+  for i = 0 to nouts - 1 do
+    let _, l = Aig.output g i in
+    if not (in_range (Aig.node_of l)) then begin
+      outs_ok := false;
+      add
+        (Diag.errorf ~rule:"aig-range" (Diag.Aig_out (name, i))
+           "output literal %d references node %d outside [0, %d)" l
+           (Aig.node_of l) num)
+    end
+  done;
+  let structure_ok = !range_ok && !outs_ok in
+  (* ---- cycle detection (iterative DFS; only meaningful edges) ---- *)
+  let acyclic = ref true in
+  if structure_ok then begin
+    (* colors: 0 unvisited, 1 on stack, 2 done *)
+    let color = Array.make num 0 in
+    let fanins n = [ Aig.node_of (Aig.fanin0 g n); Aig.node_of (Aig.fanin1 g n) ] in
+    let dfs root =
+      let stack = ref [ (root, fanins root) ] in
+      color.(root) <- 1;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (n, pending) :: rest -> (
+            match pending with
+            | [] ->
+                color.(n) <- 2;
+                stack := rest
+            | m :: pending' ->
+                stack := (n, pending') :: rest;
+                if Aig.is_and g m then begin
+                  if color.(m) = 1 then begin
+                    acyclic := false;
+                    add
+                      (Diag.errorf ~rule:"aig-cycle" (node_loc n)
+                         "edge to node %d closes a combinational cycle" m)
+                  end
+                  else if color.(m) = 0 then begin
+                    color.(m) <- 1;
+                    stack := (m, fanins m) :: !stack
+                  end
+                end)
+      done
+    in
+    Aig.iter_ands g (fun n -> if color.(n) = 0 then dfs n)
+  end;
+  (* ---- references: dangling / unreachable ---- *)
+  if structure_ok then begin
+    let refs = Array.make num 0 in
+    Aig.iter_ands g (fun n ->
+        refs.(Aig.node_of (Aig.fanin0 g n)) <-
+          refs.(Aig.node_of (Aig.fanin0 g n)) + 1;
+        refs.(Aig.node_of (Aig.fanin1 g n)) <-
+          refs.(Aig.node_of (Aig.fanin1 g n)) + 1);
+    for i = 0 to nouts - 1 do
+      let _, l = Aig.output g i in
+      refs.(Aig.node_of l) <- refs.(Aig.node_of l) + 1
+    done;
+    (* reachability from the outputs; guard against cycles via a mark *)
+    let marked = Array.make num false in
+    let rec mark n =
+      if in_range n && not marked.(n) then begin
+        marked.(n) <- true;
+        if Aig.is_and g n then begin
+          mark (Aig.node_of (Aig.fanin0 g n));
+          mark (Aig.node_of (Aig.fanin1 g n))
+        end
+      end
+    in
+    for i = 0 to nouts - 1 do
+      let _, l = Aig.output g i in
+      mark (Aig.node_of l)
+    done;
+    (* aggregated per graph: real netlists legitimately carry dead logic
+       until a cleanup pass, and one diagnostic per node would swamp the
+       report on a benchmark-sized graph *)
+    let dangling = ref 0 and dangling_ex = ref 0 in
+    let unreach = ref 0 and unreach_ex = ref 0 in
+    Aig.iter_ands g (fun n ->
+        if refs.(n) = 0 then begin
+          if !dangling = 0 then dangling_ex := n;
+          incr dangling
+        end
+        else if not marked.(n) then begin
+          if !unreach = 0 then unreach_ex := n;
+          incr unreach
+        end);
+    if !dangling > 0 then
+      add
+        (Diag.warnf ~rule:"aig-dangling" (node_loc !dangling_ex)
+           "%d AND node%s referenced by no node and no output (first: node \
+            %d); run Aig.cleanup before counting or mapping"
+           !dangling
+           (if !dangling = 1 then "" else "s")
+           !dangling_ex);
+    if !unreach > 0 then
+      add
+        (Diag.warnf ~rule:"aig-unreachable" (node_loc !unreach_ex)
+           "%d referenced AND node%s outside every output cone (first: node \
+            %d) — dead logic chains"
+           !unreach
+           (if !unreach = 1 then "" else "s")
+           !unreach_ex);
+    (* ---- bookkeeping: Aig.levels / Aig.fanout_counts vs recomputation.
+       [Aig.levels] assumes index order, so an order-violating (but
+       acyclic) graph shows up here as a divergence from the proper
+       longest-path recomputation; on a cyclic graph levels are
+       meaningless and the cycle error stands alone. ---- *)
+    if !acyclic then begin
+      let lv = Aig.levels g in
+      let my_lv = Array.make num (-1) in
+      let rec level n =
+        if my_lv.(n) >= 0 then my_lv.(n)
+        else begin
+          let l =
+            if Aig.is_and g n then
+              1
+              + max
+                  (level (Aig.node_of (Aig.fanin0 g n)))
+                  (level (Aig.node_of (Aig.fanin1 g n)))
+            else 0
+          in
+          my_lv.(n) <- l;
+          l
+        end
+      in
+      let bad = ref None in
+      Aig.iter_ands g (fun n ->
+          if !bad = None && level n <> lv.(n) then bad := Some n);
+      (match !bad with
+      | Some n ->
+          add
+            (Diag.errorf ~rule:"aig-bookkeeping" (node_loc n)
+               "Aig.levels reports %d, recomputation gives %d" lv.(n)
+               my_lv.(n))
+      | None -> ());
+      let fc = Aig.fanout_counts g in
+      let bad = ref None in
+      Aig.iter_ands g (fun n -> if !bad = None && fc.(n) <> refs.(n) then bad := Some n);
+      match !bad with
+      | Some n ->
+          add
+            (Diag.errorf ~rule:"aig-bookkeeping" (node_loc n)
+               "Aig.fanout_counts reports %d, recomputation gives %d" fc.(n)
+               refs.(n))
+      | None -> ()
+    end
+  end;
+  List.rev !diags

@@ -1,0 +1,29 @@
+(** Structural lint for and-inverter graphs.
+
+    A well-formed AIG (see {!Aig}) stores nodes in a dense topological
+    order: node 0 is the constant, inputs precede AND nodes, and every AND
+    node's fanins have strictly smaller indices — so a combinational cycle
+    can only exist if that order is violated.  The regular constructors
+    maintain these invariants; this analyzer re-establishes them
+    independently, so that graphs produced by an optimizer bug (or broken
+    deliberately through {!Aig.unsafe_set_and}) are caught statically:
+
+    - ["aig-range"] — fanin or output literal referencing a node outside
+      the graph;
+    - ["aig-order"] — AND fanin with index >= the node itself (topological
+      order broken);
+    - ["aig-cycle"] — combinational cycle (DFS back edge);
+    - ["aig-dup"] — two AND nodes with identical fanin pairs (structural
+      hashing violated);
+    - ["aig-dangling"] — AND node referenced by no AND node and no output;
+    - ["aig-unreachable"] — AND node with references but outside every
+      output cone (dead cluster);
+    - ["aig-bookkeeping"] — {!Aig.levels} or {!Aig.fanout_counts} disagree
+      with an independent recomputation (their index-order assumptions do
+      not hold);
+    - ["aig-no-output"] — the graph has no outputs. *)
+
+val rules : (string * string) list
+
+val check : ?name:string -> Aig.t -> Diag.t list
+(** [name] labels diagnostic locations (default ["aig"]). *)

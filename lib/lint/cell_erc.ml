@@ -1,0 +1,212 @@
+open Cell_netlist
+
+let rules =
+  [
+    ("cell-contention", "both pull networks conduct on some assignment");
+    ("cell-floating", "static cell output undriven on some assignment");
+    ("cell-degraded", "degraded output level in a full-swing family");
+    ("cell-function", "switch-level output disagrees with the spec");
+    ("cell-sizing-path", "root-to-rail path off the family's drive target");
+    ("cell-sizing-bias", "pseudo bias width differs from 1/3");
+    ("cell-width", "non-positive device width");
+    ("cell-structure", "pull-up/bias structure wrong for the family");
+    ("cell-cmos-xor", "XOR term in a CMOS cell spec");
+    ("cell-elaborate", "cell elaboration failed");
+  ]
+
+let eps = 1e-6
+
+(* Exhaustive-scan cutoff: catalog cells have at most 6 inputs; anything
+   beyond 16 would take 2^n switch evaluations. *)
+let max_scan_vars = 16
+
+let is_pseudo = function
+  | Tg_pseudo | Pass_pseudo -> true
+  | Tg_static | Pass_static | Cmos -> false
+
+(* The pass-transistor pseudo family is documented by the paper as not
+   full-swing (Sec. 4.2 calls it out as the slow, degraded option): its
+   degraded levels are expected behaviour, reported as warnings. *)
+let full_swing_promised = function
+  | Pass_pseudo -> false
+  | Tg_static | Tg_pseudo | Pass_static | Cmos -> true
+
+let assignment_string n a =
+  let buf = Buffer.create 16 in
+  for v = 0 to n - 1 do
+    if v > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Gate_spec.var_name v);
+    Buffer.add_char buf '=';
+    Buffer.add_char buf (if a land (1 lsl v) <> 0 then '1' else '0')
+  done;
+  Buffer.contents buf
+
+(* Resistance of every root-to-rail path of a sized network.  Series
+   composition sums each combination of branch paths; the count is bounded
+   by the product of parallel widths, tiny for catalog-shaped networks. *)
+let rec path_resistances = function
+  | D d -> [ res_factor d.kind /. d.width ]
+  | T (d1, _) -> [ 2.0 /. 3.0 /. d1.width ]
+  | S es ->
+      List.fold_left
+        (fun acc e ->
+          let ps = path_resistances e in
+          List.concat_map (fun a -> List.map (fun p -> a +. p) ps) acc)
+        [ 0.0 ] es
+  | P es -> List.concat_map path_resistances es
+
+let check_paths ~loc ~which ~target diags net =
+  let bad =
+    List.filter (fun r -> abs_float (r -. target) > eps) (path_resistances net)
+  in
+  match bad with
+  | [] -> diags
+  | r :: _ ->
+      Diag.errorf ~rule:"cell-sizing-path" loc
+        "%d %s path(s) have resistance %.4g instead of %.4g" (List.length bad)
+        which r target
+      :: diags
+
+let behavior_diags ~loc c =
+  let n = Gate_spec.arity c.spec in
+  if n > max_scan_vars then
+    [
+      Diag.infof ~rule:"cell-function" loc
+        "cell has %d inputs; exhaustive switch-level scan skipped" n;
+    ]
+  else begin
+    let inv = Switchsim.inverting c in
+    let total = 1 lsl n in
+    let contention = ref [] and floating = ref [] in
+    let degraded = ref [] and wrong = ref [] in
+    for a = 0 to total - 1 do
+      let bits v = a land (1 lsl v) <> 0 in
+      (match Switchsim.cell_output c bits with
+      | Switchsim.Contention -> contention := a :: !contention
+      | Switchsim.Floating -> floating := a :: !floating
+      | Switchsim.Driven (_, Switchsim.Degraded) -> degraded := a :: !degraded
+      | Switchsim.Driven (_, Switchsim.Strong) -> ());
+      match Switchsim.logic_value c bits with
+      | None -> () (* already a contention/floating finding *)
+      | Some v ->
+          if v <> (Gate_spec.eval c.spec bits <> inv) then wrong := a :: !wrong
+    done;
+    let report rule severity what assigns diags =
+      match List.rev assigns with
+      | [] -> diags
+      | a :: _ as all ->
+          Diag.make severity ~rule loc "%s on %d of %d assignments (e.g. %s)"
+            what (List.length all) total (assignment_string n a)
+          :: diags
+    in
+    let degraded_sev =
+      if full_swing_promised c.family then Diag.Error else Diag.Warning
+    in
+    []
+    |> report "cell-contention" Diag.Error
+         "pull-up and pull-down both conduct" !contention
+    |> report "cell-floating" Diag.Error "output floats" !floating
+    |> report "cell-degraded" degraded_sev "output level is degraded"
+         !degraded
+    |> report "cell-function" Diag.Error "output disagrees with the spec"
+         !wrong
+  end
+
+let structure_and_sizing_diags ~loc c =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* widths first: sizing checks divide by them *)
+  let bad_width = ref 0 in
+  List.iter
+    (fun d -> if not (d.width > 0.0) then incr bad_width)
+    (Cell_netlist.devices c);
+  if !bad_width > 0 then
+    add
+      (Diag.errorf ~rule:"cell-width" loc
+         "%d device(s) with non-positive width" !bad_width);
+  if c.bias_width < 0.0 then
+    add
+      (Diag.errorf ~rule:"cell-width" loc "negative bias width %.4g"
+         c.bias_width);
+  let widths_ok = !bad_width = 0 && c.bias_width >= 0.0 in
+  (if is_pseudo c.family then begin
+     (* pseudo: no pull-up network, 4/3-conductance pull-down against a
+        1/3 always-on bias (Sec. 4.2's 4:1 ratio) *)
+     (match c.pull_up with
+     | Some _ ->
+         add
+           (Diag.errorf ~rule:"cell-structure" loc
+              "pseudo cell has a pull-up network")
+     | None -> ());
+     if abs_float (c.bias_width -. (1.0 /. 3.0)) > eps then
+       add
+         (Diag.errorf ~rule:"cell-sizing-bias" loc
+            "bias width %.4g instead of 1/3" c.bias_width);
+     if widths_ok then
+       diags :=
+         check_paths ~loc ~which:"pull-down" ~target:0.75 !diags c.pull_down
+   end
+   else begin
+     if c.bias_width > 0.0 then
+       add
+         (Diag.errorf ~rule:"cell-structure" loc
+            "static cell has an always-on bias (width %.4g)" c.bias_width);
+     match c.pull_up with
+     | None ->
+         add
+           (Diag.errorf ~rule:"cell-structure" loc
+              "static cell has no pull-up network")
+     | Some pu ->
+         if widths_ok then begin
+           diags := check_paths ~loc ~which:"pull-up" ~target:1.0 !diags pu;
+           diags :=
+             check_paths ~loc ~which:"pull-down" ~target:1.0 !diags
+               c.pull_down
+         end
+   end);
+  !diags
+
+let check_cell ?name c =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Format.asprintf "%a" Gate_spec.pp c.spec
+  in
+  let loc = Diag.Cell (family_name c.family, name) in
+  let xor_diags =
+    if c.family = Cmos && Gate_spec.num_xors c.spec > 0 then
+      [
+        Diag.errorf ~rule:"cell-cmos-xor" loc
+          "CMOS cell spec contains %d XOR term(s)"
+          (Gate_spec.num_xors c.spec);
+      ]
+    else []
+  in
+  xor_diags @ structure_and_sizing_diags ~loc c @ behavior_diags ~loc c
+
+let check_spec family ~name spec =
+  let loc = Diag.Cell (family_name family, name) in
+  if family = Cmos && Gate_spec.num_xors spec > 0 then
+    [
+      Diag.errorf ~rule:"cell-cmos-xor" loc
+        "CMOS cell spec contains %d XOR term(s); the family cannot realize \
+         XOR in a single stage"
+        (Gate_spec.num_xors spec);
+    ]
+  else
+    match elaborate family spec with
+    | c -> check_cell ~name c
+    | exception Invalid_argument m ->
+        [ Diag.errorf ~rule:"cell-elaborate" loc "elaboration failed: %s" m ]
+
+let check_entry family (e : Catalog.entry) =
+  check_spec family ~name:e.Catalog.name e.Catalog.spec
+
+let check_catalog () =
+  List.concat_map
+    (fun family ->
+      let entries =
+        if family = Cmos then Catalog.cmos_subset else Catalog.all
+      in
+      List.concat_map (check_entry family) entries)
+    all_families

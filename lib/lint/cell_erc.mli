@@ -1,0 +1,51 @@
+(** Electrical rule check (ERC) for elaborated library cells.
+
+    Encodes the legality claims of the paper's Sec. 3–4 as exhaustive
+    switch-level checks over every input assignment plus structural checks
+    of the sized networks:
+
+    - ["cell-contention"] — no assignment may turn on both pull networks
+      (Sec. 3.1: the TG pull-up/pull-down pair is built from complementary
+      forms, so a static cell can never fight itself);
+    - ["cell-floating"] — a static cell's output must be driven on every
+      assignment (the dynamic-GNOR floating node of Fig. 2 is exactly what
+      the static families eliminate);
+    - ["cell-degraded"] — families that promise full-swing outputs
+      (transmission-gate cells per Sec. 3.1, restored pass-static cells per
+      Sec. 3.2, CMOS) must never emit a degraded level; for the
+      pass-transistor pseudo family a degraded level is reported as a
+      warning, since the paper documents that family as non-full-swing
+      (its "bad choice" of Sec. 4.2);
+    - ["cell-function"] — the switch-level output must equal the cell's
+      algebraic spec (complemented for inverting families);
+    - ["cell-sizing-path"] — every root-to-rail path of a static pull
+      network must present the unit-inverter drive resistance 1.0; pseudo
+      pull-downs must present 3/4 (conductance 4/3, Sec. 4.2);
+    - ["cell-sizing-bias"] — pseudo cells carry a 1/3-width always-on
+      pull-up (the 4:1 drive ratio of Sec. 4.2); static cells carry none;
+    - ["cell-width"] — every device width must be positive;
+    - ["cell-structure"] — static cells have a pull-up network and no
+      bias; pseudo cells have a bias and no pull-up;
+    - ["cell-cmos-xor"] — a CMOS cell spec must not contain XOR terms
+      (Sec. 3.1: XOR is what ambipolar devices add; CMOS series/parallel
+      networks cannot realize it in one stage). *)
+
+val rules : (string * string) list
+(** [(rule id, one-line description)] of every rule this analyzer can
+    emit. *)
+
+val check_cell : ?name:string -> Cell_netlist.cell -> Diag.t list
+(** Run all rules on an elaborated (or hand-built) cell.  [name] labels
+    diagnostics (defaults to the pretty-printed spec). *)
+
+val check_spec :
+  Cell_netlist.family -> name:string -> Gate_spec.expr -> Diag.t list
+(** Pre-checks family/spec legality (the CMOS-XOR rule), then elaborates
+    and runs {!check_cell}.  Never raises: an elaboration failure becomes
+    a ["cell-elaborate"] error diagnostic. *)
+
+val check_entry : Cell_netlist.family -> Catalog.entry -> Diag.t list
+
+val check_catalog : unit -> Diag.t list
+(** Every family over every catalog entry it implements: the full 46 for
+    the four ambipolar families, the 7 CMOS-expressible entries for CMOS. *)

@@ -1,0 +1,81 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Cell of string * string
+  | Aig_node of string * int
+  | Aig_out of string * int
+  | Inst of string * int
+  | Map_out of string * string
+  | Circuit of string
+
+type t = {
+  severity : severity;
+  rule : string;
+  loc : location;
+  msg : string;
+}
+
+let make severity ~rule loc fmt =
+  Printf.ksprintf (fun msg -> { severity; rule; loc; msg }) fmt
+
+let errorf ~rule loc fmt = make Error ~rule loc fmt
+let warnf ~rule loc fmt = make Warning ~rule loc fmt
+let infof ~rule loc fmt = make Info ~rule loc fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let location_string = function
+  | Cell (fam, cell) -> Printf.sprintf "%s/%s" fam cell
+  | Aig_node (ckt, n) -> Printf.sprintf "%s:node %d" ckt n
+  | Aig_out (ckt, i) -> Printf.sprintf "%s:output %d" ckt i
+  | Inst (ckt, i) -> Printf.sprintf "%s:inst %d" ckt i
+  | Map_out (ckt, name) -> Printf.sprintf "%s:output %s" ckt name
+  | Circuit ckt -> ckt
+
+let pp_location fmt loc = Format.pp_print_string fmt (location_string loc)
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %s: %s" (severity_name d.severity) d.rule
+    (location_string d.loc) d.msg
+
+let to_tsv d =
+  let clean s = String.map (fun c -> if c = '\t' || c = '\n' then ' ' else c) s in
+  Printf.sprintf "%s\t%s\t%s\t%s" (severity_name d.severity) d.rule
+    (clean (location_string d.loc)) (clean d.msg)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let count ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+      if c <> 0 then c
+      else
+        let c = compare a.rule b.rule in
+        if c <> 0 then c else compare a.loc b.loc)
+    ds
+
+let pp_summary fmt ds =
+  let e, w, i = count ds in
+  Format.fprintf fmt "%d error%s, %d warning%s, %d note%s" e
+    (if e = 1 then "" else "s")
+    w
+    (if w = 1 then "" else "s")
+    i
+    (if i = 1 then "" else "s")

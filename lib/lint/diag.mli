@@ -1,0 +1,58 @@
+(** Shared diagnostic type of the lint subsystem.
+
+    Every analyzer ({!Cell_erc}, {!Aig_lint}, {!Map_lint}) reports findings
+    as a list of {!t}: a severity, a stable machine-readable rule
+    identifier (e.g. ["cell-contention"]), a typed location, and a human
+    message.  [Error] findings are electrical or structural rule violations
+    that make the artifact illegal; [Warning] findings are legal but
+    suspicious (dead logic, degraded levels in a family documented as
+    degraded); [Info] findings are advisory. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Cell of string * string
+      (** family name, cell name — a library cell under ERC *)
+  | Aig_node of string * int  (** circuit name, node id *)
+  | Aig_out of string * int   (** circuit name, output index *)
+  | Inst of string * int      (** circuit name, mapped-instance index *)
+  | Map_out of string * string  (** circuit name, output name *)
+  | Circuit of string         (** whole-artifact finding *)
+
+type t = {
+  severity : severity;
+  rule : string;  (** stable kebab-case identifier, e.g. "aig-cycle" *)
+  loc : location;
+  msg : string;
+}
+
+val make :
+  severity -> rule:string -> location -> ('a, unit, string, t) format4 -> 'a
+
+val errorf : rule:string -> location -> ('a, unit, string, t) format4 -> 'a
+val warnf : rule:string -> location -> ('a, unit, string, t) format4 -> 'a
+val infof : rule:string -> location -> ('a, unit, string, t) format4 -> 'a
+
+val severity_name : severity -> string
+val pp_location : Format.formatter -> location -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One human-readable line: [severity[rule] location: message]. *)
+
+val to_tsv : t -> string
+(** Machine-readable line: four tab-separated fields
+    [severity), rule, location, message] (tabs in the message are
+    replaced by spaces). *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val has_errors : t list -> bool
+
+val count : t list -> int * int * int
+(** [(errors, warnings, infos)]. *)
+
+val sort : t list -> t list
+(** Stable order: severity (errors first), then rule, then location. *)
+
+val pp_summary : Format.formatter -> t list -> unit
+(** ["N errors, M warnings, K notes"]. *)

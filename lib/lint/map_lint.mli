@@ -1,0 +1,60 @@
+(** Structural and functional lint for mapped netlists.
+
+    Three groups of rules:
+
+    {b Structure} (always on):
+    - ["map-range"] — a fanin or output references a primary input or
+      instance outside the netlist;
+    - ["map-order"] — an instance's fanin references itself or a later
+      instance (the instance array must be topologically ordered, so this
+      is a combinational cycle or a forward reference);
+    - ["map-unused"] — an instance drives no fanin and no output.
+
+    {b Library conformance} (with [~lib]):
+    - ["map-cell-unknown"] — instance names a cell absent from the
+      library;
+    - ["map-cell-npn"] — the instance's local function is not an NPN
+      variant of the named cell's function (the mapper only instantiates
+      negation/permutation variants, free or inverter-repaired — anything
+      else means the match table or the extraction is corrupt);
+    - ["map-cell-char"] — instance area/delay differ from the library
+      cell's characterization.
+
+    {b Cover verification} (with [~golden], the AIG the netlist was mapped
+    from): uses the {!Mapped.cover} provenance each instance carries.
+    - ["map-io"] — PI/PO counts differ from the golden AIG;
+    - ["map-cover-missing"] — instance without provenance (nothing to
+      verify);
+    - ["map-cover-shape"] — provenance inconsistent with the fanin count
+      or wider than the 6-variable instance representation;
+    - ["map-cover-cut"] — the recorded leaves do not form a cut of the
+      recorded root's cone;
+    - ["map-cell-function"] — the instance's local function differs from
+      the cut function it claims to cover: checked by exhaustive truth
+      table for cuts up to [tt_max_leaves] leaves, by {!Cec} miter beyond;
+    - ["map-cover-chain"] — a fanin net does not carry the literal the
+      cover claims (checked against the driver's own cover; functionally,
+      so that single-literal "wire" reductions across structurally
+      distinct nodes are accepted only when SAT-provably equivalent);
+    - ["map-output"] — an output net does not carry the golden AIG's
+      output literal;
+    - ["map-output-name"] — output name differs from the golden AIG's.
+
+    When every instance carries a cover and no cover rule fires, the
+    per-instance checks compose inductively into a full functional
+    equivalence proof of the mapping — each net provably carries the value
+    of its claimed AIG literal — at cost linear in the netlist (times
+    [2^cut] per table), instead of one monolithic netlist-level CEC. *)
+
+val rules : (string * string) list
+
+val check :
+  ?name:string ->
+  ?lib:Cell_lib.t ->
+  ?golden:Aig.t ->
+  ?tt_max_leaves:int ->
+  Mapped.t ->
+  Diag.t list
+(** [tt_max_leaves] (default 16, i.e. always) bounds the cut width checked
+    by exhaustive truth tables; wider covered cuts fall back to a SAT
+    miter over the cut cone.  Lower it only to exercise the SAT path. *)

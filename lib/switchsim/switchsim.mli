@@ -30,6 +30,11 @@ val logic_value : Cell_netlist.cell -> (int -> bool) -> bool option
     the cell's output node, to be compared against the spec or its
     complement according to the family. *)
 
+val inverting : Cell_netlist.cell -> bool
+(** Whether the cell's output node carries the complement of its spec:
+    true for pseudo, CMOS and restored pass-static cells, false for the
+    transmission-gate static family. *)
+
 val full_swing : Cell_netlist.cell -> bool
 (** True when every input assignment yields a strongly driven output. *)
 

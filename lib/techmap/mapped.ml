@@ -1,12 +1,15 @@
 type driver = Pi of int | Inst of int | Const of bool
 type net = { driver : driver; negated : bool }
 
+type cover = { root_lit : int; fanin_lits : int array }
+
 type instance = {
   cell_name : string;
   area : float;
   delay : float;
   fanins : net array;
   tt : int64;
+  cover : cover option;
 }
 
 type t = {

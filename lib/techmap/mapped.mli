@@ -12,12 +12,22 @@ type net = { driver : driver; negated : bool }
     free-phase (ambipolar) libraries whose cells expose both polarities,
     and for complemented constants/inputs where the library allows it. *)
 
+type cover = { root_lit : int; fanin_lits : int array }
+(** Provenance of an instance with respect to the source AIG it was mapped
+    from: the instance output carries the value of AIG literal [root_lit],
+    and fanin [i] carries the value of AIG literal [fanin_lits.(i)] (the
+    cut leaf, in the polarity the match consumes it).  Recorded by
+    {!Mapper.map} so that a static checker ({!Map_lint}) can re-derive and
+    verify every covered cut function without re-running the mapper. *)
+
 type instance = {
   cell_name : string;
   area : float;
   delay : float;
   fanins : net array;
   tt : int64;  (** output function over the fanin values (Tt convention) *)
+  cover : cover option;  (** [None] when the provenance is unknown (e.g.
+                             netlists built by hand or read from a file) *)
 }
 
 type t = {

@@ -271,7 +271,10 @@ let map ?(params = default_params) lib aig =
         match Hashtbl.find_opt memo (nd, 1) with
         | Some net -> net
         | None ->
-            let net = emit_inverter { Mapped.driver = Mapped.Pi (nd - 1); negated = false } in
+            let net =
+              emit_inverter (Aig.lit_of_node nd)
+                { Mapped.driver = Mapped.Pi (nd - 1); negated = false }
+            in
             Hashtbl.add memo (nd, 1) net;
             net
       end
@@ -294,7 +297,10 @@ let map ?(params = default_params) lib aig =
                   else base
                 end
                 else resolve leaf (if lph then 1 else 0)
-            | Bridge -> emit_inverter (resolve nd (1 - p))
+            | Bridge ->
+                emit_inverter
+                  (Aig.lit_of_node nd ~compl:(1 - p = 1))
+                  (resolve nd (1 - p))
             | Match (entry, leaves, key) ->
                 let fanins =
                   Array.mapi
@@ -312,6 +318,17 @@ let map ?(params = default_params) lib aig =
                 (* instance function over fanin values: fanin i carries
                    leaf_i ^ phase_i, so substitute back *)
                 let tt = Npn.apply_phase key entry.Cell_lib.phase in
+                let cover =
+                  {
+                    Mapped.root_lit = Aig.lit_of_node nd ~compl:(p = 1);
+                    fanin_lits =
+                      Array.mapi
+                        (fun i leaf ->
+                          let want = (entry.Cell_lib.phase lsr i) land 1 in
+                          Aig.lit_of_node leaf ~compl:(want = 1))
+                        leaves;
+                  }
+                in
                 let idx = !ninsts in
                 incr ninsts;
                 insts :=
@@ -321,6 +338,7 @@ let map ?(params = default_params) lib aig =
                     delay = entry.Cell_lib.cell.Cell_lib.delay;
                     fanins;
                     tt;
+                    cover = Some cover;
                   }
                   :: !insts;
                 { Mapped.driver = Mapped.Inst idx; negated = false }
@@ -329,7 +347,9 @@ let map ?(params = default_params) lib aig =
           if free && ph = 1 then { net with Mapped.negated = not net.Mapped.negated }
           else net
     end
-  and emit_inverter input : Mapped.net =
+  and emit_inverter in_lit input : Mapped.net =
+    (* [in_lit] is the AIG literal whose value the [input] net carries;
+       recorded in the cover so Map_lint can verify inverter chains too. *)
     match inv with
     | None ->
         (* free-phase library: complement is free *)
@@ -344,6 +364,12 @@ let map ?(params = default_params) lib aig =
             delay = c.Cell_lib.delay;
             fanins = [| input |];
             tt = Int64.lognot 0xAAAAAAAAAAAAAAAAL;
+            cover =
+              Some
+                {
+                  Mapped.root_lit = Aig.lnot in_lit;
+                  fanin_lits = [| in_lit |];
+                };
           }
           :: !insts;
         { Mapped.driver = Mapped.Inst idx; negated = false }
