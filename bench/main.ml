@@ -66,8 +66,8 @@ let print_reproduction () =
         (if full then "" else " (fast subset; FULL=1 for all 15)"));
   let rows = Experiments.run_table3 ?benches () in
   Printf.printf
-    "%-8s %-7s %6s %9s %7s %8s %9s   (paper: gates area levels delay ps)\n"
-    "bench" "lib" "gates" "area" "levels" "delay" "ps";
+    "%-8s %-7s %6s %9s %7s %8s %9s %9s   (paper: gates area levels delay ps)\n"
+    "bench" "lib" "gates" "area" "levels" "delay" "ps" "sta-ps";
   List.iter
     (fun (r : Experiments.t3_row) ->
       let paper =
@@ -76,9 +76,10 @@ let print_reproduction () =
       in
       let line name (c : Experiments.t3_cell) pick =
         let s = c.Experiments.stats in
-        Printf.printf "%-8s %-7s %6d %9.1f %7d %8.1f %9.1f" r.Experiments.bench
+        Printf.printf "%-8s %-7s %6d %9.1f %7d %8.1f %9.1f %9.1f"
+          r.Experiments.bench
           name s.Mapped.gates s.Mapped.area s.Mapped.levels s.Mapped.norm_delay
-          s.Mapped.abs_delay_ps;
+          s.Mapped.abs_delay_ps s.Mapped.sta_abs_delay_ps;
         (match Option.map pick paper with
         | Some (p : Paper_data.mapping_result) ->
             Printf.printf "   (%d %.0f %d %.1f %.1f)" p.Paper_data.gates
@@ -128,7 +129,63 @@ let print_reproduction () =
       | None ->
           Printf.printf "  %-8s static %5.2fx  pseudo %5.2fx\n"
             r.Experiments.bench (cm /. st) (cm /. ps))
-    rows
+    rows;
+
+  hr "STA - load-aware delay vs the published unit-load convention";
+  Printf.printf
+    "%-8s %-7s %10s %10s %10s   (unit-load FO4 | load-aware STA | paper)\n"
+    "bench" "lib" "ps" "sta-ps" "paper-ps";
+  List.iter
+    (fun (r : Experiments.t3_row) ->
+      let paper =
+        try Some (Paper_data.table3_find r.Experiments.bench)
+        with Not_found -> None
+      in
+      let line name (c : Experiments.t3_cell) pick =
+        let s = c.Experiments.stats in
+        let pub =
+          match Option.map pick paper with
+          | Some (p : Paper_data.mapping_result) ->
+              Printf.sprintf "%10.1f" p.Paper_data.abs_delay_ps
+          | None -> Printf.sprintf "%10s" "-"
+        in
+        Printf.printf "%-8s %-7s %10.1f %10.1f %s\n" r.Experiments.bench name
+          s.Mapped.abs_delay_ps s.Mapped.sta_abs_delay_ps pub
+      in
+      line "static" r.Experiments.static_r (fun p -> p.Paper_data.static);
+      line "cmos" r.Experiments.cmos_r (fun p -> p.Paper_data.cmos_map))
+    rows;
+  let assoc k l = try List.assoc k l with Not_found -> nan in
+  let sums = Experiments.summarize rows in
+  Printf.printf
+    "\n  speedup vs CMOS: unit-load static %.2fx pseudo %.2fx | STA static \
+     %.2fx pseudo %.2fx | paper 6.9x / 5.8x\n"
+    (assoc "speedup_static" sums)
+    (assoc "speedup_pseudo" sums)
+    (assoc "sta_speedup_static" sums)
+    (assoc "sta_speedup_pseudo" sums);
+
+  hr "STA-backed timing-driven mapping (static library)";
+  Printf.printf "%-8s %10s %10s %12s %12s\n" "bench" "delay" "delay(tm)"
+    "sta-delay" "sta-delay(tm)";
+  let lib_s = Core.library `Tg_static in
+  let tm_params = { Mapper.default_params with Mapper.timing = true } in
+  List.iter
+    (fun bench ->
+      let e = Bench_suite.find bench in
+      let opt = Synth.resyn2rs (e.Bench_suite.build ()) in
+      let s0 = Mapped.stats (Mapper.map lib_s opt) in
+      let s1 = Mapped.stats (Mapper.map ~params:tm_params lib_s opt) in
+      Printf.printf "%-8s %10.1f %10.1f %12.1f %12.1f%s\n" bench
+        s0.Mapped.norm_delay s1.Mapped.norm_delay s0.Mapped.sta_norm_delay
+        s1.Mapped.sta_norm_delay
+        (if s1.Mapped.sta_norm_delay < s0.Mapped.sta_norm_delay -. 1e-9 then
+           "  <- improved"
+         else ""))
+    (match benches with
+    | Some l -> l
+    | None -> List.map (fun (e : Bench_suite.entry) -> e.Bench_suite.name)
+                Bench_suite.all)
 
 (* ---------------- ablations ---------------- *)
 

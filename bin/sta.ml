@@ -1,0 +1,152 @@
+(* Static-timing-analysis CLI.
+
+   Maps benchmark circuits against the characterized libraries and reports
+   load-aware arrival/required/slack times, the stage-by-stage critical
+   path, per-endpoint timing, and slack histograms — human-readable or TSV.
+
+   Examples:
+     sta --bench add-16 --family static --report path
+     sta --family all --report endpoints --tsv
+     sta --bench C6288 --timing-map --report path,histogram *)
+
+let benches = ref []
+let families = ref "static"
+let synth_mode = ref "light"
+let reports = ref "summary"
+let tsv = ref false
+let po_fanout = ref 4.0
+let unit_loads = ref false
+let timing_map = ref false
+let cut_size = ref 6
+
+let specs =
+  [
+    ( "--bench",
+      Arg.String (fun s -> benches := s :: !benches),
+      "NAME restrict to one benchmark (repeatable; default all 15)" );
+    ( "--family",
+      Arg.Set_string families,
+      "FAMS libraries, comma-separated subset of \
+       static,pseudo,pass-pseudo,pass-static,cmos or 'all' (default \
+       static)" );
+    ( "--synth",
+      Arg.Set_string synth_mode,
+      "MODE optimization before mapping: none|light|full (default light)" );
+    ( "--report",
+      Arg.Set_string reports,
+      "KINDS comma-separated subset of summary,path,endpoints,histogram \
+       (default summary)" );
+    ("--tsv", Arg.Set tsv, " machine-readable tab-separated reports");
+    ( "--po-fanout",
+      Arg.Set_float po_fanout,
+      "N reference loads on each primary output (default 4)" );
+    ( "--unit-loads",
+      Arg.Set unit_loads,
+      " fixed FO4 delay per cell (the legacy Table 3 convention)" );
+    ( "--timing-map",
+      Arg.Set timing_map,
+      " map with the STA-backed load-aware delay cost" );
+    ("--cut-size", Arg.Set_int cut_size, "K mapper cut size (default 6)");
+  ]
+
+let usage = "sta [options]  (see --help)"
+
+let parse_families () =
+  let of_name = function
+    | "static" -> Cell_netlist.Tg_static
+    | "pseudo" -> Cell_netlist.Tg_pseudo
+    | "pass-pseudo" -> Cell_netlist.Pass_pseudo
+    | "pass-static" -> Cell_netlist.Pass_static
+    | "cmos" -> Cell_netlist.Cmos
+    | f ->
+        prerr_endline ("sta: unknown family " ^ f);
+        exit 2
+  in
+  match !families with
+  | "all" ->
+      [ Cell_netlist.Tg_static; Cell_netlist.Tg_pseudo;
+        Cell_netlist.Pass_pseudo; Cell_netlist.Pass_static;
+        Cell_netlist.Cmos ]
+  | s -> List.map of_name (String.split_on_char ',' s)
+
+let library = function
+  | Cell_netlist.Cmos -> Cell_lib.cmos ()
+  | family -> Cell_lib.cntfet ~family ()
+
+let synth aig =
+  match !synth_mode with
+  | "none" -> aig
+  | "light" -> Synth.light aig
+  | "full" -> Synth.resyn2rs aig
+  | m ->
+      prerr_endline ("sta: unknown synth mode " ^ m);
+      exit 2
+
+let () =
+  Arg.parse (Arg.align specs)
+    (fun a ->
+      prerr_endline ("sta: unexpected argument " ^ a);
+      exit 2)
+    usage;
+  let entries =
+    match !benches with
+    | [] -> Bench_suite.all
+    | names ->
+        List.map
+          (fun s ->
+            match Bench_suite.find s with
+            | e -> e
+            | exception Not_found ->
+                prerr_endline ("sta: unknown benchmark " ^ s);
+                exit 2)
+          (List.rev names)
+  in
+  let kinds = String.split_on_char ',' !reports in
+  List.iter
+    (fun k ->
+      if not (List.mem k [ "summary"; "path"; "endpoints"; "histogram" ])
+      then begin
+        prerr_endline ("sta: unknown report kind " ^ k);
+        exit 2
+      end)
+    kinds;
+  let fams = parse_families () in
+  let libs = List.map (fun f -> (f, library f)) fams in
+  let model = { Sta.unit_loads = !unit_loads; po_fanout = !po_fanout } in
+  let params =
+    { Mapper.default_params with cut_size = !cut_size; timing = !timing_map }
+  in
+  List.iter
+    (fun (e : Bench_suite.entry) ->
+      let opt = synth (e.Bench_suite.build ()) in
+      List.iter
+        (fun (fam, lib) ->
+          let m = Mapper.map ~params lib opt in
+          let sta = Sta.analyze ~model m in
+          let tag =
+            Printf.sprintf "%s/%s" e.Bench_suite.name
+              (Cell_netlist.family_name fam)
+          in
+          List.iter
+            (fun kind ->
+              match kind with
+              | "summary" ->
+                  if !tsv then
+                    Printf.printf "%s\t%d\t%d\t%.3f\t%.3f\n" tag
+                      (Array.length m.Mapped.instances)
+                      (Array.length sta.Sta.endpoints)
+                      (Sta.norm_delay sta) (Sta.abs_delay_ps sta)
+                  else Printf.printf "%s — %s\n" tag (Sta.summary sta)
+              | "path" ->
+                  if not !tsv then Printf.printf "%s —\n" tag;
+                  print_string (Sta.render_path ~tsv:!tsv sta)
+              | "endpoints" ->
+                  if not !tsv then Printf.printf "%s —\n" tag;
+                  print_string (Sta.render_endpoints ~tsv:!tsv sta)
+              | "histogram" ->
+                  if not !tsv then Printf.printf "%s —\n" tag;
+                  print_string (Sta.render_histogram ~tsv:!tsv sta)
+              | _ -> ())
+            kinds)
+        libs)
+    entries

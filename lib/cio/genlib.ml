@@ -219,6 +219,7 @@ let of_string ~name ~free_phases ~tau_ps text =
             tt = (Tt.words (Tt.extend tt 6)).(0);
             area;
             delay = !delay;
+            timing = None;
           }
           :: !cells;
         incr id;

@@ -49,7 +49,8 @@ let alu ~width ~masked ~result_only () =
   Bitvec.outputs g "r" result;
   if not result_only then
     List.iter (fun (n, l) -> Aig.add_output g n l) (flags g a b result cout);
-  g
+  (* [result_only] leaves cout and the non-result ALU ops dead; prune *)
+  Aig.cleanup g
 
 (* Wide ALU + selector + comparator + parity datapath: C2670/C5315/C7552
    class.  [banks] adds a (count x bank_width) selector unit. *)
@@ -108,7 +109,8 @@ let datapath ~width ~masked ~banks ~aux_compare ~parity_bytes () =
       let byte = Array.sub result lo (hi - lo) in
       Aig.add_output g (Printf.sprintf "pb%d" k) (Bitvec.parity g byte)
     done;
-  g
+  (* the wrapped-around mux ways and unused ALU ops leave dead nodes *)
+  Aig.cleanup g
 
 let c3540_like () = alu ~width:16 ~masked:true ~result_only:false ()
 let dalu_like () = alu ~width:18 ~masked:true ~result_only:true ()

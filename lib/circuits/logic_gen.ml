@@ -47,7 +47,9 @@ let layered ~seed ~num_inputs ~num_outputs ~layers ~layer_width ~xor_pct () =
   for o = 0 to num_outputs - 1 do
     Aig.add_output g (Printf.sprintf "y%d" o) (random_lit rng !pool)
   done;
-  g
+  (* pool nodes the random outputs never sampled are dead; drop them so the
+     raw-graph statistics are meaningful *)
+  Aig.cleanup g
 
 let i10_like () =
   layered ~seed:10 ~num_inputs:257 ~num_outputs:224 ~layers:14

@@ -1,5 +1,15 @@
 open Cell_netlist
 
+type drive = {
+  rs : float array;
+  avg : bool;
+  c_par : float;
+  cin_ref : float;
+  second_stage : float option;
+}
+
+type timing = { pin_caps : float array; drive : drive }
+
 type row = {
   name : string;
   family : Cell_netlist.family;
@@ -8,6 +18,7 @@ type row = {
   area : float;
   fo4_worst : float;
   fo4_avg : float;
+  timing : timing;
 }
 
 let tau_ps = function Cmos -> 3.00 | _ -> 0.59
@@ -47,51 +58,58 @@ let transition_resistances (c : cell) =
          pull-down fighting it (net conductance 4/3 - 1/3 = 1) *)
       [ 1.0 /. c.bias_width; 1.0 ]
 
+(* Resistance-weighted capacitance term of the first stage.  Static
+   families take the worst transition (rise and fall are sized equal
+   anyway); ratioed pseudo families report the rise/fall average, which is
+   what Table 2's numbers correspond to (effective R of 2 between the weak
+   pull-up's 3 and the fighting pull-down's 1). *)
+let stage_delay d cap =
+  if d.avg then
+    Array.fold_left (fun a r -> a +. (r *. cap)) 0.0 d.rs
+    /. float_of_int (Array.length d.rs)
+  else Array.fold_left (fun a r -> max a (r *. cap)) 0.0 d.rs
+
+let drive_delay d ~load =
+  match d.second_stage with
+  | Some c2 ->
+      (* first stage drives the restoring inverter; the inverter (unit,
+         R = 1, parasitic 2) drives the load *)
+      (stage_delay d (d.c_par +. c2) +. (2.0 +. load)) /. d.cin_ref
+  | None -> stage_delay d (d.c_par +. load) /. d.cin_ref
+
+let cell_timing family (c : cell) =
+  let caps = cap_table c in
+  let vars = Gate_spec.vars c.spec in
+  let arity = 1 + List.fold_left max 0 vars in
+  let pin_caps = Array.make arity 0.0 in
+  (* A pin's effective capacitance is the worst over its two phases (true
+     and complemented rails are routed separately; the delay model keys on
+     the heavier one, matching the per-variable worst of Table 2). *)
+  Hashtbl.iter
+    (fun s cap -> if s.v < arity then pin_caps.(s.v) <- max pin_caps.(s.v) cap)
+    caps;
+  let drive =
+    {
+      rs = Array.of_list (transition_resistances c);
+      avg =
+        (match c.family with Tg_pseudo | Pass_pseudo -> true | _ -> false);
+      c_par = output_parasitic c;
+      cin_ref = inverter_cin family;
+      second_stage = (if c.restoring_inverter then Some 2.0 else None);
+    }
+  in
+  { pin_caps; drive }
+
 let characterize family (entry : Catalog.entry) =
   let c = elaborate family entry.Catalog.spec in
-  let caps = cap_table c in
-  let c_par = output_parasitic c in
-  let rs = transition_resistances c in
-  let r_worst = List.fold_left max 0.0 rs in
-  let cin_ref = inverter_cin family in
-  (* FO4 of a signal driving four copies of this pin.  Static families take
-     the worst transition (rise and fall are sized equal anyway); ratioed
-     pseudo families report the rise/fall average, which is what Table 2's
-     numbers correspond to (effective R of 2 between the weak pull-up's 3
-     and the fighting pull-down's 1). *)
-  let combine =
-    match family with
-    | Tg_pseudo | Pass_pseudo ->
-        fun load ->
-          List.fold_left (fun a r -> a +. (r *. load)) 0.0 rs
-          /. float_of_int (List.length rs)
-    | Tg_static | Pass_static | Cmos ->
-        fun load -> List.fold_left (fun a r -> max a (r *. load)) 0.0 rs
+  let timing = cell_timing family c in
+  let fo4_of_pin v =
+    drive_delay timing.drive ~load:(4.0 *. timing.pin_caps.(v))
   in
-  let fo4_of_cap cap =
-    let stage = combine in
-    if c.restoring_inverter then
-      (* first stage drives the restoring inverter; the inverter (unit,
-         R = 1, parasitic 2) drives the four copies *)
-      (stage (c_par +. 2.0) +. (2.0 +. (4.0 *. cap))) /. cin_ref
-    else stage (c_par +. (4.0 *. cap)) /. cin_ref
-  in
-  ignore r_worst;
-  let per_signal =
-    Hashtbl.fold (fun s cap acc -> (s, fo4_of_cap cap) :: acc) caps []
-  in
-  let fo4_worst =
-    List.fold_left (fun a (_, d) -> max a d) 0.0 per_signal
-  in
-  (* Per-variable worst, averaged over the variables of the function. *)
   let vars = Gate_spec.vars entry.Catalog.spec in
+  let fo4_worst = List.fold_left (fun a v -> max a (fo4_of_pin v)) 0.0 vars in
   let fo4_avg =
-    let per_var v =
-      List.fold_left
-        (fun a (s, d) -> if s.v = v then max a d else a)
-        0.0 per_signal
-    in
-    List.fold_left (fun a v -> a +. per_var v) 0.0 vars
+    List.fold_left (fun a v -> a +. fo4_of_pin v) 0.0 vars
     /. float_of_int (List.length vars)
   in
   {
@@ -102,6 +120,7 @@ let characterize family (entry : Catalog.entry) =
     area = area c;
     fo4_worst;
     fo4_avg;
+    timing;
   }
 
 let characterize_catalog family =
@@ -124,13 +143,28 @@ let averages rows =
 let with_output_inverter r =
   (* Appending the unit inverter: +2 transistors, + inverter area; the
      inverter input adds parasitic load on the cell (one more FO1-ish term)
-     — a first-order documented approximation. *)
+     — a first-order documented approximation kept in the fo4 fields.  The
+     drive model is the honest two-stage one: the cell's own networks drive
+     the inverter's input capacitance, the inverter drives the load. *)
   let cin_ref = inverter_cin r.family in
   let extra = (inverter_cin r.family +. 2.0) /. cin_ref in
+  let timing =
+    let d = r.timing.drive in
+    let drive =
+      match d.second_stage with
+      | None -> { d with second_stage = Some (inverter_cin r.family) }
+      | Some _ ->
+          (* already buffered (pass-static); the extra inverter's fo4 term
+             is folded into the fixed fields above *)
+          d
+    in
+    { r.timing with drive }
+  in
   {
     r with
     transistors = r.transistors + 2;
     area = r.area +. inverter_area r.family;
     fo4_worst = r.fo4_worst +. extra;
     fo4_avg = r.fo4_avg +. extra;
+    timing;
   }

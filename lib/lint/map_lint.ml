@@ -10,10 +10,16 @@ let rules =
     ("map-cover-missing", "instance carries no cover provenance");
     ("map-cover-shape", "cover shape inconsistent with the fanins");
     ("map-cover-cut", "cover leaves are not a structural cut of the root");
+    ( "map-cover-shrunk",
+      "support-reduced cover verified structurally via its recorded cut" );
     ("map-cell-function", "instance function differs from the covered cut");
     ("map-cover-chain", "fanin net does not carry the claimed literal");
     ("map-output", "output net does not carry the golden output");
     ("map-output-name", "output name differs from the golden AIG");
+    ("map-delay-negative", "negative or NaN delay/capacitance/resistance");
+    ("map-arrival-monotone", "arrival time decreases along a fanin chain");
+    ( "map-sta-crit",
+      "critical-path delay below the slowest reachable single stage" );
   ]
 
 (* Shannon-expand a truth table into graph [g] over the literals [ins]. *)
@@ -170,6 +176,86 @@ let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16) (m : Mapped.t)
              "instance '%s' drives no fanin and no output"
              m.Mapped.instances.(j).Mapped.cell_name))
     m.Mapped.instances;
+  (* ---- timing sanity (STA invariants; needs a well-formed structure) ---- *)
+  if !structure_ok && ninst > 0 then begin
+    Array.iteri
+      (fun j (inst : Mapped.instance) ->
+        let is_nan x = x <> x in
+        let bad_drive =
+          match inst.Mapped.drive with
+          | None -> false
+          | Some d ->
+              d.Charlib.c_par < 0.0 || is_nan d.Charlib.c_par
+              || d.Charlib.cin_ref <= 0.0
+              || Array.exists (fun r -> r < 0.0 || is_nan r) d.Charlib.rs
+        in
+        if
+          inst.Mapped.delay < 0.0 || is_nan inst.Mapped.delay || bad_drive
+          || Array.exists (fun c -> c < 0.0 || is_nan c) inst.Mapped.fanin_caps
+        then
+          add
+            (Diag.errorf ~rule:"map-delay-negative" (inst_loc j)
+               "instance '%s' carries negative or NaN delay, capacitance or \
+                resistance data"
+               inst.Mapped.cell_name))
+      m.Mapped.instances;
+    let delays = Mapped.instance_delays m in
+    Array.iteri
+      (fun j d ->
+        if d < 0.0 || d <> d then
+          add
+            (Diag.errorf ~rule:"map-delay-negative" (inst_loc j)
+               "load-dependent delay of instance '%s' is %g"
+               m.Mapped.instances.(j).Mapped.cell_name d))
+      delays;
+    let arr = Mapped.arrival_times_with m delays in
+    Array.iteri
+      (fun j (inst : Mapped.instance) ->
+        Array.iteri
+          (fun i (net : Mapped.net) ->
+            match net.Mapped.driver with
+            | Mapped.Inst d ->
+                if arr.(j) +. 1e-9 < arr.(d) then
+                  add
+                    (Diag.errorf ~rule:"map-arrival-monotone" (inst_loc j)
+                       "arrival %.4g at instance '%s' is earlier than \
+                        arrival %.4g of its fanin %d (instance %d)"
+                       arr.(j) inst.Mapped.cell_name arr.(d) i d)
+            | Mapped.Pi _ | Mapped.Const _ -> ())
+          inst.Mapped.fanins)
+      m.Mapped.instances;
+    (* the critical path is at least as long as the slowest single stage
+       among instances that reach an output *)
+    let reach = Array.make ninst false in
+    let rec mark j =
+      if not reach.(j) then begin
+        reach.(j) <- true;
+        Array.iter
+          (fun (net : Mapped.net) ->
+            match net.Mapped.driver with
+            | Mapped.Inst i -> mark i
+            | Mapped.Pi _ | Mapped.Const _ -> ())
+          m.Mapped.instances.(j).Mapped.fanins
+      end
+    in
+    let crit = ref 0.0 in
+    Array.iter
+      (fun (_, (net : Mapped.net)) ->
+        match net.Mapped.driver with
+        | Mapped.Inst j ->
+            mark j;
+            if arr.(j) > !crit then crit := arr.(j)
+        | Mapped.Pi _ | Mapped.Const _ -> ())
+      m.Mapped.outputs;
+    let maxd = ref 0.0 in
+    Array.iteri (fun j d -> if reach.(j) && d > !maxd then maxd := d) delays;
+    if !crit +. 1e-9 < !maxd then
+      add
+        (Diag.errorf ~rule:"map-sta-crit" (Diag.Circuit name)
+           "critical-path delay %.4g is below the slowest reachable single \
+            stage %.4g"
+           !crit !maxd)
+  end;
   (* ---- library conformance ---- *)
   (match lib with
   | None -> ()
@@ -360,6 +446,51 @@ let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16) (m : Mapped.t)
                                      inst.Mapped.cell_name))
                           | Cec.Undecided -> Some `Undecided)
                       | exception Cut_violation -> None
+                  in
+                  (* Second structural chance for support-reduced covers:
+                     the cover records the original pre-shrink cut, whose
+                     function — shrunk to its support — must equal the
+                     instance function over exactly the recorded leaves. *)
+                  let structural =
+                    match structural with
+                    | Some _ -> structural
+                    | None -> (
+                        let cn = cov.Mapped.cut_nodes in
+                        let nc = Array.length cn in
+                        if nc = 0 || nc > min tt_max_leaves 16 then None
+                        else
+                          match
+                            Aig.tt_of_cut golden cov.Mapped.root_lit cn
+                          with
+                          | full -> (
+                              let small, sup = Tt.shrink_to_support full in
+                              if Array.length sup <> k then None
+                              else if
+                                not
+                                  (Array.for_all
+                                     (fun i -> cn.(sup.(i)) = leaves.(i))
+                                     (Array.init k (fun i -> i)))
+                              then None
+                              else if Tt.equal small inst_tt then begin
+                                add
+                                  (Diag.infof ~rule:"map-cover-shrunk"
+                                     (inst_loc j)
+                                     "support-reduced cover (%d of %d cut \
+                                      leaves); verified structurally via \
+                                      the recorded cut"
+                                     k nc);
+                                Some `Ok
+                              end
+                              else
+                                Some
+                                  (`Mismatch
+                                    (Printf.sprintf
+                                       "instance '%s' implements %s over \
+                                        its shrunk cut, the recorded cut's \
+                                        cone shrinks to %s"
+                                       inst.Mapped.cell_name
+                                       (Tt.to_hex inst_tt) (Tt.to_hex small))))
+                          | exception Invalid_argument _ -> None)
                   in
                   (match structural with
                   | Some `Ok -> ()

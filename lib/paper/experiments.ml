@@ -7,6 +7,7 @@ type options = {
   cut_size : int;
   free_output_polarity : bool;
   verify : bool;
+  timing_map : bool;
 }
 
 let default_options =
@@ -17,6 +18,7 @@ let default_options =
     cut_size = 6;
     free_output_polarity = true;
     verify = false;
+    timing_map = false;
   }
 
 (* ---------------- Table 1 ---------------- *)
@@ -142,6 +144,7 @@ let published_lib family ~delay ~free_phases =
             (if family = Cell_netlist.Cmos then Int64.lognot base_tt else base_tt);
           area = gc.Paper_data.a;
           delay = pick gc;
+          timing = None;
         })
       entries
   in
@@ -212,7 +215,11 @@ let run_bench opts (lib_s, lib_p, lib_c) (e : Bench_suite.entry) =
   let aig = e.Bench_suite.build () in
   let opt = if opts.synthesize then Synth.resyn2rs aig else aig in
   let params =
-    { Mapper.default_params with Mapper.cut_size = opts.cut_size }
+    {
+      Mapper.default_params with
+      Mapper.cut_size = opts.cut_size;
+      timing = opts.timing_map;
+    }
   in
   let one lib =
     let m = Mapper.map ~params lib opt in
@@ -248,9 +255,11 @@ let summarize rows =
   let l sel (r : t3_row) = float_of_int (sel r).stats.Mapped.levels in
   let d sel (r : t3_row) = (sel r).stats.Mapped.norm_delay in
   let abs_ sel (r : t3_row) = (sel r).stats.Mapped.abs_delay_ps in
+  let sta_abs sel (r : t3_row) = (sel r).stats.Mapped.sta_abs_delay_ps in
   let st r = r.static_r and ps r = r.pseudo_r and cm r = r.cmos_r in
   let red f sel = 1.0 -. (favg (f sel) rows /. favg (f cm) rows) in
   let speedup sel = favg (fun r -> abs_ cm r /. abs_ sel r) rows in
+  let sta_speedup sel = favg (fun r -> sta_abs cm r /. sta_abs sel r) rows in
   [
     ("gate_reduction_static", red g st);
     ("gate_reduction_pseudo", red g ps);
@@ -262,6 +271,8 @@ let summarize rows =
     ("delay_reduction_pseudo", red d ps);
     ("speedup_static", speedup st);
     ("speedup_pseudo", speedup ps);
+    ("sta_speedup_static", sta_speedup st);
+    ("sta_speedup_pseudo", sta_speedup ps);
   ]
 
 let render_table3 ?(options = default_options) ?benches () =
@@ -270,10 +281,12 @@ let render_table3 ?(options = default_options) ?benches () =
   Buffer.add_string b
     "# Table 3 — technology mapping results (computed | paper)\n\n\
      Per benchmark and library: gate count, normalized area, logic levels,\n\
-     normalized delay and absolute delay (ps).\n\n";
+     normalized delay and absolute delay (ps); `sta ps` is the\n\
+     load-aware STA delay (real fanout loads, FO4 outputs) alongside the\n\
+     paper's fixed unit-load convention.\n\n";
   Buffer.add_string b
-    "| Bench | lib | gates | area | levels | delay | ps | paper gates | paper area | paper levels | paper delay | paper ps |\n\
-     |-------|-----|-------|------|--------|-------|----|------------|-----------|--------------|-------------|----------|\n";
+    "| Bench | lib | gates | area | levels | delay | ps | sta ps | paper gates | paper area | paper levels | paper delay | paper ps |\n\
+     |-------|-----|-------|------|--------|-------|----|--------|------------|-----------|--------------|-------------|----------|\n";
   List.iter
     (fun r ->
       let paper = try Some (Paper_data.table3_find r.bench) with Not_found -> None in
@@ -282,16 +295,18 @@ let render_table3 ?(options = default_options) ?benches () =
         (match p with
         | Some p ->
             Printf.bprintf b
-              "| %s | %s | %d | %.1f | %d | %.1f | %.1f | %d | %.1f | %d | %.1f | %.1f |\n"
+              "| %s | %s | %d | %.1f | %d | %.1f | %.1f | %.1f | %d | %.1f | %d | %.1f | %.1f |\n"
               r.bench name s.Mapped.gates s.Mapped.area s.Mapped.levels
-              s.Mapped.norm_delay s.Mapped.abs_delay_ps p.Paper_data.gates
+              s.Mapped.norm_delay s.Mapped.abs_delay_ps
+              s.Mapped.sta_abs_delay_ps p.Paper_data.gates
               p.Paper_data.area p.Paper_data.levels p.Paper_data.norm_delay
               p.Paper_data.abs_delay_ps
         | None ->
             Printf.bprintf b
-              "| %s | %s | %d | %.1f | %d | %.1f | %.1f | | | | | |\n"
+              "| %s | %s | %d | %.1f | %d | %.1f | %.1f | %.1f | | | | | |\n"
               r.bench name s.Mapped.gates s.Mapped.area s.Mapped.levels
-              s.Mapped.norm_delay s.Mapped.abs_delay_ps)
+              s.Mapped.norm_delay s.Mapped.abs_delay_ps
+              s.Mapped.sta_abs_delay_ps)
       in
       line "static" r.static_r
         (Option.map (fun p -> p.Paper_data.static) paper);
@@ -329,16 +344,42 @@ let run_fig6 ?(options = default_options) ?benches () =
         r.cmos_r.stats.Mapped.abs_delay_ps /. r.pseudo_r.stats.Mapped.abs_delay_ps ))
     rows
 
+let run_fig6_sta ?(options = default_options) ?benches () =
+  let rows = run_table3 ~options ?benches () in
+  List.map
+    (fun r ->
+      ( r.bench,
+        r.cmos_r.stats.Mapped.sta_abs_delay_ps
+        /. r.static_r.stats.Mapped.sta_abs_delay_ps,
+        r.cmos_r.stats.Mapped.sta_abs_delay_ps
+        /. r.pseudo_r.stats.Mapped.sta_abs_delay_ps ))
+    rows
+
 let render_fig6 ?(options = default_options) ?benches () =
-  let data = run_fig6 ~options ?benches () in
+  let rows = run_table3 ~options ?benches () in
+  let data =
+    List.map
+      (fun r ->
+        ( r.bench,
+          r.cmos_r.stats.Mapped.abs_delay_ps
+          /. r.static_r.stats.Mapped.abs_delay_ps,
+          r.cmos_r.stats.Mapped.abs_delay_ps
+          /. r.pseudo_r.stats.Mapped.abs_delay_ps,
+          r.cmos_r.stats.Mapped.sta_abs_delay_ps
+          /. r.static_r.stats.Mapped.sta_abs_delay_ps,
+          r.cmos_r.stats.Mapped.sta_abs_delay_ps
+          /. r.pseudo_r.stats.Mapped.sta_abs_delay_ps ))
+      rows
+  in
   let b = Buffer.create 4096 in
   Buffer.add_string b
     "# Figure 6 — absolute-delay ratio of CMOS to CNTFET implementations\n\n\
-     (bars of the paper's figure; paper values derived from Table 3)\n\n\
-     | Bench | static (computed) | pseudo (computed) | static (paper) | pseudo (paper) |\n\
-     |-------|-------------------|-------------------|----------------|----------------|\n";
+     (bars of the paper's figure; paper values derived from Table 3;\n\
+     `sta` columns use the load-aware STA delay on both sides)\n\n\
+     | Bench | static (computed) | pseudo (computed) | static (sta) | pseudo (sta) | static (paper) | pseudo (paper) |\n\
+     |-------|-------------------|-------------------|--------------|--------------|----------------|----------------|\n";
   List.iter
-    (fun (bench, s, p) ->
+    (fun (bench, s, p, ss, sp) ->
       let ps, pp =
         match
           List.find_opt (fun (n, _, _) -> n = bench) Paper_data.fig6_speedups
@@ -346,9 +387,15 @@ let render_fig6 ?(options = default_options) ?benches () =
         | Some (_, a, c) -> (a, c)
         | None -> (nan, nan)
       in
-      Printf.bprintf b "| %s | %.2f | %.2f | %.2f | %.2f |\n" bench s p ps pp)
+      Printf.bprintf b "| %s | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f |\n"
+        bench s p ss sp ps pp)
     data;
-  let avg sel = favg sel (List.map (fun (_, s, p) -> (s, p)) data) in
-  Printf.bprintf b "| **avg** | %.2f | %.2f | 6.9 | 5.8 |\n"
-    (avg fst) (avg snd);
+  let avg sel =
+    favg sel (List.map (fun (_, s, p, ss, sp) -> ((s, p), (ss, sp))) data)
+  in
+  Printf.bprintf b "| **avg** | %.2f | %.2f | %.2f | %.2f | 6.9 | 5.8 |\n"
+    (avg (fun ((s, _), _) -> s))
+    (avg (fun ((_, p), _) -> p))
+    (avg (fun (_, (ss, _)) -> ss))
+    (avg (fun (_, (_, sp)) -> sp));
   Buffer.contents b

@@ -18,6 +18,9 @@ type options = {
           output-inverter convention); disabling charges inverters like
           CMOS (ablation) *)
   verify : bool;           (** check every mapping by random simulation *)
+  timing_map : bool;
+      (** map with {!Mapper}'s STA-backed load-aware delay cost instead of
+          the fixed unit-load FO4 (default false — the paper's setup) *)
 }
 
 val default_options : options
@@ -66,6 +69,10 @@ val render_table3 : ?options:options -> ?benches:string list -> unit -> string
 val run_fig6 : ?options:options -> ?benches:string list -> unit ->
   (string * float * float) list
 (** Per benchmark: (name, static speed-up vs CMOS, pseudo speed-up). *)
+
+val run_fig6_sta : ?options:options -> ?benches:string list -> unit ->
+  (string * float * float) list
+(** Same ratios computed from the load-aware STA delays on both sides. *)
 
 val render_fig6 : ?options:options -> ?benches:string list -> unit -> string
 

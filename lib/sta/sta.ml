@@ -1,0 +1,274 @@
+type model = { unit_loads : bool; po_fanout : float }
+
+let default_model = { unit_loads = false; po_fanout = 4.0 }
+
+type endpoint = {
+  ep_name : string;
+  ep_arrival : float;
+  ep_required : float;
+  ep_slack : float;
+}
+
+type stage = {
+  st_inst : int;
+  st_cell : string;
+  st_pin : int;
+  st_load : float;
+  st_delay : float;
+  st_arrival : float;
+}
+
+type t = {
+  netlist : Mapped.t;
+  model : model;
+  loads : float array;
+  delays : float array;
+  arrival : float array;
+  required : float array;
+  slack : float array;
+  crit : float;
+  endpoints : endpoint array;
+}
+
+let net_arrival arrival (net : Mapped.net) =
+  match net.Mapped.driver with
+  | Mapped.Inst j -> arrival.(j)
+  | Mapped.Pi _ | Mapped.Const _ -> 0.0
+
+let analyze ?(model = default_model) (m : Mapped.t) =
+  let n = Array.length m.Mapped.instances in
+  let loads = Mapped.output_loads ~po_fanout:model.po_fanout m in
+  let delays =
+    Mapped.instance_delays
+      ~model:
+        (if model.unit_loads then Mapped.Unit_load
+         else Mapped.Loaded model.po_fanout)
+      m
+  in
+  let arrival = Mapped.arrival_times_with m delays in
+  let crit =
+    Array.fold_left
+      (fun acc (_, net) -> max acc (net_arrival arrival net))
+      0.0 m.Mapped.outputs
+  in
+  (* backward pass: an endpoint's required time is the latest endpoint
+     arrival; an instance's required time is the tightest over its fanouts *)
+  let required = Array.make n infinity in
+  Array.iter
+    (fun (_, net) ->
+      match net.Mapped.driver with
+      | Mapped.Inst j -> if crit < required.(j) then required.(j) <- crit
+      | Mapped.Pi _ | Mapped.Const _ -> ())
+    m.Mapped.outputs;
+  for j = n - 1 downto 0 do
+    if required.(j) < infinity then begin
+      let r = required.(j) -. delays.(j) in
+      Array.iter
+        (fun (net : Mapped.net) ->
+          match net.Mapped.driver with
+          | Mapped.Inst i -> if r < required.(i) then required.(i) <- r
+          | Mapped.Pi _ | Mapped.Const _ -> ())
+        m.Mapped.instances.(j).Mapped.fanins
+    end
+  done;
+  let slack = Array.mapi (fun j r -> r -. arrival.(j)) required in
+  let endpoints =
+    Array.map
+      (fun (name, net) ->
+        let a = net_arrival arrival net in
+        { ep_name = name; ep_arrival = a; ep_required = crit;
+          ep_slack = crit -. a })
+      m.Mapped.outputs
+  in
+  { netlist = m; model; loads; delays; arrival; required; slack; crit;
+    endpoints }
+
+let norm_delay t = t.crit
+let abs_delay_ps t = t.crit *. t.netlist.Mapped.tau_ps
+
+let critical_path t =
+  let m = t.netlist in
+  (* endpoint with the latest arrival *)
+  let start =
+    Array.fold_left
+      (fun acc (_, net) ->
+        match net.Mapped.driver with
+        | Mapped.Inst j -> (
+            match acc with
+            | Some k when t.arrival.(k) >= t.arrival.(j) -> acc
+            | _ -> Some j)
+        | Mapped.Pi _ | Mapped.Const _ -> acc)
+      None m.Mapped.outputs
+  in
+  match start with
+  | None -> []
+  | Some j0 ->
+      let rec walk j acc =
+        let inst = m.Mapped.instances.(j) in
+        (* critical input: the fanin with the latest arrival *)
+        let pin = ref 0 and best = ref neg_infinity in
+        Array.iteri
+          (fun i net ->
+            let a = net_arrival t.arrival net in
+            if a > !best then begin
+              best := a;
+              pin := i
+            end)
+          inst.Mapped.fanins;
+        let stage =
+          {
+            st_inst = j;
+            st_cell = inst.Mapped.cell_name;
+            st_pin = !pin;
+            st_load = t.loads.(j);
+            st_delay = t.delays.(j);
+            st_arrival = t.arrival.(j);
+          }
+        in
+        let acc = stage :: acc in
+        if Array.length inst.Mapped.fanins = 0 then acc
+        else
+          match inst.Mapped.fanins.(!pin).Mapped.driver with
+          | Mapped.Inst i -> walk i acc
+          | Mapped.Pi _ | Mapped.Const _ -> acc
+      in
+      walk j0 []
+
+let slack_histogram ?(bins = 10) t =
+  let xs =
+    Array.to_list t.slack |> List.filter (fun s -> s < infinity)
+  in
+  match xs with
+  | [] -> []
+  | x0 :: _ ->
+      let lo = List.fold_left min x0 xs and hi = List.fold_left max x0 xs in
+      if hi -. lo < 1e-12 then [ (lo, hi, List.length xs) ]
+      else begin
+        let bins = max 1 bins in
+        let w = (hi -. lo) /. float_of_int bins in
+        let counts = Array.make bins 0 in
+        List.iter
+          (fun s ->
+            let b = min (bins - 1) (int_of_float ((s -. lo) /. w)) in
+            counts.(b) <- counts.(b) + 1)
+          xs;
+        List.init bins (fun b ->
+            (lo +. (w *. float_of_int b), lo +. (w *. float_of_int (b + 1)),
+             counts.(b)))
+      end
+
+let driver_name (m : Mapped.t) (net : Mapped.net) =
+  let base =
+    match net.Mapped.driver with
+    | Mapped.Pi i ->
+        if i < Array.length m.Mapped.input_names then
+          m.Mapped.input_names.(i)
+        else Printf.sprintf "pi%d" i
+    | Mapped.Inst j -> Printf.sprintf "i%d" j
+    | Mapped.Const b -> if b then "1'b1" else "1'b0"
+  in
+  if net.Mapped.negated then "~" ^ base else base
+
+let render_path ?(tsv = false) t =
+  let buf = Buffer.create 512 in
+  let tau = t.netlist.Mapped.tau_ps in
+  let stages = critical_path t in
+  if tsv then begin
+    Buffer.add_string buf
+      "#stage\tinst\tcell\tpin\tfrom\tload\tdelay\tarrival\tarrival_ps\n";
+    List.iteri
+      (fun i st ->
+        let inst = t.netlist.Mapped.instances.(st.st_inst) in
+        let from = driver_name t.netlist inst.Mapped.fanins.(st.st_pin) in
+        Buffer.add_string buf
+          (Printf.sprintf "%d\ti%d\t%s\t%d\t%s\t%.3f\t%.3f\t%.3f\t%.3f\n" i
+             st.st_inst st.st_cell st.st_pin from st.st_load st.st_delay
+             st.st_arrival (st.st_arrival *. tau)))
+      stages
+  end
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "critical path (%d stages, delay %.2f = %.2f ps):\n"
+         (List.length stages) t.crit (t.crit *. tau));
+    List.iteri
+      (fun i st ->
+        let inst = t.netlist.Mapped.instances.(st.st_inst) in
+        let from = driver_name t.netlist inst.Mapped.fanins.(st.st_pin) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %2d  i%-5d %-8s pin %d <- %-10s load %6.2f  delay %6.2f  \
+              arrival %7.2f\n"
+             i st.st_inst st.st_cell st.st_pin from st.st_load st.st_delay
+             st.st_arrival))
+      stages
+  end;
+  Buffer.contents buf
+
+let render_endpoints ?(tsv = false) t =
+  let buf = Buffer.create 512 in
+  let tau = t.netlist.Mapped.tau_ps in
+  (* slowest first *)
+  let eps = Array.copy t.endpoints in
+  Array.sort (fun a b -> compare b.ep_arrival a.ep_arrival) eps;
+  if tsv then begin
+    Buffer.add_string buf "#output\tarrival\tarrival_ps\trequired\tslack\n";
+    Array.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s\t%.3f\t%.3f\t%.3f\t%.3f\n" e.ep_name
+             e.ep_arrival (e.ep_arrival *. tau) e.ep_required e.ep_slack))
+      eps
+  end
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "endpoints (%d, required %.2f):\n" (Array.length eps)
+         t.crit);
+    Array.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %-12s arrival %7.2f (%8.2f ps)  slack %7.2f%s\n" e.ep_name
+             e.ep_arrival (e.ep_arrival *. tau) e.ep_slack
+             (if e.ep_slack < 1e-9 then "  <- critical" else "")))
+      eps
+  end;
+  Buffer.contents buf
+
+let render_histogram ?(tsv = false) ?bins t =
+  let buf = Buffer.create 256 in
+  let h = slack_histogram ?bins t in
+  if tsv then begin
+    Buffer.add_string buf "#slack_lo\tslack_hi\tcount\n";
+    List.iter
+      (fun (lo, hi, c) ->
+        Buffer.add_string buf (Printf.sprintf "%.3f\t%.3f\t%d\n" lo hi c))
+      h
+  end
+  else begin
+    Buffer.add_string buf "slack histogram (output-reaching instances):\n";
+    let total =
+      List.fold_left (fun a (_, _, c) -> a + c) 0 h |> max 1
+    in
+    List.iter
+      (fun (lo, hi, c) ->
+        let bar = String.make (c * 50 / total) '#' in
+        Buffer.add_string buf
+          (Printf.sprintf "  [%7.2f, %7.2f)  %5d %s\n" lo hi c bar))
+      h
+  end;
+  Buffer.contents buf
+
+let summary t =
+  let worst =
+    Array.fold_left
+      (fun acc s -> if s < infinity then min acc s else acc)
+      infinity t.slack
+  in
+  let worst = if worst = infinity then 0.0 else worst in
+  Printf.sprintf
+    "%s: %d instances, %d endpoints, critical %.2f (%.2f ps), worst slack \
+     %.2f%s"
+    t.netlist.Mapped.lib_name
+    (Array.length t.netlist.Mapped.instances)
+    (Array.length t.endpoints) t.crit (abs_delay_ps t) worst
+    (if t.model.unit_loads then " [unit loads]" else "")

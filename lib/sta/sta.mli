@@ -1,0 +1,84 @@
+(** Static timing analysis over mapped netlists.
+
+    The delay model is the switch-level RC model of Sec. 4, applied at the
+    {e actual} load of every instance output instead of the fixed
+    fanout-of-4 convention: instance [j] driving total capacitance [L]
+    contributes [Charlib.drive_delay d ~load:L] where [d] is the cell's
+    characterized output drive and [L] sums the input-pin capacitances of
+    the fanout pins (plus [po_fanout] reference-inverter loads on every
+    primary output).  Arrival times propagate forward through the netlist,
+    required times backward from the latest endpoint, and the difference is
+    the per-instance slack.  With [unit_loads] set the engine degenerates
+    to the legacy fixed-FO4 model and reproduces
+    [Mapped.stats.norm_delay] exactly. *)
+
+type model = {
+  unit_loads : bool;
+      (** charge every instance its fixed FO4 [delay] field instead of the
+          load-dependent delay (the paper's Table 3 convention) *)
+  po_fanout : float;
+      (** reference-inverter loads assumed on each primary output
+          (default 4.0 — the FO4 convention) *)
+}
+
+val default_model : model
+(** [{ unit_loads = false; po_fanout = 4.0 }] *)
+
+type endpoint = {
+  ep_name : string;  (** primary-output name *)
+  ep_arrival : float;
+  ep_required : float;
+  ep_slack : float;
+}
+
+type stage = {
+  st_inst : int;      (** instance index *)
+  st_cell : string;
+  st_pin : int;       (** fanin pin the critical signal enters through *)
+  st_load : float;    (** capacitive load on the instance output *)
+  st_delay : float;   (** stage delay under the model *)
+  st_arrival : float; (** arrival at the instance output *)
+}
+
+type t = {
+  netlist : Mapped.t;
+  model : model;
+  loads : float array;
+  delays : float array;
+  arrival : float array;
+  required : float array;  (** [infinity] for instances reaching no output *)
+  slack : float array;
+  crit : float;            (** latest endpoint arrival (normalized) *)
+  endpoints : endpoint array;  (** one per primary output, netlist order *)
+}
+
+val analyze : ?model:model -> Mapped.t -> t
+(** Full forward/backward propagation.  Every endpoint's required time is
+    the latest endpoint arrival, so the worst endpoint has slack 0 and
+    every slack is nonnegative. *)
+
+val norm_delay : t -> float
+(** The critical-path delay, normalized (= [crit]). *)
+
+val abs_delay_ps : t -> float
+(** [crit] scaled by the library's technology constant. *)
+
+val critical_path : t -> stage list
+(** The slowest register-free path, endpoint backwards to a primary input,
+    returned input-first.  Empty when no output is driven by an instance. *)
+
+val slack_histogram : ?bins:int -> t -> (float * float * int) list
+(** [(lo, hi, count)] buckets over the slacks of output-reaching instances
+    (default 10 bins). *)
+
+(** {1 Reports}
+
+    Human-readable by default; [~tsv:true] emits tab-separated rows with a
+    leading [#]-commented header. *)
+
+val render_path : ?tsv:bool -> t -> string
+val render_endpoints : ?tsv:bool -> t -> string
+val render_histogram : ?tsv:bool -> ?bins:int -> t -> string
+val summary : t -> string
+(** One line: instance count, critical delay (normalized and ps), worst
+    slack, endpoint count. *)

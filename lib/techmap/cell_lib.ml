@@ -5,6 +5,7 @@ type cell = {
   tt : int64;
   area : float;
   delay : float;
+  timing : Charlib.timing option;
 }
 
 type match_entry = {
@@ -26,6 +27,21 @@ type t = {
 
 let name t = t.lib_name
 let cells t = t.lib_cells
+
+let avg_pin_cap t =
+  let pins = ref 0 and cap = ref 0.0 in
+  List.iter
+    (fun c ->
+      match c.timing with
+      | Some tm ->
+          Array.iter
+            (fun pc ->
+              incr pins;
+              cap := !cap +. pc)
+            tm.Charlib.pin_caps
+      | None -> ())
+    t.lib_cells;
+  if !pins = 0 then None else Some (!cap /. float_of_int !pins)
 let free_phases t = t.lib_free_phases
 let inverter t = t.lib_inv
 let tau_ps t = t.lib_tau
@@ -129,6 +145,7 @@ let cntfet ?(family = Cell_netlist.Tg_static) ?(delay = Worst)
           tt = Gate_spec.tt6 r.Charlib.spec;
           area = r.Charlib.area;
           delay = pick_delay delay r;
+          timing = Some r.Charlib.timing;
         })
       rows
   in
@@ -162,6 +179,9 @@ let cmos ?(delay = Worst) () =
           tt = Int64.lognot (Gate_spec.tt6 r.Charlib.spec);
           area = r.Charlib.area;
           delay = pick_delay delay r;
+          (* the physical netlist Charlib characterized is this inverting
+             cell, so its pin table and drive carry over unchanged *)
+          timing = Some r.Charlib.timing;
         })
       rows
   in

@@ -21,6 +21,10 @@ type cell = {
   tt : int64;      (** output function, 6-var replicated word over pins 0.. *)
   area : float;
   delay : float;   (** pin-to-pin delay, FO4 normalized to the family's tau *)
+  timing : Charlib.timing option;
+      (** pin capacitances and output drive for load-dependent delay;
+          [None] for libraries without characterization (genlib, published
+          numbers) — such cells fall back to the fixed [delay] *)
 }
 
 type match_entry = {
@@ -49,6 +53,11 @@ val matches : t -> int -> int64 -> match_entry list
     {!inverter}. *)
 
 val num_entries : t -> int
+
+val avg_pin_cap : t -> float option
+(** Mean input-pin capacitance over all characterized cells — the mapper's
+    a-priori estimate of the load one fanout contributes.  [None] when no
+    cell carries timing data. *)
 
 (** {1 Construction} *)
 

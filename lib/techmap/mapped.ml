@@ -1,12 +1,18 @@
 type driver = Pi of int | Inst of int | Const of bool
 type net = { driver : driver; negated : bool }
 
-type cover = { root_lit : int; fanin_lits : int array }
+type cover = {
+  root_lit : int;
+  fanin_lits : int array;
+  cut_nodes : int array;
+}
 
 type instance = {
   cell_name : string;
   area : float;
   delay : float;
+  drive : Charlib.drive option;
+  fanin_caps : float array;
   fanins : net array;
   tt : int64;
   cover : cover option;
@@ -27,9 +33,62 @@ type stats = {
   levels : int;
   norm_delay : float;
   abs_delay_ps : float;
+  sta_norm_delay : float;
+  sta_abs_delay_ps : float;
 }
 
-let arrival_times m =
+type delay_model = Unit_load | Loaded of float
+
+(* Capacitance fanin pin [i] of [inst] presents to its driver.  Netlists
+   without recorded pin capacitances (hand-built, genlib) default to the
+   reference inverter input — one standard load per fanout. *)
+let pin_cap (inst : instance) i =
+  if i < Array.length inst.fanin_caps then inst.fanin_caps.(i)
+  else
+    match inst.drive with
+    | Some d -> d.Charlib.cin_ref
+    | None -> 1.0
+
+let output_loads ?(po_fanout = 4.0) m =
+  let loads = Array.make (Array.length m.instances) 0.0 in
+  Array.iter
+    (fun inst ->
+      Array.iteri
+        (fun i net ->
+          match net.driver with
+          | Inst j -> loads.(j) <- loads.(j) +. pin_cap inst i
+          | Pi _ | Const _ -> ())
+        inst.fanins)
+    m.instances;
+  (* each primary output drives [po_fanout] copies of a reference inverter
+     (the FO4 convention of Sec. 4 at the default of 4) *)
+  Array.iter
+    (fun (_, net) ->
+      match net.driver with
+      | Inst j ->
+          let cref =
+            match m.instances.(j).drive with
+            | Some d -> d.Charlib.cin_ref
+            | None -> 1.0
+          in
+          loads.(j) <- loads.(j) +. (po_fanout *. cref)
+      | Pi _ | Const _ -> ())
+    m.outputs;
+  loads
+
+let instance_delays ?(model = Loaded 4.0) m =
+  match model with
+  | Unit_load -> Array.map (fun (i : instance) -> i.delay) m.instances
+  | Loaded po_fanout ->
+      let loads = output_loads ~po_fanout m in
+      Array.mapi
+        (fun j (inst : instance) ->
+          match inst.drive with
+          | Some d -> Charlib.drive_delay d ~load:loads.(j)
+          | None -> inst.delay)
+        m.instances
+
+let arrival_times_with m delays =
   let arr = Array.make (Array.length m.instances) 0.0 in
   Array.iteri
     (fun j inst ->
@@ -41,9 +100,11 @@ let arrival_times m =
             | Pi _ | Const _ -> acc)
           0.0 inst.fanins
       in
-      arr.(j) <- worst +. inst.delay)
+      arr.(j) <- worst +. delays.(j))
     m.instances;
   arr
+
+let arrival_times m = arrival_times_with m (instance_delays ~model:Unit_load m)
 
 let instance_levels m =
   let lv = Array.make (Array.length m.instances) 0 in
@@ -66,6 +127,7 @@ let stats m =
     Array.fold_left (fun a (i : instance) -> a +. i.area) 0.0 m.instances
   in
   let arr = arrival_times m in
+  let sta_arr = arrival_times_with m (instance_delays m) in
   let lv = instance_levels m in
   let out_max f dflt =
     Array.fold_left
@@ -81,6 +143,8 @@ let stats m =
     levels = out_max (fun i -> lv.(i)) 0;
     norm_delay = out_max (fun i -> arr.(i)) 0.0;
     abs_delay_ps = out_max (fun i -> arr.(i)) 0.0 *. m.tau_ps;
+    sta_norm_delay = out_max (fun i -> sta_arr.(i)) 0.0;
+    sta_abs_delay_ps = out_max (fun i -> sta_arr.(i)) 0.0 *. m.tau_ps;
   }
 
 let simulate m words =
@@ -167,5 +231,6 @@ let count_cells m =
 let pp_stats fmt m =
   let s = stats m in
   Format.fprintf fmt
-    "%s: gates=%d area=%.1f levels=%d delay=%.1f (%.1f ps)" m.lib_name
-    s.gates s.area s.levels s.norm_delay s.abs_delay_ps
+    "%s: gates=%d area=%.1f levels=%d delay=%.1f (%.1f ps) sta=%.1f (%.1f ps)"
+    m.lib_name s.gates s.area s.levels s.norm_delay s.abs_delay_ps
+    s.sta_norm_delay s.sta_abs_delay_ps

@@ -12,7 +12,17 @@ type net = { driver : driver; negated : bool }
     free-phase (ambipolar) libraries whose cells expose both polarities,
     and for complemented constants/inputs where the library allows it. *)
 
-type cover = { root_lit : int; fanin_lits : int array }
+type cover = {
+  root_lit : int;
+  fanin_lits : int array;
+  cut_nodes : int array;
+      (** the structural cut of the source AIG the cover was derived from,
+          {e before} support reduction — node ids, ascending.  Equal to the
+          fanin nodes when the cut function depended on every leaf; wider
+          when the mapper shrank a don't-care leaf away.  Lets a checker
+          re-derive the cut function structurally even for support-reduced
+          instances. *)
+}
 (** Provenance of an instance with respect to the source AIG it was mapped
     from: the instance output carries the value of AIG literal [root_lit],
     and fanin [i] carries the value of AIG literal [fanin_lits.(i)] (the
@@ -23,7 +33,13 @@ type cover = { root_lit : int; fanin_lits : int array }
 type instance = {
   cell_name : string;
   area : float;
-  delay : float;
+  delay : float;  (** fixed unit-load FO4 delay (the legacy convention) *)
+  drive : Charlib.drive option;
+      (** output drive for load-dependent delay; [None] when the cell was
+          not characterized *)
+  fanin_caps : float array;
+      (** capacitance each fanin pin presents to its driver, permuted to
+          fanin order; [[||]] when unknown (one reference load assumed) *)
   fanins : net array;
   tt : int64;  (** output function over the fanin values (Tt convention) *)
   cover : cover option;  (** [None] when the provenance is unknown (e.g.
@@ -43,14 +59,38 @@ type stats = {
   gates : int;
   area : float;
   levels : int;
-  norm_delay : float;
+  norm_delay : float;  (** unit-load: sum of fixed FO4 delays (legacy) *)
   abs_delay_ps : float;
+  sta_norm_delay : float;
+      (** load-aware: arrival under {!instance_delays} with the default
+          [Loaded 4.0] model (real fanout loads, FO4 primary outputs) *)
+  sta_abs_delay_ps : float;
 }
 
 val stats : t -> stats
 
+(** {1 Delay models}
+
+    [Unit_load] charges every instance its fixed [delay] field — the
+    paper's FO4-per-cell convention.  [Loaded po_fanout] computes each
+    instance's delay from its {e actual} output load — the sum of the
+    fanin-pin capacitances it drives, plus [po_fanout] reference-inverter
+    loads on every primary output — through {!Charlib.drive_delay}. *)
+
+type delay_model = Unit_load | Loaded of float
+
+val output_loads : ?po_fanout:float -> t -> float array
+(** Capacitive load on each instance output (default [po_fanout] 4.0). *)
+
+val instance_delays : ?model:delay_model -> t -> float array
+(** Per-instance delay under the model (default [Loaded 4.0]). *)
+
+val arrival_times_with : t -> float array -> float array
+(** Arrival times given per-instance delays (topological propagation). *)
+
 val arrival_times : t -> float array
-(** Per-instance arrival (sum of cell delays along the slowest path). *)
+(** Per-instance arrival (sum of cell delays along the slowest path).
+    Equals [arrival_times_with m (instance_delays ~model:Unit_load m)]. *)
 
 val instance_levels : t -> int array
 

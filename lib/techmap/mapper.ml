@@ -1,6 +1,12 @@
-type params = { cut_size : int; cut_limit : int; area_passes : int }
+type params = {
+  cut_size : int;
+  cut_limit : int;
+  area_passes : int;
+  timing : bool;
+}
 
-let default_params = { cut_size = 6; cut_limit = 12; area_passes = 3 }
+let default_params =
+  { cut_size = 6; cut_limit = 12; area_passes = 3; timing = false }
 
 (* A mapping choice for (node, phase): how the value [node ^ phase] is
    produced. *)
@@ -8,9 +14,10 @@ type choice =
   | Unmapped
   | Wire of int * bool
     (** [Wire (leaf, ph)]: the value equals [leaf ^ ph] (support-1 cut) *)
-  | Match of Cell_lib.match_entry * int array * int64
-    (** entry, cut leaves (support only), implemented function over the
-        leaves (the lookup key) *)
+  | Match of Cell_lib.match_entry * int array * int array * int64
+    (** entry, cut leaves (support only), original structural cut leaves
+        (pre-shrink), implemented function over the support leaves (the
+        lookup key) *)
   | Bridge  (** inverter from the opposite phase (non-free libraries) *)
 
 type slot = {
@@ -26,10 +33,8 @@ let map ?(params = default_params) lib aig =
   let free = Cell_lib.free_phases lib in
   let nph = if free then 1 else 2 in
   let inv = Cell_lib.inverter lib in
-  let inv_delay, inv_area =
-    match inv with
-    | Some c -> (c.Cell_lib.delay, c.Cell_lib.area)
-    | None -> (infinity_f, infinity_f)
+  let inv_area =
+    match inv with Some c -> c.Cell_lib.area | None -> infinity_f
   in
   if (not free) && inv = None then
     invalid_arg "Mapper.map: non-free-phase library without an inverter";
@@ -37,34 +42,96 @@ let map ?(params = default_params) lib aig =
   let cuts = Cut.compute aig ~k ~limit:params.cut_limit in
   let refs = Aig.fanout_counts aig in
   let refs_f = Array.map (fun r -> float_of_int (max 1 r)) refs in
+  (* Load-aware cost (timing mode): a cell rooted at [nd] will drive
+     roughly one average library pin per internal AIG fanout, plus the
+     reference output load (the model's [po_fanout] inverters) per primary
+     output — a pre-cover estimate of the final netlist load, refined
+     nowhere (the cover isn't known during matching).  Classic mode charges
+     the fixed unit-load FO4. *)
+  let timing_on = params.timing in
+  let avg_cin =
+    match Cell_lib.avg_pin_cap lib with Some c -> c | None -> 1.0
+  in
+  let cref =
+    (* the family's reference inverter input capacitance *)
+    List.fold_left
+      (fun acc (c : Cell_lib.cell) ->
+        match (acc, c.Cell_lib.timing) with
+        | Some _, _ -> acc
+        | None, Some tm -> Some tm.Charlib.drive.Charlib.cin_ref
+        | None, None -> None)
+      None (Cell_lib.cells lib)
+    |> Option.value ~default:2.0
+  in
+  let po_f = Array.make n 0.0 in
+  Array.iter
+    (fun (_, l) ->
+      let nd = Aig.node_of l in
+      po_f.(nd) <- po_f.(nd) +. 1.0)
+    (Aig.outputs aig);
+  let est_load nd =
+    let po = po_f.(nd) in
+    (Float.max 0.0 (refs_f.(nd) -. po) *. avg_cin) +. (po *. 4.0 *. cref)
+  in
+  (* Once a full cover exists, [measure_loads] replaces the a-priori
+     estimate with the loads the chosen cover actually presents; until
+     then the estimate stands. *)
+  let loads_cur = ref None in
+  let node_load nd p =
+    match !loads_cur with Some a -> a.(nd).(p) | None -> est_load nd
+  in
+  let cell_delay_loaded (c : Cell_lib.cell) load =
+    match c.Cell_lib.timing with
+    | Some tm -> Charlib.drive_delay tm.Charlib.drive ~load
+    | None -> c.Cell_lib.delay
+  in
+  (* The first delay pass always runs with the legacy fixed-FO4 cost, so
+     timing mode starts from exactly the cover the default mode produces;
+     load-aware refinement switches this on afterwards. *)
+  let use_loads = ref false in
+  let cell_delay_at nd p c =
+    if timing_on && !use_loads then cell_delay_loaded c (node_load nd p)
+    else c.Cell_lib.delay
+  in
+  let inv_delay_at nd p =
+    match inv with Some c -> cell_delay_at nd p c | None -> infinity_f
+  in
+  let inv_pin_cap =
+    match inv with
+    | Some { Cell_lib.timing = Some tm; _ } -> tm.Charlib.pin_caps.(0)
+    | _ -> avg_cin
+  in
   let slots =
     Array.init n (fun _ ->
         Array.init nph (fun _ ->
             { choice = Unmapped; arrival = infinity_f; flow = infinity_f }))
   in
   let slot node ph = slots.(node).(if free then 0 else ph) in
-  (* primary inputs and the constant node *)
-  for i = 0 to Aig.num_inputs aig do
-    (* node 0 is the constant; inputs are 1..num_inputs *)
-    let s0 = slots.(i).(0) in
-    s0.choice <- Wire (i, false);
-    s0.arrival <- 0.0;
-    s0.flow <- 0.0;
-    if nph = 2 then begin
-      let s1 = slots.(i).(1) in
-      if i = 0 then begin
-        (* complemented constant is still a constant *)
-        s1.choice <- Wire (0, true);
-        s1.arrival <- 0.0;
-        s1.flow <- 0.0
+  (* primary inputs and the constant node (re-run when loads change) *)
+  let init_leaf_slots () =
+    for i = 0 to Aig.num_inputs aig do
+      (* node 0 is the constant; inputs are 1..num_inputs *)
+      let s0 = slots.(i).(0) in
+      s0.choice <- Wire (i, false);
+      s0.arrival <- 0.0;
+      s0.flow <- 0.0;
+      if nph = 2 then begin
+        let s1 = slots.(i).(1) in
+        if i = 0 then begin
+          (* complemented constant is still a constant *)
+          s1.choice <- Wire (0, true);
+          s1.arrival <- 0.0;
+          s1.flow <- 0.0
+        end
+        else begin
+          s1.choice <- Bridge;
+          s1.arrival <- inv_delay_at i 1;
+          s1.flow <- inv_area
+        end
       end
-      else begin
-        s1.choice <- Bridge;
-        s1.arrival <- inv_delay;
-        s1.flow <- inv_area
-      end
-    end
-  done;
+    done
+  in
+  init_leaf_slots ();
   (* Precompute, per AND node, the list of usable (leaves, key) pairs:
      cut function shrunk to its support. *)
   let node_cutinfo = Array.make n [] in
@@ -82,7 +149,7 @@ let map ?(params = default_params) lib aig =
               else
                 let real_leaves = Array.map (fun i -> leaves.(i)) sup in
                 let key = (Tt.words small).(0) in
-                Some (real_leaves, s, key)
+                Some (real_leaves, leaves, s, key)
             end)
           cuts.(nd)
       in
@@ -93,8 +160,9 @@ let map ?(params = default_params) lib aig =
     let s = slot leaf want_ph in
     (s.arrival, s.flow /. refs_f.(leaf))
   in
-  let eval_match leaves entry =
-    let arr = ref 0.0 and fl = ref entry.Cell_lib.cell.Cell_lib.area in
+  let eval_match nd p leaves entry =
+    let cell = entry.Cell_lib.cell in
+    let arr = ref 0.0 and fl = ref cell.Cell_lib.area in
     Array.iteri
       (fun i leaf ->
         let want = (entry.Cell_lib.phase lsr i) land 1 = 1 in
@@ -102,7 +170,7 @@ let map ?(params = default_params) lib aig =
         if a > !arr then arr := a;
         fl := !fl +. f)
       leaves;
-    (!arr +. entry.Cell_lib.cell.Cell_lib.delay, !fl)
+    (!arr +. cell_delay_at nd p cell, !fl)
   in
   (* One matching pass.  [mode] selects the objective:
      `Delay: lexicographic (arrival, flow);
@@ -139,7 +207,7 @@ let map ?(params = default_params) lib aig =
         end
       in
       List.iter
-        (fun (leaves, s_arity, key) ->
+        (fun (leaves, orig_leaves, s_arity, key) ->
           let want_key = if ph = 0 then key else Int64.lognot key in
           if s_arity = 0 then begin
             (* constant function: should not happen in a strashed AIG *)
@@ -164,8 +232,10 @@ let map ?(params = default_params) lib aig =
           else
             List.iter
               (fun entry ->
-                let arr, fl = eval_match leaves entry in
-                consider (Match (entry, leaves, want_key)) arr fl)
+                let arr, fl =
+                  eval_match nd (if free then 0 else ph) leaves entry
+                in
+                consider (Match (entry, leaves, orig_leaves, want_key)) arr fl)
               (Cell_lib.matches lib s_arity want_key))
         node_cutinfo.(nd);
       s.choice <- !best_choice;
@@ -175,14 +245,14 @@ let map ?(params = default_params) lib aig =
     (* inverter bridging between phases *)
     if nph = 2 then begin
       let s0 = slot nd 0 and s1 = slot nd 1 in
-      if s1.arrival +. inv_delay < s0.arrival then begin
+      if s1.arrival +. inv_delay_at nd 0 < s0.arrival then begin
         s0.choice <- Bridge;
-        s0.arrival <- s1.arrival +. inv_delay;
+        s0.arrival <- s1.arrival +. inv_delay_at nd 0;
         s0.flow <- s1.flow +. inv_area
       end;
-      if s0.arrival +. inv_delay < s1.arrival then begin
+      if s0.arrival +. inv_delay_at nd 1 < s1.arrival then begin
         s1.choice <- Bridge;
-        s1.arrival <- s0.arrival +. inv_delay;
+        s1.arrival <- s0.arrival +. inv_delay_at nd 1;
         s1.flow <- s0.flow +. inv_area
       end
     end
@@ -231,10 +301,10 @@ let map ?(params = default_params) lib aig =
                 if r < req.(leaf).(lp) then req.(leaf).(lp) <- r
             | Bridge ->
                 let other = 1 - p in
-                let r' = r -. inv_delay in
+                let r' = r -. inv_delay_at nd p in
                 if r' < req.(nd).(other) then req.(nd).(other) <- r'
-            | Match (entry, leaves, _) ->
-                let r' = r -. entry.Cell_lib.cell.Cell_lib.delay in
+            | Match (entry, leaves, _, _) ->
+                let r' = r -. cell_delay_at nd p entry.Cell_lib.cell in
                 Array.iteri
                   (fun i leaf ->
                     let want =
@@ -248,8 +318,139 @@ let map ?(params = default_params) lib aig =
     done;
     (req, t)
   in
-  (* area-recovery passes *)
-  for _ = 1 to params.area_passes do
+  (* Walk the chosen cover from the outputs and accumulate the pin
+     capacitance every consumer presents to each (node, phase) driver —
+     the same accounting {!Mapped.output_loads} applies after extraction
+     (reference output load per PO, cell pin caps per fanin, a Wire
+     passes its accumulated load through to the aliased driver).
+     Slots outside the cover keep the a-priori estimate. *)
+  let measure_loads () =
+    let loads = Array.init n (fun _ -> Array.make nph 0.0) in
+    let used = Array.init n (fun _ -> Array.make nph false) in
+    List.iter
+      (fun (nd, ph) ->
+        let p = if free then 0 else ph in
+        used.(nd).(p) <- true;
+        loads.(nd).(p) <- loads.(nd).(p) +. (4.0 *. cref))
+      (output_slots ());
+    for nd = n - 1 downto 1 do
+      if Aig.is_and aig nd then begin
+        (* a Bridge loads the same node's other phase: resolve it first so
+           that phase's own propagation below sees the inverter's pin *)
+        for p = 0 to nph - 1 do
+          if used.(nd).(p) then
+            match (slot nd p).choice with
+            | Bridge ->
+                let other = 1 - p in
+                used.(nd).(other) <- true;
+                loads.(nd).(other) <- loads.(nd).(other) +. inv_pin_cap
+            | _ -> ()
+        done;
+        for p = 0 to nph - 1 do
+          if used.(nd).(p) then
+            match (slot nd p).choice with
+            | Unmapped | Bridge -> ()
+            | Wire (leaf, lph) ->
+                let lp = if free || not lph then 0 else 1 in
+                used.(leaf).(lp) <- true;
+                loads.(leaf).(lp) <- loads.(leaf).(lp) +. loads.(nd).(p)
+            | Match (entry, leaves, _, _) ->
+                Array.iteri
+                  (fun i leaf ->
+                    let want =
+                      if free then 0 else (entry.Cell_lib.phase lsr i) land 1
+                    in
+                    used.(leaf).(want) <- true;
+                    let pc =
+                      match entry.Cell_lib.cell.Cell_lib.timing with
+                      | Some tm ->
+                          tm.Charlib.pin_caps.(entry.Cell_lib.perm.(i))
+                      | None -> avg_cin
+                    in
+                    loads.(leaf).(want) <- loads.(leaf).(want) +. pc)
+                  leaves
+        done
+      end
+    done;
+    for nd = 0 to n - 1 do
+      for p = 0 to nph - 1 do
+        if not used.(nd).(p) then loads.(nd).(p) <- est_load nd
+      done
+    done;
+    loads
+  in
+  (* Snapshot/restore the cover (timing mode keeps the best one seen:
+     the load fixed-point iteration is not monotone). *)
+  let snapshot () =
+    Array.map
+      (Array.map (fun s ->
+           { choice = s.choice; arrival = s.arrival; flow = s.flow }))
+      slots
+  in
+  let restore snap =
+    Array.iteri
+      (fun nd row ->
+        Array.iteri
+          (fun p (s : slot) ->
+            let d = slots.(nd).(p) in
+            d.choice <- s.choice;
+            d.arrival <- s.arrival;
+            d.flow <- s.flow)
+          row)
+      snap
+  in
+  (* True critical delay of the current cover: forward arrival using the
+     loads the cover itself presents — what the post-extraction STA will
+     report, as opposed to the (estimated-load) slot arrivals. *)
+  let eval_cover () =
+    let loads = measure_loads () in
+    let arr = Array.init n (fun _ -> Array.make nph 0.0) in
+    for nd = 1 to n - 1 do
+      if Aig.is_input aig nd then begin
+        if nph = 2 then
+          arr.(nd).(1) <-
+            (match inv with
+            | Some c -> cell_delay_loaded c loads.(nd).(1)
+            | None -> 0.0)
+      end
+      else if Aig.is_and aig nd then begin
+        let eval p =
+          match (slot nd p).choice with
+          | Unmapped | Bridge -> 0.0
+          | Wire (leaf, lph) -> arr.(leaf).(if free || not lph then 0 else 1)
+          | Match (entry, leaves, _, _) ->
+              let a = ref 0.0 in
+              Array.iteri
+                (fun i leaf ->
+                  let want =
+                    if free then 0 else (entry.Cell_lib.phase lsr i) land 1
+                  in
+                  if arr.(leaf).(want) > !a then a := arr.(leaf).(want))
+                leaves;
+              !a +. cell_delay_loaded entry.Cell_lib.cell loads.(nd).(p)
+        in
+        for p = 0 to nph - 1 do
+          match (slot nd p).choice with Bridge -> () | _ -> arr.(nd).(p) <- eval p
+        done;
+        for p = 0 to nph - 1 do
+          match (slot nd p).choice with
+          | Bridge ->
+              arr.(nd).(p) <-
+                arr.(nd).(1 - p)
+                +. (match inv with
+                   | Some c -> cell_delay_loaded c loads.(nd).(p)
+                   | None -> 0.0)
+          | _ -> ()
+        done
+      end
+    done;
+    List.fold_left
+      (fun acc (nd, ph) -> Float.max acc arr.(nd).(if free then 0 else ph))
+      0.0 (output_slots ())
+  in
+  (* area-recovery passes with the legacy fixed-FO4 cost — in timing mode
+     too, so refinement below starts from exactly the default-mode cover *)
+  let area_pass () =
     let req, t = compute_required () in
     Aig.iter_ands aig (fun nd ->
         let reqs ph =
@@ -257,7 +458,49 @@ let map ?(params = default_params) lib aig =
           if r = infinity_f then t else r
         in
         match_node (`Area reqs) nd)
+  in
+  for _ = 1 to params.area_passes do
+    area_pass ()
   done;
+  (* Timing mode: iterate toward a load fixed point — re-map against the
+     loads the current cover actually presents — keeping the best cover by
+     its true (measured-load) critical delay; the default cover seeds the
+     comparison, so load-aware mapping never ends up slower than it.
+     Then recover area under the load-aware cost, slack-guarded: a pass
+     that slows the measured critical delay is rolled back and recovery
+     stops. *)
+  if timing_on then begin
+    let best = ref (snapshot ()) and best_crit = ref (eval_cover ()) in
+    use_loads := true;
+    for _ = 1 to 2 do
+      loads_cur := Some (measure_loads ());
+      init_leaf_slots ();
+      Aig.iter_ands aig (fun nd -> match_node `Delay nd);
+      let c = eval_cover () in
+      if c < !best_crit -. 1e-9 then begin
+        best_crit := c;
+        best := snapshot ()
+      end
+    done;
+    restore !best;
+    loads_cur := Some (measure_loads ());
+    init_leaf_slots ();
+    let area_ok = ref true in
+    for _ = 1 to params.area_passes do
+      if !area_ok then begin
+        let snap = snapshot () and crit0 = eval_cover () in
+        area_pass ();
+        if eval_cover () > crit0 +. 1e-9 then begin
+          restore snap;
+          area_ok := false
+        end
+        else begin
+          loads_cur := Some (measure_loads ());
+          init_leaf_slots ()
+        end
+      end
+    done
+  end;
   (* ---- extraction ---- *)
   let insts = ref [] in
   let ninsts = ref 0 in
@@ -301,7 +544,7 @@ let map ?(params = default_params) lib aig =
                 emit_inverter
                   (Aig.lit_of_node nd ~compl:(1 - p = 1))
                   (resolve nd (1 - p))
-            | Match (entry, leaves, key) ->
+            | Match (entry, leaves, orig_leaves, key) ->
                 let fanins =
                   Array.mapi
                     (fun i leaf ->
@@ -327,15 +570,30 @@ let map ?(params = default_params) lib aig =
                           let want = (entry.Cell_lib.phase lsr i) land 1 in
                           Aig.lit_of_node leaf ~compl:(want = 1))
                         leaves;
+                    cut_nodes = orig_leaves;
                   }
                 in
+                let cell = entry.Cell_lib.cell in
                 let idx = !ninsts in
                 incr ninsts;
                 insts :=
                   {
-                    Mapped.cell_name = entry.Cell_lib.cell.Cell_lib.name;
-                    area = entry.Cell_lib.cell.Cell_lib.area;
-                    delay = entry.Cell_lib.cell.Cell_lib.delay;
+                    Mapped.cell_name = cell.Cell_lib.name;
+                    area = cell.Cell_lib.area;
+                    delay = cell.Cell_lib.delay;
+                    drive =
+                      (match cell.Cell_lib.timing with
+                      | Some tm -> Some tm.Charlib.drive
+                      | None -> None);
+                    fanin_caps =
+                      (* fanin [i] enters cell pin [perm.(i)] *)
+                      (match cell.Cell_lib.timing with
+                      | Some tm ->
+                          Array.mapi
+                            (fun i _ ->
+                              tm.Charlib.pin_caps.(entry.Cell_lib.perm.(i)))
+                            leaves
+                      | None -> [||]);
                     fanins;
                     tt;
                     cover = Some cover;
@@ -362,6 +620,14 @@ let map ?(params = default_params) lib aig =
             Mapped.cell_name = c.Cell_lib.name;
             area = c.Cell_lib.area;
             delay = c.Cell_lib.delay;
+            drive =
+              (match c.Cell_lib.timing with
+              | Some tm -> Some tm.Charlib.drive
+              | None -> None);
+            fanin_caps =
+              (match c.Cell_lib.timing with
+              | Some tm -> [| tm.Charlib.pin_caps.(0) |]
+              | None -> [||]);
             fanins = [| input |];
             tt = Int64.lognot 0xAAAAAAAAAAAAAAAAL;
             cover =
@@ -369,6 +635,7 @@ let map ?(params = default_params) lib aig =
                 {
                   Mapped.root_lit = Aig.lnot in_lit;
                   fanin_lits = [| in_lit |];
+                  cut_nodes = [| Aig.node_of in_lit |];
                 };
           }
           :: !insts;

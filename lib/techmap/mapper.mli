@@ -13,6 +13,14 @@ type params = {
   cut_size : int;      (** K, at most 6 (the largest library pin count) *)
   cut_limit : int;     (** priority cuts kept per node *)
   area_passes : int;   (** required-time-driven area-recovery iterations *)
+  timing : bool;
+      (** STA-backed timing mode: the delay-optimal cover and the
+          required-time feasibility checks of area recovery charge each
+          candidate cell its load-dependent delay
+          ({!Charlib.drive_delay}) at an estimated load of one average
+          library pin per AIG fanout, instead of the fixed unit-load FO4.
+          Cells without characterization fall back to the fixed delay.
+          Default [false] (the paper's convention). *)
 }
 
 val default_params : params

@@ -222,6 +222,116 @@ let test_table2_averages () =
   Alcotest.(check bool) "pass pseudo barely smaller than static" true
     (a3 < a && a3 > a2)
 
+(* ---- load-dependent timing model (pin caps, parasitics, drives) ---- *)
+
+let timing_of fam name =
+  (Charlib.characterize fam (Catalog.find name)).Charlib.timing
+
+let feq ?(eps = 1e-9) msg want got = Alcotest.(check (float eps)) msg want got
+
+let worst_cap cell v =
+  Float.max
+    (Charlib.input_cap cell { v; ph = false })
+    (Charlib.input_cap cell { v; ph = true })
+
+let test_timing_inverter () =
+  (* Unit inverter: two unit-width devices, so 2 units of gate capacitance
+     on the input and one drain each (2 units) on the output. *)
+  let cell = elaborate Tg_static (Catalog.find "F00").Catalog.spec in
+  feq "parasitic" 2.0 (Charlib.output_parasitic cell);
+  feq "input cap" 2.0 (worst_cap cell 0);
+  let tm = timing_of Tg_static "F00" in
+  feq "pin cap" 2.0 tm.Charlib.pin_caps.(0);
+  feq "c_par" 2.0 tm.Charlib.drive.Charlib.c_par;
+  feq "cin_ref" 2.0 tm.Charlib.drive.Charlib.cin_ref;
+  (* FO4 = R (C_par + 4 C_in) / C_inv = (2 + 8) / 2 *)
+  feq "fo4" 5.0 (Charlib.drive_delay tm.Charlib.drive ~load:8.0);
+  (* unloaded: only the self-parasitic remains *)
+  feq "intrinsic" 1.0 (Charlib.drive_delay tm.Charlib.drive ~load:0.0)
+
+let test_timing_or2 () =
+  (* F02 = a + b.  TG-static: 3 units of gate cap per input (device +
+     polarity gates), 4 drains on the output node. *)
+  let cell = elaborate Tg_static (Catalog.find "F02").Catalog.spec in
+  feq "static parasitic" 4.0 (Charlib.output_parasitic cell);
+  feq "static input cap" 3.0 (worst_cap cell 0);
+  let tm = timing_of Tg_static "F02" in
+  feq "static pin a" 3.0 tm.Charlib.pin_caps.(0);
+  feq "static pin b" 3.0 tm.Charlib.pin_caps.(1);
+  feq "static fo4" 8.0 (Charlib.drive_delay tm.Charlib.drive ~load:12.0);
+  (* CMOS realizes the complement (NOR2): series PU of width-4 devices and
+     unit parallel PD gives 5 units of input cap and 6 of parasitic. *)
+  let nor2 = elaborate Cmos (Catalog.find "F02").Catalog.spec in
+  feq "nor2 parasitic" 6.0 (Charlib.output_parasitic nor2);
+  feq "nor2 input cap" 5.0 (worst_cap nor2 0);
+  let tmc = timing_of Cmos "F02" in
+  feq "nor2 pin a" 5.0 tmc.Charlib.pin_caps.(0);
+  feq "nor2 cin_ref" 3.0 tmc.Charlib.drive.Charlib.cin_ref;
+  (* FO4 = (6 + 20) / 3 *)
+  feq "nor2 fo4" (26.0 /. 3.0)
+    (Charlib.drive_delay tmc.Charlib.drive ~load:20.0)
+
+let test_timing_xor_families () =
+  (* F01 = a ^ b, the transmission-gate poster child, per family. *)
+  let tm = timing_of Tg_static "F01" in
+  feq "tg-static pin" (4.0 /. 3.0) tm.Charlib.pin_caps.(0);
+  feq "tg-static c_par" (8.0 /. 3.0) tm.Charlib.drive.Charlib.c_par;
+  feq "tg-static fo4" 4.0
+    (Charlib.drive_delay tm.Charlib.drive ~load:(16.0 /. 3.0));
+  let tp = timing_of Tg_pseudo "F01" in
+  Alcotest.(check bool) "tg-pseudo averages" true tp.Charlib.drive.Charlib.avg;
+  feq "tg-pseudo pin" (8.0 /. 9.0) tp.Charlib.pin_caps.(0);
+  feq "tg-pseudo c_par" (19.0 /. 9.0) tp.Charlib.drive.Charlib.c_par;
+  feq "tg-pseudo fo4" (17.0 /. 3.0)
+    (Charlib.drive_delay tp.Charlib.drive ~load:(32.0 /. 9.0));
+  let pp = timing_of Pass_pseudo "F01" in
+  feq "pass-pseudo pin" (8.0 /. 3.0) pp.Charlib.pin_caps.(0);
+  feq "pass-pseudo c_par" 3.0 pp.Charlib.drive.Charlib.c_par;
+  feq "pass-pseudo fo4" (41.0 /. 3.0)
+    (Charlib.drive_delay pp.Charlib.drive ~load:(32.0 /. 3.0));
+  (* Pass-static restores through an inverter: asymmetric pins (the pass
+     input sees twice the gate area of the control) and a two-stage drive. *)
+  let ps = (Charlib.characterize Pass_static (Catalog.find "F01")).Charlib.timing
+  in
+  feq "pass-static pin a" 4.0 ps.Charlib.pin_caps.(0);
+  feq "pass-static pin b" 2.0 ps.Charlib.pin_caps.(1);
+  feq "pass-static c_par" 4.0 ps.Charlib.drive.Charlib.c_par;
+  (match ps.Charlib.drive.Charlib.second_stage with
+  | Some c2 -> feq "restoring inverter cap" 2.0 c2
+  | None -> Alcotest.fail "pass-static drive should be two-stage");
+  let r = Charlib.characterize Pass_static (Catalog.find "F01") in
+  feq "pass-static fo4 worst" 12.0 r.Charlib.fo4_worst;
+  feq "pass-static fo4 avg" 10.0 r.Charlib.fo4_avg
+
+let test_fo4_is_drive_delay_at_4cin () =
+  (* The published FO4 columns are exactly the load-dependent model
+     evaluated at four copies of the pin's own input capacitance. *)
+  List.iter
+    (fun fam ->
+      List.iter
+        (fun (r : Charlib.row) ->
+          let tm = r.Charlib.timing in
+          let n = Array.length tm.Charlib.pin_caps in
+          let worst = ref 0.0 and sum = ref 0.0 in
+          for v = 0 to n - 1 do
+            let d =
+              Charlib.drive_delay tm.Charlib.drive
+                ~load:(4.0 *. tm.Charlib.pin_caps.(v))
+            in
+            if d > !worst then worst := d;
+            sum := !sum +. d
+          done;
+          feq
+            (family_name fam ^ "/" ^ r.Charlib.name ^ " worst")
+            r.Charlib.fo4_worst !worst;
+          feq
+            (family_name fam ^ "/" ^ r.Charlib.name ^ " avg")
+            r.Charlib.fo4_avg
+            (!sum /. float_of_int n))
+        (Charlib.characterize_catalog fam))
+    Cell_netlist.all_families;
+  Alcotest.(check pass) "fo4 = drive_delay at 4 C_in" () ()
+
 let test_expressive_power () =
   (* Headline of Sec. 3.1: 46 CNTFET gates vs 7 CMOS gates with the same
      topology constraints. *)
@@ -257,6 +367,14 @@ let () =
           Alcotest.test_case "driven outputs" `Quick test_no_contention_no_float;
           Alcotest.test_case "unit drive" `Quick test_unit_drive_sizing;
           Alcotest.test_case "pseudo ratio" `Quick test_pseudo_ratio;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "inverter" `Quick test_timing_inverter;
+          Alcotest.test_case "or2" `Quick test_timing_or2;
+          Alcotest.test_case "xor families" `Quick test_timing_xor_families;
+          Alcotest.test_case "fo4 property" `Quick
+            test_fo4_is_drive_delay_at_4cin;
         ] );
       ( "table2",
         [

@@ -202,6 +202,8 @@ let and_instance ?(tt = tt_and2) ?(cover = true) () =
     Mapped.cell_name = "F03";
     area = 1.0;
     delay = 1.0;
+    drive = None;
+    fanin_caps = [||];
     fanins = [| pi 0; pi 1 |];
     tt;
     cover =
@@ -210,6 +212,7 @@ let and_instance ?(tt = tt_and2) ?(cover = true) () =
            {
              Mapped.root_lit = Aig.lit_of_node 3;
              fanin_lits = [| Aig.lit_of_node 1; Aig.lit_of_node 2 |];
+             cut_nodes = [| 1; 2 |];
            }
        else None);
   }
@@ -251,6 +254,7 @@ let test_map_chain () =
       Mapped.root_lit = Aig.lit_of_node 3;
       (* claims inverted a; the net really carries positive a *)
       fanin_lits = [| Aig.lit_of_node 1 ~compl:true; Aig.lit_of_node 2 |];
+      cut_nodes = [| 1; 2 |];
     }
   in
   let m =
@@ -297,7 +301,13 @@ let test_map_io_cover () =
     (Map_lint.check ~golden (and_netlist ~cover:false ()));
   let m = and_netlist () in
   let inst = m.Mapped.instances.(0) in
-  let cov = { Mapped.root_lit = Aig.lit_of_node 3; fanin_lits = [| 2 |] } in
+  let cov =
+    {
+      Mapped.root_lit = Aig.lit_of_node 3;
+      fanin_lits = [| 2 |];
+      cut_nodes = [| 1 |];
+    }
+  in
   let m =
     { m with Mapped.instances = [| { inst with Mapped.cover = Some cov } |] }
   in
@@ -331,10 +341,19 @@ let test_map_support_reduced () =
       Mapped.cell_name = "BUF";
       area = 1.0;
       delay = 1.0;
+      drive = None;
+      fanin_caps = [||];
       fanins = [| of_inst 0 |];
       tt;
       cover =
-        Some { Mapped.root_lit = n4; fanin_lits = [| n3 |] };
+        Some
+          {
+            Mapped.root_lit = n4;
+            fanin_lits = [| n3 |];
+            (* deliberately NOT a wider structural cut: forces the
+               semantic (SAT) fallback path *)
+            cut_nodes = [| Aig.node_of n3 |];
+          };
     }
   in
   let m tt =

@@ -1,0 +1,211 @@
+(* Tests for the STA subsystem: load-dependent arrival/required/slack,
+   critical paths, consistency with the legacy unit-load convention, the
+   mapper's timing mode, and the benchmark suite's structural health. *)
+
+let lib_static = Cell_lib.cntfet ()
+let lib_pseudo = Cell_lib.cntfet ~family:Cell_netlist.Tg_pseudo ()
+let lib_cmos = Cell_lib.cmos ()
+
+let mapped ?params lib name =
+  let e = Bench_suite.find name in
+  Mapper.map ?params lib (Synth.light (e.Bench_suite.build ()))
+
+(* The acceptance identity: under unit loads the STA engine must reproduce
+   the legacy fixed-FO4 arrival computation bit for bit. *)
+let test_unit_loads_exact () =
+  List.iter
+    (fun (lib, name) ->
+      let m = mapped lib name in
+      let s = Mapped.stats m in
+      let sta =
+        Sta.analyze ~model:{ Sta.unit_loads = true; po_fanout = 4.0 } m
+      in
+      Alcotest.(check (float 0.0))
+        (name ^ " unit-load crit = legacy norm_delay")
+        s.Mapped.norm_delay (Sta.norm_delay sta))
+    [
+      (lib_static, "add-16"); (lib_static, "C1908"); (lib_static, "t481");
+      (lib_static, "C1355"); (lib_pseudo, "add-16"); (lib_pseudo, "C1908");
+      (lib_cmos, "add-16"); (lib_cmos, "t481");
+    ]
+
+(* Loaded-model stats fields agree with a fresh analysis. *)
+let test_stats_sta_fields () =
+  let m = mapped lib_static "add-16" in
+  let s = Mapped.stats m in
+  let sta = Sta.analyze m in
+  Alcotest.(check (float 1e-9)) "sta_norm_delay" (Sta.norm_delay sta)
+    s.Mapped.sta_norm_delay;
+  Alcotest.(check (float 1e-6)) "sta_abs_delay_ps" (Sta.abs_delay_ps sta)
+    s.Mapped.sta_abs_delay_ps
+
+let test_slack_invariants () =
+  List.iter
+    (fun (lib, name) ->
+      let m = mapped lib name in
+      let sta = Sta.analyze m in
+      (* required times are seeded at the latest endpoint, so slacks are
+         nonnegative and the worst endpoint sits at zero *)
+      Array.iter
+        (fun s ->
+          if s < -1e-6 then Alcotest.failf "%s: negative slack %f" name s)
+        sta.Sta.slack;
+      let worst =
+        Array.fold_left
+          (fun acc (e : Sta.endpoint) -> Float.min acc e.Sta.ep_slack)
+          infinity sta.Sta.endpoints
+      in
+      Alcotest.(check (float 1e-6)) (name ^ " worst endpoint slack") 0.0 worst;
+      Array.iter
+        (fun (e : Sta.endpoint) ->
+          Alcotest.(check (float 1e-9))
+            (name ^ " endpoint required = crit")
+            sta.Sta.crit e.Sta.ep_required)
+        sta.Sta.endpoints)
+    [ (lib_static, "add-16"); (lib_cmos, "t481") ]
+
+let test_critical_path () =
+  List.iter
+    (fun (lib, name) ->
+      let m = mapped lib name in
+      let sta = Sta.analyze m in
+      let path = Sta.critical_path sta in
+      Alcotest.(check bool) (name ^ " path nonempty") true (path <> []);
+      (* arrivals increase monotonically; each stage adds its own delay;
+         the endpoint stage lands exactly on the critical delay *)
+      let acc = ref 0.0 in
+      List.iter
+        (fun (st : Sta.stage) ->
+          if st.Sta.st_delay < 0.0 then
+            Alcotest.failf "%s: negative stage delay" name;
+          if st.Sta.st_load < 0.0 then
+            Alcotest.failf "%s: negative stage load" name;
+          let a = !acc +. st.Sta.st_delay in
+          Alcotest.(check (float 1e-6)) (name ^ " stage arrival") a
+            st.Sta.st_arrival;
+          acc := a)
+        path;
+      Alcotest.(check (float 1e-6)) (name ^ " path total = crit") sta.Sta.crit
+        !acc;
+      (* the critical delay dominates every single instance delay that
+         reaches an output *)
+      Array.iteri
+        (fun j d ->
+          if sta.Sta.required.(j) < infinity && d > sta.Sta.crit +. 1e-9 then
+            Alcotest.failf "%s: instance %d delay beyond crit" name j)
+        sta.Sta.delays)
+    [ (lib_static, "add-16"); (lib_static, "C1908"); (lib_cmos, "add-16") ]
+
+let test_histogram () =
+  let m = mapped lib_static "C1908" in
+  let sta = Sta.analyze m in
+  let bins = Sta.slack_histogram ~bins:8 sta in
+  let reaching =
+    Array.fold_left
+      (fun n r -> if r < infinity then n + 1 else n)
+      0 sta.Sta.required
+  in
+  let counted = List.fold_left (fun n (_, _, c) -> n + c) 0 bins in
+  Alcotest.(check int) "histogram covers reaching instances" reaching counted;
+  List.iter
+    (fun (lo, hi, _) ->
+      Alcotest.(check bool) "bin ordered" true (lo <= hi +. 1e-9))
+    bins
+
+let test_reports_render () =
+  let m = mapped lib_static "add-16" in
+  let sta = Sta.analyze m in
+  let nonempty s = String.length s > 0 in
+  Alcotest.(check bool) "path" true (nonempty (Sta.render_path sta));
+  Alcotest.(check bool) "endpoints" true (nonempty (Sta.render_endpoints sta));
+  Alcotest.(check bool) "histogram" true (nonempty (Sta.render_histogram sta));
+  Alcotest.(check bool) "summary" true (nonempty (Sta.summary sta));
+  (* TSV mode: header comment + one row per stage/endpoint *)
+  let tsv = Sta.render_path ~tsv:true sta in
+  let lines = String.split_on_char '\n' (String.trim tsv) in
+  Alcotest.(check bool) "tsv header" true
+    (String.length (List.hd lines) > 0 && (List.hd lines).[0] = '#');
+  Alcotest.(check int) "tsv stage rows"
+    (List.length (Sta.critical_path sta))
+    (List.length (List.tl lines));
+  let etsv = Sta.render_endpoints ~tsv:true sta in
+  let elines = String.split_on_char '\n' (String.trim etsv) in
+  Alcotest.(check int) "tsv endpoint rows"
+    (Array.length sta.Sta.endpoints)
+    (List.length (List.tl elines))
+
+(* STA-backed timing mode is guarded: it must never end slower (by the
+   loaded model it optimizes) than the default mapping. *)
+let test_timing_map_no_regress () =
+  let tm = { Mapper.default_params with Mapper.timing = true } in
+  List.iter
+    (fun (lib, name) ->
+      let e = Bench_suite.find name in
+      let opt = Synth.light (e.Bench_suite.build ()) in
+      let s0 = Mapped.stats (Mapper.map lib opt) in
+      let s1 = Mapped.stats (Mapper.map ~params:tm lib opt) in
+      if s1.Mapped.sta_norm_delay > s0.Mapped.sta_norm_delay +. 1e-6 then
+        Alcotest.failf "%s: timing map regressed %.3f -> %.3f" name
+          s0.Mapped.sta_norm_delay s1.Mapped.sta_norm_delay)
+    [
+      (lib_static, "add-16"); (lib_static, "C1908"); (lib_static, "t481");
+      (lib_cmos, "add-16"); (lib_cmos, "C1908");
+    ];
+  Alcotest.(check pass) "timing map no regress" () ()
+
+(* Timing mode must still produce functionally equivalent netlists. *)
+let test_timing_map_equivalent () =
+  let tm = { Mapper.default_params with Mapper.timing = true } in
+  List.iter
+    (fun lib ->
+      let aig = Synth.light (Arith.adder 8) in
+      let m = Mapper.map ~params:tm lib aig in
+      match Cec.check aig (Mapped.to_aig m) with
+      | Cec.Equivalent -> ()
+      | _ -> Alcotest.fail "timing-mapped netlist differs")
+    [ lib_static; lib_cmos ];
+  Alcotest.(check pass) "equivalent" () ()
+
+(* Regression for the benchmark builders: every suite circuit must be free
+   of dead AIG nodes (i10, i18, C2670, C7552, C5315 and dalu once emitted
+   dangling/unreachable clusters from pruned operators). *)
+let test_bench_suite_dead_node_free () =
+  List.iter
+    (fun (e : Bench_suite.entry) ->
+      let g = e.Bench_suite.build () in
+      List.iter
+        (fun (d : Diag.t) ->
+          if d.Diag.rule = "aig-dangling" || d.Diag.rule = "aig-unreachable"
+          then
+            Alcotest.failf "%s: %s" e.Bench_suite.name
+              (Format.asprintf "%a" Diag.pp d))
+        (Aig_lint.check ~name:e.Bench_suite.name g))
+    Bench_suite.all;
+  Alcotest.(check pass) "suite dead-node free" () ()
+
+let () =
+  Alcotest.run "sta"
+    [
+      ( "consistency",
+        [
+          Alcotest.test_case "unit loads exact" `Quick test_unit_loads_exact;
+          Alcotest.test_case "stats fields" `Quick test_stats_sta_fields;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "slack invariants" `Quick test_slack_invariants;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "reports" `Quick test_reports_render;
+        ] );
+      ( "timing-map",
+        [
+          Alcotest.test_case "no regress" `Quick test_timing_map_no_regress;
+          Alcotest.test_case "equivalent" `Quick test_timing_map_equivalent;
+        ] );
+      ( "bench-suite",
+        [
+          Alcotest.test_case "dead-node free" `Quick
+            test_bench_suite_dead_node_free;
+        ] );
+    ]
