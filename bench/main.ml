@@ -11,12 +11,18 @@
 open Bechamel
 open Toolkit
 
-let fast_subset =
-  [ "C1908"; "t481"; "C1355"; "add-16"; "add-32"; "add-64" ]
+let fast_subset = Cli_common.fast_subset
 
 let full = Sys.getenv_opt "FULL" <> None
 
 let benches = if full then None else Some fast_subset
+
+(* benchmarks fan out across domains; results are input-ordered, so the
+   printout is identical at any JOBS value *)
+let jobs =
+  match Sys.getenv_opt "JOBS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 1)
+  | None -> Flow.Runner.recommended_domains ()
 
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -64,7 +70,19 @@ let print_reproduction () =
 
   hr (Printf.sprintf "Table 3 - mapping results%s"
         (if full then "" else " (fast subset; FULL=1 for all 15)"));
-  let rows = Experiments.run_table3 ?benches () in
+  let rows =
+    let opts = Experiments.default_options in
+    let libs = Experiments.libraries opts in
+    let entries =
+      match benches with
+      | None -> Bench_suite.all
+      | Some names -> List.map Bench_suite.find names
+    in
+    Array.to_list
+      (Flow.Runner.map_jobs ~domains:jobs
+         (Experiments.run_bench opts libs)
+         (Array.of_list entries))
+  in
   Printf.printf
     "%-8s %-7s %6s %9s %7s %8s %9s %9s   (paper: gates area levels delay ps)\n"
     "bench" "lib" "gates" "area" "levels" "delay" "ps" "sta-ps";
@@ -168,14 +186,17 @@ let print_reproduction () =
   hr "STA-backed timing-driven mapping (static library)";
   Printf.printf "%-8s %10s %10s %12s %12s\n" "bench" "delay" "delay(tm)"
     "sta-delay" "sta-delay(tm)";
-  let lib_s = Core.library `Tg_static in
-  let tm_params = { Mapper.default_params with Mapper.timing = true } in
+  let map_stats ctx script =
+    let ctx', _ = Flow.run (Flow.parse_script_exn script) ctx in
+    Mapped.stats (Option.get ctx'.Flow.mapped)
+  in
   List.iter
     (fun bench ->
       let e = Bench_suite.find bench in
-      let opt = Synth.resyn2rs (e.Bench_suite.build ()) in
-      let s0 = Mapped.stats (Mapper.map lib_s opt) in
-      let s1 = Mapped.stats (Mapper.map ~params:tm_params lib_s opt) in
+      let ctx = Flow.init ~name:bench (e.Bench_suite.build ()) in
+      let ctx, _ = Flow.run (Flow.parse_script_exn "resyn2rs") ctx in
+      let s0 = map_stats ctx "map(family=static)" in
+      let s1 = map_stats ctx "map(family=static,timing)" in
       Printf.printf "%-8s %10.1f %10.1f %12.1f %12.1f%s\n" bench
         s0.Mapped.norm_delay s1.Mapped.norm_delay s0.Mapped.sta_norm_delay
         s1.Mapped.sta_norm_delay
@@ -193,11 +214,14 @@ let print_ablations () =
   let aig = Synth.resyn2rs (Ecc.c1355_like ()) in
 
   hr "Ablation: mapper cut size K (C1355, static library)";
+  let flow_stats ctx script =
+    let ctx', _ = Flow.run (Flow.parse_script_exn script) ctx in
+    Mapped.stats (Option.get ctx'.Flow.mapped)
+  in
+  let c1355_ctx = Flow.init ~name:"C1355" aig in
   List.iter
     (fun k ->
-      let params = { Mapper.default_params with Mapper.cut_size = k } in
-      let m = Mapper.map ~params (Core.library `Tg_static) aig in
-      let s = Mapped.stats m in
+      let s = flow_stats c1355_ctx (Printf.sprintf "map(family=static,cut=%d)" k) in
       Printf.printf "  K=%d  gates=%d area=%.1f levels=%d delay=%.1f\n" k
         s.Mapped.gates s.Mapped.area s.Mapped.levels s.Mapped.norm_delay)
     [ 3; 4; 5; 6 ];
@@ -219,12 +243,15 @@ let print_ablations () =
   hr "Ablation: synthesis effort (t481, static library)";
   let raw = Logic_gen.t481_like () in
   List.iter
-    (fun (name, opt) ->
-      let m = Mapper.map (Core.library `Tg_static) (opt raw) in
-      let s = Mapped.stats m in
+    (fun (name, mode) ->
+      let s =
+        flow_stats
+          (Flow.init ~name:"t481" raw)
+          (Printf.sprintf "synth(%s); map(family=static)" mode)
+      in
       Printf.printf "  %-10s gates=%d area=%.1f levels=%d delay=%.1f\n" name
         s.Mapped.gates s.Mapped.area s.Mapped.levels s.Mapped.norm_delay)
-    [ ("none", Fun.id); ("light", Synth.light); ("resyn2rs", Synth.resyn2rs) ];
+    [ ("none", "none"); ("light", "light"); ("resyn2rs", "full") ];
 
   hr "Ablation: characterization source (C1355)";
   List.iter
@@ -265,6 +292,12 @@ let timing_tests () =
     Test.make ~name:"fig6/flow-mult8-static"
       (Staged.stage (fun () ->
            ignore (Mapper.map lib_static (Synth.light mult))));
+    (* the same flow through the pass-pipeline engine (script dispatch,
+       library cache, per-pass sampling overhead included) *)
+    Test.make ~name:"fig6/flow-engine-mult8-static"
+      (Staged.stage
+         (let script = Flow.parse_script_exn "light; map(family=static)" in
+          fun () -> ignore (Flow.run script (Flow.init ~name:"mult8" mult))));
     (* supporting engines *)
     Test.make ~name:"engine/npn-canonical-4var"
       (Staged.stage

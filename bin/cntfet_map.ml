@@ -1,4 +1,5 @@
-(* Command-line synthesis and mapping driver.
+(* Command-line synthesis and mapping driver — a thin wrapper over the
+   Flow engine.
 
    Examples:
      cntfet_map map --bench add-16 --family static
@@ -20,12 +21,11 @@ let load_circuit bench blif benchfile =
   | _ ->
       failwith "specify exactly one of --bench, --blif, --bench-file"
 
-let family_of_string = function
-  | "static" -> `Tg_static
-  | "pseudo" -> `Tg_pseudo
-  | "pass" -> `Pass_pseudo
-  | "cmos" -> `Cmos
-  | s -> failwith ("unknown family " ^ s ^ " (static|pseudo|pass|cmos)")
+let family_of_string s =
+  let short = if s = "pass" then "pass-pseudo" else s in
+  match Cli_common.family_of_name short with
+  | Some f -> f
+  | None -> failwith ("unknown family " ^ s ^ " (static|pseudo|pass|cmos)")
 
 let bench_arg =
   Arg.(value & opt (some string) None
@@ -52,46 +52,73 @@ let synth_arg =
 let cut_arg =
   Arg.(value & opt int 6 & info [ "cut-size" ] ~docv:"K" ~doc:"Mapper cut size.")
 
+let seed_arg =
+  Arg.(value & opt int64 2026L
+       & info [ "seed" ] ~docv:"N" ~doc:"Verification simulation seed.")
+
 let out_arg =
   Arg.(value & opt (some string) None
        & info [ "out" ] ~docv:"FILE" ~doc:"Write the mapped netlist as BLIF.")
 
+let flow_exn script ctx =
+  try Flow.run (Flow.parse_script_exn script) ctx
+  with Flow.Flow_error msg -> failwith msg
+
 let map_cmd =
-  let run bench blif benchfile family no_synth cut out =
+  let run bench blif benchfile family no_synth cut seed out =
     let aig = load_circuit bench blif benchfile in
     Format.printf "input:    %a@." Aig.pp_stats aig;
-    let r =
-      Core.run ~synthesize:(not no_synth) ~cut_size:cut
-        ~family:(family_of_string family) aig
+    let fam = family_of_string family in
+    let script =
+      Printf.sprintf "synth(%s); map(family=%s,cut=%d)%s"
+        (if no_synth then "none" else "full")
+        (Cli_common.family_arg_name fam) cut
+        (if Aig.num_nodes aig < 10_000 then
+           Printf.sprintf "; verify(seed=%Ld)" seed
+         else "")
     in
-    Format.printf "optimized: %a@." Aig.pp_stats r.Core.optimized;
-    Format.printf "mapped:   %a@." Mapped.pp_stats r.Core.mapped;
+    let ctx, _ = flow_exn script (Flow.init ~name:"circuit" aig) in
+    if ctx.Flow.verified = Some false then
+      failwith "mapped netlist disagrees with the source circuit";
+    Format.printf "optimized: %a@." Aig.pp_stats ctx.Flow.aig;
+    let mapped = Option.get ctx.Flow.mapped in
+    Format.printf "mapped:   %a@." Mapped.pp_stats mapped;
     List.iter
       (fun (n, c) -> Format.printf "  %-8s x%d@." n c)
-      (Mapped.count_cells r.Core.mapped);
+      (Mapped.count_cells mapped);
     match out with
     | None -> ()
     | Some path ->
         let oc = open_out path in
         Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-            Blif.write_mapped oc r.Core.mapped);
+            Blif.write_mapped oc mapped);
         Format.printf "wrote %s@." path
   in
   Cmd.v (Cmd.info "map" ~doc:"Optimize and map one circuit.")
     Term.(const run $ bench_arg $ blif_arg $ benchfile_arg $ family_arg
-          $ synth_arg $ cut_arg $ out_arg)
+          $ synth_arg $ cut_arg $ seed_arg $ out_arg)
 
 let compare_cmd =
   let run bench blif benchfile no_synth =
     let aig = load_circuit bench blif benchfile in
     Format.printf "input: %a@." Aig.pp_stats aig;
+    let ctx0, _ =
+      flow_exn
+        (if no_synth then "synth(none)" else "synth(full)")
+        (Flow.init ~name:"cli" aig)
+    in
     List.iter
-      (fun (name, (s : Mapped.stats)) ->
+      (fun fam ->
+        let ctx, _ =
+          flow_exn ("map(family=" ^ Cli_common.family_arg_name fam ^ ")") ctx0
+        in
+        let s = Mapped.stats (Option.get ctx.Flow.mapped) in
         Format.printf
           "%-22s gates=%-5d area=%-9.1f levels=%-3d delay=%-7.1f abs=%.1f ps@."
-          name s.Mapped.gates s.Mapped.area s.Mapped.levels s.Mapped.norm_delay
+          (Cell_lib.name (Option.get ctx.Flow.lib))
+          s.Mapped.gates s.Mapped.area s.Mapped.levels s.Mapped.norm_delay
           s.Mapped.abs_delay_ps)
-      (Core.compare_families ~synthesize:(not no_synth) aig)
+      [ Cell_netlist.Tg_static; Cell_netlist.Tg_pseudo; Cell_netlist.Cmos ]
   in
   Cmd.v (Cmd.info "compare" ~doc:"Map against all three libraries (Table 3 row).")
     Term.(const run $ bench_arg $ blif_arg $ benchfile_arg $ synth_arg)
@@ -111,7 +138,8 @@ let list_cmd =
 
 let genlib_cmd =
   let run family =
-    print_string (Genlib.to_string (Core.library (family_of_string family)))
+    print_string
+      (Genlib.to_string (Cell_lib.cached (family_of_string family)))
   in
   Cmd.v (Cmd.info "genlib" ~doc:"Print the characterized library in genlib format.")
     Term.(const run $ family_arg)

@@ -1,31 +1,50 @@
 (* Regenerates the paper's artifacts.
 
-     experiments table1|table2|table3|fig6|all [fast]
+     experiments table1|table2|table3|fig6|all [fast] [--seed N]
 
-   "fast" restricts Table 3 / Figure 6 to the small benchmarks.  The "all"
+   "fast" restricts Table 3 / Figure 6 to the small benchmarks; "--seed N"
+   sets the mapping-verification simulation seed (default 2026).  The "all"
    mode prints everything in one report (what EXPERIMENTS.md archives). *)
 
 let fast_benches =
   [ "C1908"; "C3540"; "dalu"; "t481"; "C1355"; "add-16"; "add-32"; "add-64" ]
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  let fast = Array.length Sys.argv > 2 && Sys.argv.(2) = "fast" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_seed acc = function
+    | [] -> (List.rev acc, None)
+    | "--seed" :: v :: rest -> (List.rev acc @ rest, Some v)
+    | a :: rest -> split_seed (a :: acc) rest
+  in
+  let positional, seed = split_seed [] args in
+  let options =
+    match seed with
+    | None -> Experiments.default_options
+    | Some v -> (
+        match Int64.of_string_opt v with
+        | Some s ->
+            { Experiments.default_options with Experiments.verify_seed = s }
+        | None ->
+            Printf.eprintf "bad --seed %s\n" v;
+            exit 1)
+  in
+  let what = match positional with w :: _ -> w | [] -> "all" in
+  let fast = List.exists (( = ) "fast") positional in
   let benches = if fast then Some fast_benches else None in
   let t0 = Unix.gettimeofday () in
   (match what with
   | "table1" -> print_string (Experiments.render_table1 ())
   | "table2" -> print_string (Experiments.render_table2 ())
-  | "table3" -> print_string (Experiments.render_table3 ?benches ())
-  | "fig6" -> print_string (Experiments.render_fig6 ?benches ())
+  | "table3" -> print_string (Experiments.render_table3 ~options ?benches ())
+  | "fig6" -> print_string (Experiments.render_fig6 ~options ?benches ())
   | "all" ->
       print_string (Experiments.render_table1 ());
       print_newline ();
       print_string (Experiments.render_table2 ());
       print_newline ();
-      print_string (Experiments.render_table3 ?benches ());
+      print_string (Experiments.render_table3 ~options ?benches ());
       print_newline ();
-      print_string (Experiments.render_fig6 ?benches ())
+      print_string (Experiments.render_fig6 ~options ?benches ())
   | other ->
       Printf.eprintf "unknown experiment %s (table1|table2|table3|fig6|all)\n"
         other;

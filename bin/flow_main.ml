@@ -1,0 +1,157 @@
+(* The unified flow driver: one entry point for the whole
+   optimize → map → characterize → verify pipeline.
+
+   Examples:
+     flow --script "b; rw; rf; map(cut=6,timing); sta; lint" --bench add-16
+     flow --family all --jobs 4 --metrics tsv --metrics-out flow-metrics.tsv
+     flow --list-passes *)
+
+let prog = "flow"
+let script = ref "synth(light); map; sta; lint"
+let benches = ref []
+let families = ref "static"
+let jobs = ref 1
+let seed = ref "2026"
+let cut_size = ref 6
+let timing_map = ref false
+let po_fanout = ref 4.0
+let unit_loads = ref false
+let metrics = ref ""
+let metrics_out = ref ""
+let list_passes = ref false
+let quiet = ref false
+
+let specs =
+  [
+    ( "--script",
+      Arg.Set_string script,
+      "S pass script, ';'-separated (default \"synth(light); map; sta; \
+       lint\")" );
+    ( "--bench",
+      Arg.String (fun s -> benches := s :: !benches),
+      "NAME restrict to one benchmark (repeatable; default all 15)" );
+    ( "--family",
+      Arg.Set_string families,
+      "FAMS map targets, comma-separated subset of \
+       static,pseudo,pass-pseudo,pass-static,cmos or 'all' (default static)"
+    );
+    ( "--jobs",
+      Arg.Set_int jobs,
+      "N fan benchmarks across N domains (default 1; 0 = all cores; output \
+       is identical at any N)" );
+    ("--seed", Arg.Set_string seed, "N simulation seed for verify (default 2026)");
+    ("--cut-size", Arg.Set_int cut_size, "K mapper cut size (default 6)");
+    ( "--timing-map",
+      Arg.Set timing_map,
+      " map with the STA-backed load-aware delay cost" );
+    ( "--po-fanout",
+      Arg.Set_float po_fanout,
+      "N reference loads on each primary output (default 4)" );
+    ( "--unit-loads",
+      Arg.Set unit_loads,
+      " fixed FO4 delay per cell (the legacy Table 3 convention)" );
+    ( "--metrics",
+      Arg.Set_string metrics,
+      "MODE per-pass metrics: human, tsv or json" );
+    ( "--metrics-out",
+      Arg.Set_string metrics_out,
+      "FILE write the metrics there instead of stdout" );
+    ("--list-passes", Arg.Set list_passes, " list the registered passes and exit");
+    ("--quiet", Arg.Set quiet, " print only the summary lines");
+  ]
+
+let usage = "flow [options]  (see --help)"
+
+let () =
+  Arg.parse (Arg.align specs)
+    (fun a -> Cli_common.usage_die ~prog ("unexpected argument " ^ a))
+    usage;
+  if !list_passes then begin
+    List.iter (fun (n, doc) -> Printf.printf "%-10s %s\n" n doc) Flow.passes;
+    exit 0
+  end;
+  let steps =
+    match Flow.parse_script !script with
+    | Ok s -> s
+    | Error msg -> Cli_common.usage_die ~prog msg
+  in
+  (match !metrics with
+  | "" | "human" | "tsv" | "json" -> ()
+  | m -> Cli_common.usage_die ~prog ("unknown metrics mode " ^ m));
+  let fams = Cli_common.parse_families ~prog !families in
+  let entries = Cli_common.bench_entries ~prog !benches in
+  let seed =
+    try Int64.of_string !seed
+    with _ -> Cli_common.usage_die ~prog ("bad --seed " ^ !seed)
+  in
+  let config =
+    {
+      Flow.default_config with
+      cut_size = !cut_size;
+      timing = !timing_map;
+      po_fanout = !po_fanout;
+      unit_loads = !unit_loads;
+      seed;
+    }
+  in
+  let domains =
+    if !jobs = 0 then Flow.Runner.recommended_domains () else !jobs
+  in
+  let results =
+    try Flow.run_matrix ~domains ~config ~script:steps ~families:fams entries
+    with Flow.Flow_error msg -> Cli_common.usage_die ~prog msg
+  in
+  (* deterministic report: one summary line per benchmark x family (just
+     one per benchmark when the script never maps) *)
+  let has_map = snd (Flow.split_at_map steps) <> [] in
+  Array.iter
+    (fun (r : Flow.bench_result) ->
+      if has_map then
+        List.iter
+          (fun (_, ctx, _) -> print_endline (Flow.summary_line ctx))
+          r.Flow.br_per_family
+      else print_endline (Flow.summary_line r.Flow.br_ctx0))
+    results;
+  (* findings, if any *)
+  let diags =
+    Array.to_list results
+    |> List.concat_map (fun (r : Flow.bench_result) ->
+           r.Flow.br_ctx0.Flow.diags
+           @ List.concat_map
+               (fun (_, ctx, _) -> Flow.diags_since r.Flow.br_ctx0 ctx)
+               r.Flow.br_per_family)
+    |> Diag.sort
+  in
+  if (not !quiet) && diags <> [] then begin
+    print_newline ();
+    List.iter (fun d -> Format.printf "%a@." Diag.pp d) diags
+  end;
+  (* per-pass metrics *)
+  (if !metrics <> "" then
+     let samples = Flow.matrix_samples results in
+     let text =
+       match !metrics with
+       | "human" -> Flow.render_samples samples
+       | "tsv" ->
+           Flow.samples_tsv_header ^ "\n"
+           ^ String.concat "\n" (List.map Flow.sample_to_tsv samples)
+           ^ "\n"
+       | _ -> Flow.samples_to_json samples
+     in
+     match !metrics_out with
+     | "" -> print_string text
+     | path ->
+         let oc = open_out path in
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () -> output_string oc text)
+     );
+  let verify_failed =
+    Array.exists
+      (fun (r : Flow.bench_result) ->
+        List.exists
+          (fun (_, ctx, _) -> ctx.Flow.verified = Some false)
+          r.Flow.br_per_family)
+      results
+  in
+  exit (if Diag.has_errors diags || verify_failed then 1 else 0)

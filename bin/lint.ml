@@ -1,11 +1,13 @@
-(* Electrical-rule-check and structural-analysis CLI.
+(* Electrical-rule-check and structural-analysis CLI — a thin wrapper over
+   the Flow engine.
 
    Runs the three lint analyzers over (1) the full F00-F45 catalog across
    all five logic families and (2) every Bench_suite circuit taken through
-   the synthesis + technology-mapping flow, verifying each mapped netlist
-   cell-by-cell against the AIG it was mapped from.  Exits nonzero when any
-   Error-severity finding is reported. *)
+   the "lint(aig); synth; lint(aig,tag=opt); map; lint" flow script,
+   verifying each mapped netlist cell-by-cell against the AIG it was mapped
+   from.  Exits nonzero when any Error-severity finding is reported. *)
 
+let prog = "lint"
 let synth_mode = ref "light"
 let families = ref "static"
 let benches = ref []
@@ -14,6 +16,7 @@ let tsv = ref false
 let quiet = ref false
 let max_print = ref 50
 let list_rules = ref false
+let jobs = ref 1
 
 let specs =
   [
@@ -34,44 +37,21 @@ let specs =
       Arg.Set_int max_print,
       "N cap printed diagnostics (default 50; ignored with --tsv)" );
     ("--rules", Arg.Set list_rules, " list every rule id and exit");
+    ( "--jobs",
+      Arg.Set_int jobs,
+      "N fan benchmarks across N domains (default 1; output is identical \
+       at any N)" );
   ]
 
 let usage = "lint [options]  (see --help)"
 
-let parse_families () =
-  let of_name = function
-    | "static" -> `Tg_static
-    | "pseudo" -> `Tg_pseudo
-    | "pass-pseudo" -> `Pass_pseudo
-    | "cmos" -> `Cmos
-    | f ->
-        prerr_endline ("lint: unknown family " ^ f);
-        exit 2
-  in
-  match !families with
-  | "all" -> [ `Tg_static; `Tg_pseudo; `Pass_pseudo; `Cmos ]
-  | s -> List.map of_name (String.split_on_char ',' s)
-
-let family_name = function
-  | `Tg_static -> "static"
-  | `Tg_pseudo -> "pseudo"
-  | `Pass_pseudo -> "pass-pseudo"
-  | `Cmos -> "cmos"
-
-let synth aig =
-  match !synth_mode with
-  | "none" -> aig
-  | "light" -> Synth.light aig
-  | "full" -> Synth.resyn2rs aig
-  | m ->
-      prerr_endline ("lint: unknown synth mode " ^ m);
-      exit 2
+let map_targets =
+  [ Cell_netlist.Tg_static; Cell_netlist.Tg_pseudo; Cell_netlist.Pass_pseudo;
+    Cell_netlist.Cmos ]
 
 let () =
   Arg.parse (Arg.align specs)
-    (fun a ->
-      prerr_endline ("lint: unexpected argument " ^ a);
-      exit 2)
+    (fun a -> Cli_common.usage_die ~prog ("unexpected argument " ^ a))
     usage;
   if !list_rules then begin
     List.iter
@@ -97,39 +77,27 @@ let () =
     Cell_netlist.all_families;
   (* ---- benchmark circuits through the flow ---- *)
   if not !catalog_only then begin
-    let entries =
-      match !benches with
-      | [] -> Bench_suite.all
-      | names ->
-          List.map
-            (fun s ->
-              match Bench_suite.find s with
-              | e -> e
-              | exception Not_found ->
-                  prerr_endline ("lint: unknown benchmark " ^ s);
-                  exit 2)
-            (List.rev names)
+    let entries = Cli_common.bench_entries ~prog !benches in
+    let map_families =
+      Cli_common.parse_families ~prog ~allowed:map_targets !families
     in
-    let map_families = parse_families () in
-    List.iter
-      (fun (e : Bench_suite.entry) ->
+    let script =
+      Flow.parse_script_exn
+        (Printf.sprintf "lint(aig); %s; lint(aig,tag=opt); map; lint"
+           (Cli_common.synth_steps ~prog !synth_mode))
+    in
+    let results =
+      Flow.run_matrix ~domains:!jobs ~script ~families:map_families entries
+    in
+    Array.iter
+      (fun (r : Flow.bench_result) ->
         incr checked_circuits;
-        let aig = e.Bench_suite.build () in
-        all := Aig_lint.check ~name:e.Bench_suite.name aig :: !all;
-        let opt = synth aig in
-        all :=
-          Aig_lint.check ~name:(e.Bench_suite.name ^ "/opt") opt :: !all;
+        all := r.Flow.br_ctx0.Flow.diags :: !all;
         List.iter
-          (fun fam ->
-            let lib = Core.library fam in
-            let m = Mapper.map lib opt in
-            all :=
-              Map_lint.check
-                ~name:(e.Bench_suite.name ^ "/" ^ family_name fam)
-                ~lib ~golden:opt m
-              :: !all)
-          map_families)
-      entries
+          (fun (_, ctx, _) ->
+            all := Flow.diags_since r.Flow.br_ctx0 ctx :: !all)
+          r.Flow.br_per_family)
+      results
   end;
   let diags = Diag.sort (List.concat (List.rev !all)) in
   (if !tsv then

@@ -1,14 +1,16 @@
-(* Static-timing-analysis CLI.
+(* Static-timing-analysis CLI — a thin wrapper over the Flow engine.
 
-   Maps benchmark circuits against the characterized libraries and reports
-   load-aware arrival/required/slack times, the stage-by-stage critical
-   path, per-endpoint timing, and slack histograms — human-readable or TSV.
+   Runs the "synth; map; sta" script across the benchmark x family matrix
+   and reports load-aware arrival/required/slack times, the stage-by-stage
+   critical path, per-endpoint timing, and slack histograms — human-readable
+   or TSV.
 
    Examples:
      sta --bench add-16 --family static --report path
      sta --family all --report endpoints --tsv
      sta --bench C6288 --timing-map --report path,histogram *)
 
+let prog = "sta"
 let benches = ref []
 let families = ref "static"
 let synth_mode = ref "light"
@@ -18,6 +20,7 @@ let po_fanout = ref 4.0
 let unit_loads = ref false
 let timing_map = ref false
 let cut_size = ref 6
+let jobs = ref 1
 
 let specs =
   [
@@ -47,84 +50,50 @@ let specs =
       Arg.Set timing_map,
       " map with the STA-backed load-aware delay cost" );
     ("--cut-size", Arg.Set_int cut_size, "K mapper cut size (default 6)");
+    ( "--jobs",
+      Arg.Set_int jobs,
+      "N fan benchmarks across N domains (default 1; output is identical \
+       at any N)" );
   ]
 
 let usage = "sta [options]  (see --help)"
 
-let parse_families () =
-  let of_name = function
-    | "static" -> Cell_netlist.Tg_static
-    | "pseudo" -> Cell_netlist.Tg_pseudo
-    | "pass-pseudo" -> Cell_netlist.Pass_pseudo
-    | "pass-static" -> Cell_netlist.Pass_static
-    | "cmos" -> Cell_netlist.Cmos
-    | f ->
-        prerr_endline ("sta: unknown family " ^ f);
-        exit 2
-  in
-  match !families with
-  | "all" ->
-      [ Cell_netlist.Tg_static; Cell_netlist.Tg_pseudo;
-        Cell_netlist.Pass_pseudo; Cell_netlist.Pass_static;
-        Cell_netlist.Cmos ]
-  | s -> List.map of_name (String.split_on_char ',' s)
-
-let library = function
-  | Cell_netlist.Cmos -> Cell_lib.cmos ()
-  | family -> Cell_lib.cntfet ~family ()
-
-let synth aig =
-  match !synth_mode with
-  | "none" -> aig
-  | "light" -> Synth.light aig
-  | "full" -> Synth.resyn2rs aig
-  | m ->
-      prerr_endline ("sta: unknown synth mode " ^ m);
-      exit 2
-
 let () =
   Arg.parse (Arg.align specs)
-    (fun a ->
-      prerr_endline ("sta: unexpected argument " ^ a);
-      exit 2)
+    (fun a -> Cli_common.usage_die ~prog ("unexpected argument " ^ a))
     usage;
-  let entries =
-    match !benches with
-    | [] -> Bench_suite.all
-    | names ->
-        List.map
-          (fun s ->
-            match Bench_suite.find s with
-            | e -> e
-            | exception Not_found ->
-                prerr_endline ("sta: unknown benchmark " ^ s);
-                exit 2)
-          (List.rev names)
-  in
+  let entries = Cli_common.bench_entries ~prog !benches in
   let kinds = String.split_on_char ',' !reports in
   List.iter
     (fun k ->
       if not (List.mem k [ "summary"; "path"; "endpoints"; "histogram" ])
-      then begin
-        prerr_endline ("sta: unknown report kind " ^ k);
-        exit 2
-      end)
+      then Cli_common.usage_die ~prog ("unknown report kind " ^ k))
     kinds;
-  let fams = parse_families () in
-  let libs = List.map (fun f -> (f, library f)) fams in
-  let model = { Sta.unit_loads = !unit_loads; po_fanout = !po_fanout } in
-  let params =
-    { Mapper.default_params with cut_size = !cut_size; timing = !timing_map }
+  let fams = Cli_common.parse_families ~prog !families in
+  let script =
+    Flow.parse_script_exn
+      (Cli_common.synth_steps ~prog !synth_mode ^ "; map; sta")
   in
-  List.iter
-    (fun (e : Bench_suite.entry) ->
-      let opt = synth (e.Bench_suite.build ()) in
+  let config =
+    {
+      Flow.default_config with
+      cut_size = !cut_size;
+      timing = !timing_map;
+      po_fanout = !po_fanout;
+      unit_loads = !unit_loads;
+    }
+  in
+  let results =
+    Flow.run_matrix ~domains:!jobs ~config ~script ~families:fams entries
+  in
+  Array.iter
+    (fun (r : Flow.bench_result) ->
       List.iter
-        (fun (fam, lib) ->
-          let m = Mapper.map ~params lib opt in
-          let sta = Sta.analyze ~model m in
+        (fun (fam, (ctx : Flow.ctx), _) ->
+          let m = Option.get ctx.Flow.mapped in
+          let sta = Option.get ctx.Flow.sta in
           let tag =
-            Printf.sprintf "%s/%s" e.Bench_suite.name
+            Printf.sprintf "%s/%s" r.Flow.br_bench
               (Cell_netlist.family_name fam)
           in
           List.iter
@@ -148,5 +117,5 @@ let () =
                   print_string (Sta.render_histogram ~tsv:!tsv sta)
               | _ -> ())
             kinds)
-        libs)
-    entries
+        r.Flow.br_per_family)
+    results

@@ -17,7 +17,13 @@ let () =
   Format.printf "fabric: %dx%d checkerboard of GNOR/GNAND blocks@."
     (Fabric.rows fab) (Fabric.cols fab);
 
-  let p = Fabric.place fab r.Core.mapped in
+  let p =
+    match Fabric.place fab r.Core.mapped with
+    | Ok p -> p
+    | Error e ->
+        prerr_endline (Fabric.error_message e);
+        exit 1
+  in
   Format.printf "%a@." Fabric.pp_placement p;
 
   (* show the first few block configurations *)

@@ -1,22 +1,21 @@
-type family = [ `Tg_static | `Tg_pseudo | `Pass_pseudo | `Cmos ]
+type family = [ `Tg_static | `Tg_pseudo | `Pass_pseudo | `Pass_static | `Cmos ]
 
-let cache : (family * Cell_lib.delay_choice, Cell_lib.t) Hashtbl.t =
-  Hashtbl.create 8
+let netlist_family = function
+  | `Tg_static -> Cell_netlist.Tg_static
+  | `Tg_pseudo -> Cell_netlist.Tg_pseudo
+  | `Pass_pseudo -> Cell_netlist.Pass_pseudo
+  | `Pass_static -> Cell_netlist.Pass_static
+  | `Cmos -> Cell_netlist.Cmos
+
+let of_netlist_family = function
+  | Cell_netlist.Tg_static -> `Tg_static
+  | Cell_netlist.Tg_pseudo -> `Tg_pseudo
+  | Cell_netlist.Pass_pseudo -> `Pass_pseudo
+  | Cell_netlist.Pass_static -> `Pass_static
+  | Cell_netlist.Cmos -> `Cmos
 
 let library ?(delay = Cell_lib.Worst) family =
-  match Hashtbl.find_opt cache (family, delay) with
-  | Some lib -> lib
-  | None ->
-      let lib =
-        match family with
-        | `Tg_static -> Cell_lib.cntfet ~family:Cell_netlist.Tg_static ~delay ()
-        | `Tg_pseudo -> Cell_lib.cntfet ~family:Cell_netlist.Tg_pseudo ~delay ()
-        | `Pass_pseudo ->
-            Cell_lib.cntfet ~family:Cell_netlist.Pass_pseudo ~delay ()
-        | `Cmos -> Cell_lib.cmos ~delay ()
-      in
-      Hashtbl.replace cache (family, delay) lib;
-      lib
+  Cell_lib.cached ~delay (netlist_family family)
 
 type result = {
   original : Aig.t;

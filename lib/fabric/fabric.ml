@@ -50,38 +50,68 @@ type placement = {
   config_bits : int;
 }
 
+type place_error =
+  | Fabric_too_small of { tiles : int; placed : int; instances : int }
+  | Not_catalog_cell of { instance : int; cell : string }
+
+let error_message = function
+  | Fabric_too_small { tiles; placed; instances } ->
+      Printf.sprintf
+        "Fabric.place: fabric too small (%d tiles, placed %d of %d instances)"
+        tiles placed instances
+  | Not_catalog_cell { instance; cell } ->
+      Printf.sprintf "Fabric.place: instance %d is not a catalog cell: %s"
+        instance cell
+
+exception Error of place_error
+
 let place t (m : Mapped.t) =
   let total = t.rows * t.cols in
+  let instances = Array.length m.Mapped.instances in
   let placed = ref [] in
   let used = ref 0 in
   let cursor = ref 0 in
-  Array.iter
-    (fun (inst : Mapped.instance) ->
-      let name = inst.Mapped.cell_name in
-      if not (List.exists (fun (e : Catalog.entry) -> e.Catalog.name = name)
-                Catalog.all)
-      then failwith ("Fabric.place: not a catalog cell: " ^ name);
-      (* advance to the next compatible tile *)
-      let rec find k =
-        if k >= total then failwith "Fabric.place: fabric too small"
-        else
-          let r = k / t.cols and c = k mod t.cols in
-          if compatible (block_type t r c) name then (r, c, k)
-          else find (k + 1)
-      in
-      let r, c, k = find !cursor in
-      cursor := k + 1;
-      incr used;
-      placed :=
-        (r, c, { cell = name; polarities = polarity_bits name }) :: !placed)
-    m.Mapped.instances;
-  {
-    placed = List.rev !placed;
-    tiles_used = !used;
-    tiles_total = total;
-    utilization = float_of_int !used /. float_of_int total;
-    config_bits = !used * config_bits_per_block;
-  }
+  match
+    Array.iteri
+      (fun i (inst : Mapped.instance) ->
+        let name = inst.Mapped.cell_name in
+        if not (List.exists (fun (e : Catalog.entry) -> e.Catalog.name = name)
+                  Catalog.all)
+        then raise (Error (Not_catalog_cell { instance = i; cell = name }));
+        (* advance to the next compatible tile *)
+        let rec find k =
+          if k >= total then
+            raise
+              (Error
+                 (Fabric_too_small
+                    { tiles = total; placed = !used; instances }))
+          else
+            let r = k / t.cols and c = k mod t.cols in
+            if compatible (block_type t r c) name then (r, c, k)
+            else find (k + 1)
+        in
+        let r, c, k = find !cursor in
+        cursor := k + 1;
+        incr used;
+        placed :=
+          (r, c, { cell = name; polarities = polarity_bits name }) :: !placed)
+      m.Mapped.instances
+  with
+  | () ->
+      Ok
+        {
+          placed = List.rev !placed;
+          tiles_used = !used;
+          tiles_total = total;
+          utilization = float_of_int !used /. float_of_int total;
+          config_bits = !used * config_bits_per_block;
+        }
+  | exception Error e -> Result.Error e
+
+let place_exn t m =
+  match place t m with
+  | Ok p -> p
+  | Result.Error e -> failwith (error_message e)
 
 let pp_placement fmt p =
   Format.fprintf fmt

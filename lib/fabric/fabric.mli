@@ -37,10 +37,21 @@ type placement = {
   config_bits : int;
 }
 
-val place : t -> Mapped.t -> placement
+type place_error =
+  | Fabric_too_small of { tiles : int; placed : int; instances : int }
+      (** the netlist needs more compatible tiles than the fabric has;
+          [placed] instances fit before it ran out *)
+  | Not_catalog_cell of { instance : int; cell : string }
+      (** the netlist uses a cell outside the F00–F45 catalog (e.g. a CMOS
+          mapping) *)
+
+val error_message : place_error -> string
+
+val place : t -> Mapped.t -> (placement, place_error) result
 (** Greedy row-major placement of a CNTFET-mapped netlist onto the fabric:
-    each instance takes the next compatible tile.  Raises [Failure] if the
-    fabric is too small or the netlist uses a non-catalog cell (e.g. a CMOS
-    mapping). *)
+    each instance takes the next compatible tile. *)
+
+val place_exn : t -> Mapped.t -> placement
+(** {!place}, raising [Failure (error_message e)] on placement errors. *)
 
 val pp_placement : Format.formatter -> placement -> unit

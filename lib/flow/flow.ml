@@ -1,0 +1,682 @@
+exception Flow_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Flow_error s)) fmt
+
+(* ---------------- configuration and context ---------------- *)
+
+type config = {
+  family : Cell_netlist.family;
+  cut_size : int;
+  timing : bool;
+  po_fanout : float;
+  unit_loads : bool;
+  seed : int64;
+  verify_rounds : int;
+}
+
+let default_config =
+  {
+    family = Cell_netlist.Tg_static;
+    cut_size = 6;
+    timing = false;
+    po_fanout = 4.0;
+    unit_loads = false;
+    seed = 2026L;
+    verify_rounds = 8;
+  }
+
+type ctx = {
+  name : string;
+  family : Cell_netlist.family;
+  aig : Aig.t;
+  golden : Aig.t option;
+  lib : Cell_lib.t option;
+  mapped : Mapped.t option;
+  sta : Sta.t option;
+  placement : Fabric.placement option;
+  diags : Diag.t list;
+  verified : bool option;
+}
+
+let init ?(family = Cell_netlist.Tg_static) ~name aig =
+  {
+    name;
+    family;
+    aig;
+    golden = None;
+    lib = None;
+    mapped = None;
+    sta = None;
+    placement = None;
+    diags = [];
+    verified = None;
+  }
+
+let diags_since before after =
+  let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l) in
+  drop (List.length before.diags) after.diags
+
+(* ---------------- pass arguments ---------------- *)
+
+type step = { pass : string; args : (string * string option) list }
+
+let arg_value step key =
+  match List.assoc_opt key step.args with
+  | Some (Some v) -> Some v
+  | Some None -> fail "%s: argument %s needs a value" step.pass key
+  | None -> None
+
+let arg_flag step key =
+  match List.assoc_opt key step.args with
+  | Some None -> true
+  | Some (Some _) -> fail "%s: %s is a flag, not key=value" step.pass key
+  | None -> false
+
+let arg_int step key =
+  Option.map
+    (fun v ->
+      try int_of_string v
+      with _ -> fail "%s: %s expects an integer, got %s" step.pass key v)
+    (arg_value step key)
+
+let arg_float step key =
+  Option.map
+    (fun v ->
+      try float_of_string v
+      with _ -> fail "%s: %s expects a number, got %s" step.pass key v)
+    (arg_value step key)
+
+let arg_family step key =
+  Option.map
+    (fun v ->
+      match Cli_common.family_of_name v with
+      | Some f -> f
+      | None -> fail "%s: unknown family %s" step.pass v)
+    (arg_value step key)
+
+(* The per-pass library-cache outcome is threaded to the metrics layer
+   through this domain-local box (set by [map], read by the engine wrapper
+   right after the pass returns — never across pass boundaries). *)
+let last_cache_status : [ `Hit | `Miss ] option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+(* ---------------- passes ---------------- *)
+
+let with_aig ctx aig =
+  { ctx with aig }
+
+let pass_balance _cfg _step ctx = with_aig ctx (Synth.balance ctx.aig)
+
+let pass_rewrite _cfg step ctx =
+  with_aig ctx (Synth.rewrite ~zero_gain:(arg_flag step "z") ctx.aig)
+
+let pass_refactor _cfg step ctx =
+  with_aig ctx
+    (Synth.refactor ~zero_gain:(arg_flag step "z")
+       ?cut_size:(arg_int step "cut") ctx.aig)
+
+let pass_resyn2rs _cfg _step ctx = with_aig ctx (Synth.resyn2rs ctx.aig)
+let pass_light _cfg _step ctx = with_aig ctx (Synth.light ctx.aig)
+
+let pass_synth _cfg step ctx =
+  let mode =
+    match step.args with
+    | [] -> "full"
+    | [ (m, None) ] -> m
+    | _ -> fail "synth: expects a single mode (none|light|full)"
+  in
+  match mode with
+  | "none" -> ctx
+  | "light" -> with_aig ctx (Synth.light ctx.aig)
+  | "full" -> with_aig ctx (Synth.resyn2rs ctx.aig)
+  | m -> fail "synth: unknown mode %s (none|light|full)" m
+
+let pass_map cfg step ctx =
+  let family = Option.value (arg_family step "family") ~default:ctx.family in
+  let cut_size = Option.value (arg_int step "cut") ~default:cfg.cut_size in
+  let timing =
+    if arg_flag step "timing" then true
+    else if arg_flag step "no-timing" then false
+    else cfg.timing
+  in
+  let lib, status = Cell_lib.cached_with_status family in
+  Domain.DLS.set last_cache_status (Some status);
+  let params = { Mapper.default_params with Mapper.cut_size; timing } in
+  let mapped = Mapper.map ~params lib ctx.aig in
+  {
+    ctx with
+    family;
+    lib = Some lib;
+    mapped = Some mapped;
+    golden = Some ctx.aig;
+    sta = None;
+    placement = None;
+    verified = None;
+  }
+
+let mapped_or_fail step ctx =
+  match ctx.mapped with
+  | Some m -> m
+  | None -> fail "%s: no mapped netlist in the flow (run map first)" step.pass
+
+let pass_sta cfg step ctx =
+  let m = mapped_or_fail step ctx in
+  let model =
+    {
+      Sta.unit_loads = arg_flag step "unit" || cfg.unit_loads;
+      po_fanout = Option.value (arg_float step "po") ~default:cfg.po_fanout;
+    }
+  in
+  { ctx with sta = Some (Sta.analyze ~model m) }
+
+let lint_name step ctx ~mapped =
+  match arg_value step "name" with
+  | Some n -> n
+  | None -> (
+      match arg_value step "tag" with
+      | Some t -> ctx.name ^ "/" ^ t
+      | None ->
+          if mapped then ctx.name ^ "/" ^ Cli_common.family_arg_name ctx.family
+          else ctx.name)
+
+let pass_lint _cfg step ctx =
+  let ds =
+    match ctx.mapped with
+    | Some m when not (arg_flag step "aig") ->
+        Map_lint.check
+          ~name:(lint_name step ctx ~mapped:true)
+          ?lib:ctx.lib ?golden:ctx.golden m
+    | _ -> Aig_lint.check ~name:(lint_name step ctx ~mapped:false) ctx.aig
+  in
+  { ctx with diags = ctx.diags @ ds }
+
+let pass_verify cfg step ctx =
+  let m = mapped_or_fail step ctx in
+  let golden =
+    match ctx.golden with
+    | Some g -> g
+    | None -> fail "verify: the mapping's source AIG is unknown"
+  in
+  let seed =
+    match arg_value step "seed" with
+    | Some s -> (
+        try Int64.of_string s
+        with _ -> fail "verify: seed expects an integer, got %s" s)
+    | None -> cfg.seed
+  in
+  let rounds = Option.value (arg_int step "rounds") ~default:cfg.verify_rounds in
+  let ok = Experiments.verify_by_simulation ~seed ~rounds golden m in
+  let diags =
+    if ok then ctx.diags
+    else
+      ctx.diags
+      @ [
+          Diag.errorf ~rule:"map-verify" (Diag.Circuit ctx.name)
+            "mapped netlist disagrees with its source AIG (seed %Ld, %d x 64 \
+             patterns)"
+            seed rounds;
+        ]
+  in
+  { ctx with verified = Some ok; diags }
+
+let pass_place _cfg step ctx =
+  let m = mapped_or_fail step ctx in
+  let gates = Array.length m.Mapped.instances in
+  let side () = 1 + int_of_float (sqrt (float_of_int (2 * gates))) in
+  let rows = Option.value (arg_int step "rows") ~default:(side ()) in
+  let cols = Option.value (arg_int step "cols") ~default:(side ()) in
+  let fab = Fabric.create ~rows ~cols in
+  match Fabric.place fab m with
+  | Ok p -> { ctx with placement = Some p }
+  | Error e ->
+      {
+        ctx with
+        placement = None;
+        diags =
+          ctx.diags
+          @ [
+              Diag.errorf ~rule:"fabric-place" (Diag.Circuit ctx.name) "%s"
+                (Fabric.error_message e);
+            ];
+      }
+
+(* ---------------- registry ---------------- *)
+
+type pass_info = {
+  p_doc : string;
+  p_args : string list option;  (* None = free-form (validated by the pass) *)
+  p_apply : config -> step -> ctx -> ctx;
+}
+
+let registry : (string * pass_info) list =
+  [
+    ( "b",
+      { p_doc = "balance: minimum-depth AND-tree rebuild";
+        p_args = Some []; p_apply = pass_balance } );
+    ( "rw",
+      { p_doc = "rewrite: 4-cut DAG-aware resubstitution [z]";
+        p_args = Some [ "z" ]; p_apply = pass_rewrite } );
+    ( "rf",
+      { p_doc = "refactor: large-cut ISOP refactoring [z, cut=K]";
+        p_args = Some [ "z"; "cut" ]; p_apply = pass_refactor } );
+    ( "resyn2rs",
+      { p_doc = "the full optimization script (b;rw;rf;b;rw;rw -z;b;rf -z;rw -z;b)";
+        p_args = Some []; p_apply = pass_resyn2rs } );
+    ( "light",
+      { p_doc = "the cheap optimization script (b;rw;b)";
+        p_args = Some []; p_apply = pass_light } );
+    ( "synth",
+      { p_doc = "optimization by effort name: synth(none|light|full)";
+        p_args = None; p_apply = pass_synth } );
+    ( "map",
+      { p_doc = "technology mapping [family=F, cut=K, timing, no-timing]";
+        p_args = Some [ "family"; "cut"; "timing"; "no-timing" ];
+        p_apply = pass_map } );
+    ( "sta",
+      { p_doc = "static timing analysis of the mapping [po=N, unit]";
+        p_args = Some [ "po"; "unit" ]; p_apply = pass_sta } );
+    ( "lint",
+      { p_doc = "lint the mapping (or the AIG before map) [aig, tag=T, name=N]";
+        p_args = Some [ "aig"; "tag"; "name" ]; p_apply = pass_lint } );
+    ( "verify",
+      { p_doc = "random-simulation equivalence of the mapping [seed=N, rounds=R]";
+        p_args = Some [ "seed"; "rounds" ]; p_apply = pass_verify } );
+    ( "place",
+      { p_doc = "place onto the Sec. 5 regular fabric [rows=R, cols=C]";
+        p_args = Some [ "rows"; "cols" ]; p_apply = pass_place } );
+  ]
+
+let passes = List.map (fun (n, i) -> (n, i.p_doc)) registry
+
+let find_pass name =
+  match List.assoc_opt name registry with
+  | Some i -> i
+  | None -> fail "unknown pass %s (see flow --list-passes)" name
+
+(* ---------------- script parsing ---------------- *)
+
+let step_to_string s =
+  match s.args with
+  | [] -> s.pass
+  | args ->
+      let one = function k, None -> k | k, Some v -> k ^ "=" ^ v in
+      s.pass ^ "(" ^ String.concat "," (List.map one args) ^ ")"
+
+let script_to_string steps = String.concat "; " (List.map step_to_string steps)
+
+let parse_step text =
+  let text = String.trim text in
+  let name, rest =
+    match String.index_opt text '(' with
+    | Some i ->
+        if text.[String.length text - 1] <> ')' then
+          fail "missing ) in %s" text
+        else
+          ( String.trim (String.sub text 0 i),
+            `Parens (String.sub text (i + 1) (String.length text - i - 2)) )
+    | None -> (
+        (* ABC style: "rw -z" *)
+        match String.index_opt text ' ' with
+        | Some i ->
+            ( String.sub text 0 i,
+              `Dashes
+                (String.sub text (i + 1) (String.length text - i - 1)) )
+        | None -> (text, `Parens ""))
+  in
+  let args =
+    match rest with
+    | `Parens "" -> []
+    | `Parens inner ->
+        List.filter_map
+          (fun a ->
+            let a = String.trim a in
+            if a = "" then None
+            else
+              match String.index_opt a '=' with
+              | Some i ->
+                  Some
+                    ( String.trim (String.sub a 0 i),
+                      Some
+                        (String.trim
+                           (String.sub a (i + 1) (String.length a - i - 1))) )
+              | None -> Some (a, None))
+          (String.split_on_char ',' inner)
+    | `Dashes tail ->
+        List.filter_map
+          (fun t ->
+            let t = String.trim t in
+            if t = "" then None
+            else if String.length t > 1 && t.[0] = '-' then
+              Some (String.sub t 1 (String.length t - 1), None)
+            else fail "unexpected token %s in %s" t text)
+          (String.split_on_char ' ' tail)
+  in
+  let step = { pass = name; args } in
+  (* validate the pass name and (where declared) the argument keys *)
+  let info = find_pass name in
+  (match info.p_args with
+  | None -> ()
+  | Some allowed ->
+      List.iter
+        (fun (k, _) ->
+          if not (List.mem k allowed) then
+            fail "%s: unknown argument %s (allowed: %s)" name k
+              (String.concat ", " allowed))
+        args);
+  step
+
+let parse_script_exn text =
+  text
+  |> String.split_on_char ';'
+  |> List.filter_map (fun s ->
+         if String.trim s = "" then None else Some (parse_step s))
+
+let parse_script text =
+  match parse_script_exn text with
+  | steps -> Ok steps
+  | exception Flow_error msg -> Error msg
+
+let split_at_map steps =
+  let rec go acc = function
+    | [] -> (List.rev acc, [])
+    | { pass = "map"; _ } :: _ as suffix -> (List.rev acc, suffix)
+    | s :: tl -> go (s :: acc) tl
+  in
+  go [] steps
+
+(* ---------------- metrics ---------------- *)
+
+type sample = {
+  sm_circuit : string;
+  sm_family : string;
+  sm_pass : string;
+  sm_wall_s : float;
+  sm_ands_before : int;
+  sm_ands_after : int;
+  sm_depth_before : int;
+  sm_depth_after : int;
+  sm_mapped : Mapped.stats option;
+  sm_sta_ps : float option;
+  sm_cache : [ `Hit | `Miss ] option;
+  sm_new_diags : int;
+}
+
+let opt_changed before after =
+  match (before, after) with
+  | Some x, Some y -> not (x == y)
+  | None, None -> false
+  | _ -> true
+
+let run_step cfg step ctx =
+  let info = find_pass step.pass in
+  Domain.DLS.set last_cache_status None;
+  let t0 = Unix.gettimeofday () in
+  let ctx' = info.p_apply cfg step ctx in
+  let wall = Unix.gettimeofday () -. t0 in
+  let mapped_stats =
+    if opt_changed ctx.mapped ctx'.mapped then
+      Option.map Mapped.stats ctx'.mapped
+    else None
+  in
+  let sta_ps =
+    if opt_changed ctx.sta ctx'.sta then
+      Option.map Sta.abs_delay_ps ctx'.sta
+    else None
+  in
+  let sample =
+    {
+      sm_circuit = ctx'.name;
+      sm_family =
+        (if ctx'.mapped <> None then Cli_common.family_arg_name ctx'.family
+         else "-");
+      sm_pass = step_to_string step;
+      sm_wall_s = wall;
+      sm_ands_before = Aig.num_ands ctx.aig;
+      sm_ands_after = Aig.num_ands ctx'.aig;
+      sm_depth_before = Aig.depth ctx.aig;
+      sm_depth_after = Aig.depth ctx'.aig;
+      sm_mapped = mapped_stats;
+      sm_sta_ps = sta_ps;
+      sm_cache = Domain.DLS.get last_cache_status;
+      sm_new_diags = List.length ctx'.diags - List.length ctx.diags;
+    }
+  in
+  (ctx', sample)
+
+let run ?(config = default_config) steps ctx =
+  let ctx, rev_samples =
+    List.fold_left
+      (fun (ctx, acc) step ->
+        let ctx', s = run_step config step ctx in
+        (ctx', s :: acc))
+      (ctx, []) steps
+  in
+  (ctx, List.rev rev_samples)
+
+(* ---- rendering ---- *)
+
+let fopt = function None -> "-" | Some f -> Printf.sprintf "%.1f" f
+
+let render_samples samples =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "%-10s %-12s %-22s %9s %13s %9s %6s %9s %8s %8s %5s %5s\n"
+    "circuit" "family" "pass" "wall(ms)" "ands" "depth" "gates" "area"
+    "delay" "sta-ps" "cache" "diags";
+  List.iter
+    (fun s ->
+      let delta fmt a b = if a = b then "" else Printf.sprintf fmt (b - a) in
+      Printf.bprintf b
+        "%-10s %-12s %-22s %9.2f %8d%-5s %5d%-4s %6s %9s %8s %8s %5s %5d\n"
+        s.sm_circuit s.sm_family s.sm_pass (1000.0 *. s.sm_wall_s)
+        s.sm_ands_after
+        (delta "%+d" s.sm_ands_before s.sm_ands_after)
+        s.sm_depth_after
+        (delta "%+d" s.sm_depth_before s.sm_depth_after)
+        (match s.sm_mapped with
+        | Some m -> string_of_int m.Mapped.gates
+        | None -> "-")
+        (fopt (Option.map (fun m -> m.Mapped.area) s.sm_mapped))
+        (fopt (Option.map (fun m -> m.Mapped.norm_delay) s.sm_mapped))
+        (fopt s.sm_sta_ps)
+        (match s.sm_cache with
+        | Some `Hit -> "hit"
+        | Some `Miss -> "miss"
+        | None -> "-")
+        s.sm_new_diags)
+    samples;
+  Buffer.contents b
+
+let samples_tsv_header =
+  "#circuit\tfamily\tpass\twall_ms\tands_in\tands_out\tdepth_in\tdepth_out\t\
+   gates\tarea\tnorm_delay\tabs_ps\tsta_ps\tcache\tnew_diags"
+
+let sample_to_tsv s =
+  Printf.sprintf "%s\t%s\t%s\t%.3f\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%d"
+    s.sm_circuit s.sm_family s.sm_pass (1000.0 *. s.sm_wall_s) s.sm_ands_before
+    s.sm_ands_after s.sm_depth_before s.sm_depth_after
+    (match s.sm_mapped with
+    | Some m -> string_of_int m.Mapped.gates
+    | None -> "-")
+    (fopt (Option.map (fun m -> m.Mapped.area) s.sm_mapped))
+    (fopt (Option.map (fun m -> m.Mapped.norm_delay) s.sm_mapped))
+    (fopt (Option.map (fun m -> m.Mapped.abs_delay_ps) s.sm_mapped))
+    (fopt s.sm_sta_ps)
+    (match s.sm_cache with
+    | Some `Hit -> "hit"
+    | Some `Miss -> "miss"
+    | None -> "-")
+    s.sm_new_diags
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let samples_to_json samples =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let jnum_opt = function
+        | None -> "null"
+        | Some f -> Printf.sprintf "%.3f" f
+      in
+      Printf.bprintf b
+        "  {\"circuit\":\"%s\",\"family\":\"%s\",\"pass\":\"%s\",\
+         \"wall_ms\":%.3f,\"ands_in\":%d,\"ands_out\":%d,\"depth_in\":%d,\
+         \"depth_out\":%d,\"gates\":%s,\"area\":%s,\"norm_delay\":%s,\
+         \"abs_ps\":%s,\"sta_ps\":%s,\"cache\":%s,\"new_diags\":%d}"
+        (json_escape s.sm_circuit) (json_escape s.sm_family)
+        (json_escape s.sm_pass) (1000.0 *. s.sm_wall_s) s.sm_ands_before
+        s.sm_ands_after s.sm_depth_before s.sm_depth_after
+        (match s.sm_mapped with
+        | Some m -> string_of_int m.Mapped.gates
+        | None -> "null")
+        (jnum_opt (Option.map (fun m -> m.Mapped.area) s.sm_mapped))
+        (jnum_opt (Option.map (fun m -> m.Mapped.norm_delay) s.sm_mapped))
+        (jnum_opt (Option.map (fun m -> m.Mapped.abs_delay_ps) s.sm_mapped))
+        (jnum_opt s.sm_sta_ps)
+        (match s.sm_cache with
+        | Some `Hit -> "\"hit\""
+        | Some `Miss -> "\"miss\""
+        | None -> "null")
+        s.sm_new_diags)
+    samples;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let summary_line ctx =
+  match ctx.mapped with
+  | None ->
+      Printf.sprintf "%-20s ands=%d depth=%d" ctx.name (Aig.num_ands ctx.aig)
+        (Aig.depth ctx.aig)
+  | Some m ->
+      let s = Mapped.stats m in
+      let tag = ctx.name ^ "/" ^ Cell_netlist.family_name ctx.family in
+      let base =
+        Printf.sprintf
+          "%-28s gates=%-5d area=%-9.1f levels=%-3d delay=%-7.1f ps=%-8.1f \
+           sta-ps=%.1f"
+          tag s.Mapped.gates s.Mapped.area s.Mapped.levels s.Mapped.norm_delay
+          s.Mapped.abs_delay_ps s.Mapped.sta_abs_delay_ps
+      in
+      let extras =
+        (match ctx.verified with
+        | Some true -> [ "verify=ok" ]
+        | Some false -> [ "verify=FAIL" ]
+        | None -> [])
+        @ (match ctx.placement with
+          | Some p ->
+              [ Printf.sprintf "fabric=%d/%d(%.0f%%)" p.Fabric.tiles_used
+                  p.Fabric.tiles_total (100.0 *. p.Fabric.utilization) ]
+          | None -> [])
+        @
+        match ctx.diags with
+        | [] -> []
+        | ds ->
+            let e, w, i = Diag.count ds in
+            [ Printf.sprintf "lint=%dE/%dW/%dI" e w i ]
+      in
+      if extras = [] then base else base ^ "  " ^ String.concat " " extras
+
+(* ---------------- deterministic parallel runner ---------------- *)
+
+module Runner = struct
+  let recommended_domains () = Domain.recommended_domain_count ()
+
+  let map_jobs ?(domains = 1) f jobs =
+    let n = Array.length jobs in
+    let d = max 1 (min domains n) in
+    if d = 1 then Array.map f jobs
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let r = try Ok (f jobs.(i)) with e -> Error e in
+            results.(i) <- Some r;
+            match r with Ok _ -> loop () | Error _ -> ()
+          end
+        in
+        loop ()
+      in
+      let others = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join others;
+      (* re-raise the first failure in input order; unclaimed jobs can only
+         exist when some worker failed *)
+      Array.iter
+        (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+        results;
+      Array.map
+        (function
+          | Some (Ok r) -> r
+          | Some (Error _) | None -> assert false)
+        results
+    end
+end
+
+(* ---------------- the benchmark x family matrix ---------------- *)
+
+type bench_result = {
+  br_bench : string;
+  br_ctx0 : ctx;
+  br_prefix_samples : sample list;
+  br_per_family : (Cell_netlist.family * ctx * sample list) list;
+}
+
+let run_matrix ?(domains = 1) ?(config = default_config) ~script ~families
+    entries =
+  let prefix, suffix = split_at_map script in
+  (* pre-warm the library cache in the calling domain: each needed family is
+     characterized exactly once, and the workers only ever hit *)
+  let explicit =
+    List.filter_map
+      (fun s ->
+        if s.pass = "map" then
+          try arg_family s "family" with Flow_error _ -> None
+        else None)
+      script
+  in
+  List.iter
+    (fun f -> ignore (Cell_lib.cached f))
+    (List.sort_uniq compare (families @ explicit));
+  let job (e : Bench_suite.entry) =
+    let ctx0 =
+      init ~family:config.family ~name:e.Bench_suite.name (e.Bench_suite.build ())
+    in
+    let ctx0, prefix_samples = run ~config prefix ctx0 in
+    let per_family =
+      List.map
+        (fun f ->
+          let cfg = { config with family = f } in
+          let ctx, samples = run ~config:cfg suffix { ctx0 with family = f } in
+          (f, ctx, samples))
+        families
+    in
+    {
+      br_bench = e.Bench_suite.name;
+      br_ctx0 = ctx0;
+      br_prefix_samples = prefix_samples;
+      br_per_family = per_family;
+    }
+  in
+  Runner.map_jobs ~domains job (Array.of_list entries)
+
+let matrix_samples results =
+  Array.to_list results
+  |> List.concat_map (fun r ->
+         r.br_prefix_samples
+         @ List.concat_map (fun (_, _, ss) -> ss) r.br_per_family)

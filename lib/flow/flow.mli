@@ -1,0 +1,162 @@
+(** The pass-pipeline engine: one typed implementation of the paper's
+    optimize → map → characterize → verify flow, shared by every driver.
+
+    A {e pass} is a named transform over a flow {!ctx} (AIG, mapped
+    netlist, STA results, diagnostics).  Scripts compose ABC-style from a
+    parsed spec string, e.g.
+
+    {[ "b; rw; rf; map(cut=6,timing); sta; lint" ]}
+
+    The engine owns
+    - the shared library cache ({!Cell_lib.cached}) so each family is
+      elaborated and characterized exactly once per process,
+    - an observability layer recording one {!sample} per executed pass
+      (wall time, node/level/area/delay deltas, library-cache hits),
+      renderable human-readable, as TSV and as JSON,
+    - a {!Runner} fanning job arrays across {!Domain}s with deterministic,
+      sequential-identical output ordering, and a {!run_matrix} driver for
+      the benchmark × family sweep. *)
+
+exception Flow_error of string
+(** Raised on engine misuse (e.g. [sta] before [map]) and bad pass
+    arguments.  Script {e syntax} errors are reported by {!parse_script}
+    as [Error _] instead. *)
+
+(** {1 Configuration and context} *)
+
+type config = {
+  family : Cell_netlist.family;  (** default target of [map] *)
+  cut_size : int;                (** default mapper cut size (6) *)
+  timing : bool;                 (** default STA-backed timing mapping *)
+  po_fanout : float;             (** default STA primary-output load (4.0) *)
+  unit_loads : bool;             (** default fixed-FO4 STA convention *)
+  seed : int64;                  (** default [verify] simulation seed *)
+  verify_rounds : int;           (** default [verify] pattern batches (8) *)
+}
+
+val default_config : config
+
+type ctx = {
+  name : string;                  (** circuit tag used in reports *)
+  family : Cell_netlist.family;   (** target family of the next [map] *)
+  aig : Aig.t;                    (** current logic network *)
+  golden : Aig.t option;          (** the AIG the mapping was derived from *)
+  lib : Cell_lib.t option;        (** library of the last [map] *)
+  mapped : Mapped.t option;
+  sta : Sta.t option;
+  placement : Fabric.placement option;
+  diags : Diag.t list;            (** accumulated findings, oldest first *)
+  verified : bool option;         (** result of the last [verify] *)
+}
+
+val init : ?family:Cell_netlist.family -> name:string -> Aig.t -> ctx
+
+val diags_since : ctx -> ctx -> Diag.t list
+(** [diags_since before after]: the findings added between the two
+    contexts (diagnostics are append-only). *)
+
+(** {1 Scripts} *)
+
+type step = {
+  pass : string;
+  args : (string * string option) list;
+      (** [key=value] or bare [flag] arguments, in source order *)
+}
+
+val parse_script : string -> (step list, string) result
+(** Splits on [;], each step [name], [name(arg,key=value,...)] or ABC-style
+    [name -flag].  Unknown pass names are reported here; argument values
+    are validated when the pass runs. *)
+
+val parse_script_exn : string -> step list
+(** Raises {!Flow_error}. *)
+
+val script_to_string : step list -> string
+val step_to_string : step -> string
+
+val split_at_map : step list -> step list * step list
+(** [(prefix, suffix)] around the first [map] step: the prefix is
+    family-independent (pure AIG transforms and AIG lint), so a matrix
+    driver hoists it and runs it once per benchmark. *)
+
+val passes : (string * string) list
+(** [(name, one-line description)] of every registered pass. *)
+
+(** {1 Per-pass metrics} *)
+
+type sample = {
+  sm_circuit : string;
+  sm_family : string;     (** short family name, ["-"] while unmapped *)
+  sm_pass : string;       (** rendered step, e.g. ["map(cut=6)"] *)
+  sm_wall_s : float;
+  sm_ands_before : int;
+  sm_ands_after : int;
+  sm_depth_before : int;
+  sm_depth_after : int;
+  sm_mapped : Mapped.stats option;  (** set when the pass (re)built the mapping *)
+  sm_sta_ps : float option;         (** set by [sta]: absolute critical delay *)
+  sm_cache : [ `Hit | `Miss ] option;
+      (** library-cache outcome when the pass fetched a library *)
+  sm_new_diags : int;     (** findings added by the pass *)
+}
+
+val render_samples : sample list -> string
+(** Human-readable per-pass table with node/depth/area/delay deltas. *)
+
+val samples_tsv_header : string
+val sample_to_tsv : sample -> string
+val samples_to_json : sample list -> string
+
+(** {1 Running} *)
+
+val run : ?config:config -> step list -> ctx -> ctx * sample list
+(** Applies the steps in order; each executed pass contributes one
+    {!sample} (in order). *)
+
+val summary_line : ctx -> string
+(** One deterministic report line: [name/family gates=… area=… levels=…
+    delay=… ps=… sta-ps=…] (falls back to AIG statistics while unmapped). *)
+
+(** {1 Deterministic parallel runner} *)
+
+module Runner : sig
+  val recommended_domains : unit -> int
+
+  val map_jobs : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+    (** [map_jobs ~domains f jobs] applies [f] to every job, fanning the
+        array across [domains] {!Domain}s (default 1 = in-process, no
+        spawn).  Jobs are claimed dynamically from an atomic counter;
+        results always return in input order, so output built from them is
+        byte-identical to a sequential run.  The first job exception (in
+        input order) is re-raised after all domains join. *)
+end
+
+type bench_result = {
+  br_bench : string;
+  br_ctx0 : ctx;
+      (** context after the hoisted family-independent prefix; its [diags]
+          are shared by every family (use {!diags_since} against it to get
+          one family's own findings) *)
+  br_prefix_samples : sample list;
+      (** metrics of the hoisted family-independent prefix *)
+  br_per_family : (Cell_netlist.family * ctx * sample list) list;
+      (** per family: final context and suffix metrics, in input order *)
+}
+
+val run_matrix :
+  ?domains:int ->
+  ?config:config ->
+  script:step list ->
+  families:Cell_netlist.family list ->
+  Bench_suite.entry list ->
+  bench_result array
+(** The benchmark × family sweep: per benchmark, build the circuit, run the
+    family-independent script prefix once, then run the [map]-onward suffix
+    once per family.  Benchmarks fan out across [domains]; the needed
+    libraries are pre-warmed in the calling domain so the cache is
+    populated exactly once.  Results are in input order regardless of
+    [domains]. *)
+
+val matrix_samples : bench_result array -> sample list
+(** All samples of a sweep, flattened in deterministic (bench-major,
+    prefix-then-family) order. *)

@@ -7,6 +7,7 @@ type options = {
   cut_size : int;
   free_output_polarity : bool;
   verify : bool;
+  verify_seed : int64;
   timing_map : bool;
 }
 
@@ -18,6 +19,7 @@ let default_options =
     cut_size = 6;
     free_output_polarity = true;
     verify = false;
+    verify_seed = 2026L;
     timing_map = false;
   }
 
@@ -156,9 +158,9 @@ let libraries opts =
   let fp = opts.free_output_polarity in
   match opts.char_source with
   | Computed ->
-      ( Cell_lib.cntfet ~family:Cell_netlist.Tg_static ~delay:opts.delay () ,
-        Cell_lib.cntfet ~family:Cell_netlist.Tg_pseudo ~delay:opts.delay (),
-        Cell_lib.cmos ~delay:opts.delay () )
+      ( Cell_lib.cached ~delay:opts.delay Cell_netlist.Tg_static,
+        Cell_lib.cached ~delay:opts.delay Cell_netlist.Tg_pseudo,
+        Cell_lib.cached ~delay:opts.delay Cell_netlist.Cmos )
       |> fun (s, p, c) ->
       if fp then (s, p, c)
       else
@@ -197,9 +199,8 @@ type t3_row = {
   cmos_r : t3_cell;
 }
 
-let verify_by_simulation aig mapped =
-  let rng = Rand64.create 2026L in
-  let rounds = 8 in
+let verify_by_simulation ?(seed = 2026L) ?(rounds = 8) aig mapped =
+  let rng = Rand64.create seed in
   let ok = ref true in
   for _ = 1 to rounds do
     let words =
@@ -223,7 +224,8 @@ let run_bench opts (lib_s, lib_p, lib_c) (e : Bench_suite.entry) =
   in
   let one lib =
     let m = Mapper.map ~params lib opt in
-    if opts.verify && not (verify_by_simulation opt m) then
+    if opts.verify && not (verify_by_simulation ~seed:opts.verify_seed opt m)
+    then
       failwith (Printf.sprintf "mapping of %s against %s is not equivalent"
                   e.Bench_suite.name (Cell_lib.name lib));
     { stats = Mapped.stats m; cells_used = Mapped.count_cells m }

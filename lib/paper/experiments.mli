@@ -18,6 +18,9 @@ type options = {
           output-inverter convention); disabling charges inverters like
           CMOS (ablation) *)
   verify : bool;           (** check every mapping by random simulation *)
+  verify_seed : int64;
+      (** RNG seed of the verification patterns (default 2026) — explicit
+          so CI runs are reproducible *)
   timing_map : bool;
       (** map with {!Mapper}'s STA-backed load-aware delay cost instead of
           the fixed unit-load FO4 (default false — the paper's setup) *)
@@ -57,8 +60,15 @@ type t3_row = {
   cmos_r : t3_cell;
 }
 
+val verify_by_simulation :
+  ?seed:int64 -> ?rounds:int -> Aig.t -> Mapped.t -> bool
+(** [rounds] batches of 64 random patterns (default 8) from a {!Rand64}
+    stream seeded with [seed] (default 2026). *)
+
 val libraries : options -> Cell_lib.t * Cell_lib.t * Cell_lib.t
-(** (static, pseudo, cmos) — built once per options. *)
+(** (static, pseudo, cmos) — the default computed/free-polarity
+    configuration is served from the process-wide {!Cell_lib.cached}
+    cache. *)
 
 val run_bench : options -> Cell_lib.t * Cell_lib.t * Cell_lib.t ->
   Bench_suite.entry -> t3_row

@@ -187,3 +187,39 @@ let cmos ?(delay = Worst) () =
   in
   build ~name:"cmos-static" ~free_phases:false
     ~tau_ps:(Charlib.tau_ps Cell_netlist.Cmos) cells
+
+(* ---- process-wide library cache ----
+
+   Characterizing and NPN-expanding a family costs far more than any lookup,
+   and every driver of the flow needs the same handful of libraries; the
+   cache guarantees each (family, delay) pair is elaborated exactly once per
+   process.  Guarded by a mutex so Domain-parallel runners can share it —
+   the returned libraries themselves are immutable after construction. *)
+
+let cache : (Cell_netlist.family * delay_choice, t) Hashtbl.t =
+  Hashtbl.create 16
+
+let cache_lock = Mutex.create ()
+let cache_hits = ref 0
+let cache_misses = ref 0
+
+let cached_with_status ?(delay = Worst) family =
+  Mutex.protect cache_lock (fun () ->
+      match Hashtbl.find_opt cache (family, delay) with
+      | Some lib ->
+          incr cache_hits;
+          (lib, `Hit)
+      | None ->
+          incr cache_misses;
+          let lib =
+            match family with
+            | Cell_netlist.Cmos -> cmos ~delay ()
+            | family -> cntfet ~family ~delay ()
+          in
+          Hashtbl.replace cache (family, delay) lib;
+          (lib, `Miss))
+
+let cached ?delay family = fst (cached_with_status ?delay family)
+
+let cache_stats () =
+  Mutex.protect cache_lock (fun () -> (!cache_hits, !cache_misses))

@@ -81,6 +81,24 @@ val cmos_cell_name : string -> string
 (** Conventional name of the inverting CMOS form of a catalog entry
     (["F03"] -> ["NAND2"], ...). *)
 
+(** {1 Process-wide library cache}
+
+    Every characterized library the flow can target, elaborated at most once
+    per process and shared across {!Domain}s (the cache is mutex-guarded;
+    the libraries themselves are immutable once built). *)
+
+val cached : ?delay:delay_choice -> Cell_netlist.family -> t
+(** [cached family] is {!cntfet} (or {!cmos} for [Cell_netlist.Cmos]) served
+    from the cache. *)
+
+val cached_with_status :
+  ?delay:delay_choice -> Cell_netlist.family -> t * [ `Hit | `Miss ]
+(** Like {!cached}, also reporting whether this call was served from the
+    cache — the flow engine's per-pass cache metric. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] since process start. *)
+
 val of_cells :
   name:string -> free_phases:bool -> tau_ps:float -> cell list -> t
 (** Build a library from explicit cells (used by the genlib reader).  The

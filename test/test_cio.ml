@@ -66,6 +66,45 @@ let test_blif_parser_features () =
   check false false true;
   check true false false
 
+(* Round-trip over the whole benchmark suite, in both formats.  The
+   parser rebuilds nodes demand-driven from the outputs, so the first
+   print ∘ parse normalizes node names; from then on the text must be a
+   fixpoint (print ∘ parse = id), and the reparsed circuit must agree
+   with the original on shape and on random simulation. *)
+let test_print_parse_fixpoint () =
+  let rng = Rand64.create 11L in
+  List.iter
+    (fun (e : Bench_suite.entry) ->
+      let aig = e.Bench_suite.build () in
+      List.iter
+        (fun (fmt, to_s, of_s) ->
+          let back = of_s (to_s aig) in
+          let t2 = to_s back in
+          let t3 = to_s (of_s t2) in
+          if not (String.equal t2 t3) then
+            Alcotest.failf "%s: %s print/parse is not a fixpoint" fmt
+              e.Bench_suite.name;
+          if
+            Aig.num_inputs back <> Aig.num_inputs aig
+            || Aig.num_outputs back <> Aig.num_outputs aig
+          then
+            Alcotest.failf "%s: %s i/o changed across the roundtrip" fmt
+              e.Bench_suite.name;
+          for _ = 1 to 4 do
+            let words =
+              Array.init (Aig.num_inputs aig) (fun _ -> Rand64.next rng)
+            in
+            if Aig.simulate_outputs aig words
+               <> Aig.simulate_outputs back words
+            then
+              Alcotest.failf "%s: %s roundtrip broke semantics" fmt
+                e.Bench_suite.name
+          done)
+        [ ("blif", (fun a -> Blif.to_string a), Blif.of_string);
+          ("bench", Bench_fmt.to_string, Bench_fmt.of_string) ])
+    Bench_suite.all;
+  Alcotest.(check pass) "fixpoint on the suite" () ()
+
 let test_blif_zero_phase () =
   (* 0-phase cover: complement of the cube sum *)
   let text =
@@ -146,6 +185,8 @@ let () =
       ( "blif",
         [
           Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
+          Alcotest.test_case "print-parse fixpoint (suite)" `Quick
+            test_print_parse_fixpoint;
           Alcotest.test_case "parser features" `Quick test_blif_parser_features;
           Alcotest.test_case "zero phase" `Quick test_blif_zero_phase;
           Alcotest.test_case "mapped writer" `Quick test_mapped_blif_writer;

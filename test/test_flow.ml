@@ -1,0 +1,272 @@
+(* Tests for the Flow pass-pipeline engine: script parsing, pass vs
+   direct-call equivalence, the deterministic Domain runner, the matrix
+   driver, per-pass metrics and the shared library cache. *)
+
+let adder () = Arith.adder 8
+let t481 () = Logic_gen.t481_like ()
+
+(* ---- script parsing ---- *)
+
+let test_parse_roundtrip () =
+  let script = "b; rw -z; rf(cut=5,z) ;; map(family=static, cut=6, timing)" in
+  let steps = Flow.parse_script_exn script in
+  Alcotest.(check int) "four steps" 4 (List.length steps);
+  Alcotest.(check string) "normalized"
+    "b; rw(z); rf(cut=5,z); map(family=static,cut=6,timing)"
+    (Flow.script_to_string steps);
+  (* parse of the normalized form is stable *)
+  Alcotest.(check string) "stable"
+    (Flow.script_to_string steps)
+    (Flow.script_to_string
+       (Flow.parse_script_exn (Flow.script_to_string steps)))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_parse_errors () =
+  (match Flow.parse_script "b; frobnicate; map" with
+  | Error msg ->
+      Alcotest.(check bool) "names the pass" true
+        (contains ~sub:"frobnicate" msg)
+  | Ok _ -> Alcotest.fail "unknown pass accepted");
+  (match Flow.parse_script "map(color=red)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown argument accepted");
+  match Flow.parse_script "rw(z" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbalanced parens accepted"
+
+let test_split_at_map () =
+  let steps = Flow.parse_script_exn "b; rw; map; sta; lint" in
+  let prefix, suffix = Flow.split_at_map steps in
+  Alcotest.(check string) "prefix" "b; rw" (Flow.script_to_string prefix);
+  Alcotest.(check string) "suffix" "map; sta; lint"
+    (Flow.script_to_string suffix);
+  let prefix, suffix = Flow.split_at_map (Flow.parse_script_exn "b; rw") in
+  Alcotest.(check int) "no map: all prefix" 2 (List.length prefix);
+  Alcotest.(check int) "no map: empty suffix" 0 (List.length suffix)
+
+(* ---- pass vs direct call equivalence ---- *)
+
+let test_synth_passes_equiv_direct () =
+  let aig = t481 () in
+  let via_flow script =
+    let ctx, _ = Flow.run (Flow.parse_script_exn script) (Flow.init ~name:"t" aig) in
+    ctx.Flow.aig
+  in
+  let same name a b =
+    Alcotest.(check int) (name ^ " ands") (Aig.num_ands a) (Aig.num_ands b);
+    Alcotest.(check int) (name ^ " depth") (Aig.depth a) (Aig.depth b)
+  in
+  same "b;rw;rf"
+    (Synth.refactor (Synth.rewrite (Synth.balance aig)))
+    (via_flow "b; rw; rf");
+  same "synth(full)" (Synth.resyn2rs aig) (via_flow "synth(full)");
+  same "synth(light)" (Synth.light aig) (via_flow "synth(light)");
+  same "synth(none)" aig (via_flow "synth(none)")
+
+let test_map_sta_pass_equiv_direct () =
+  let aig = Synth.light (adder ()) in
+  let ctx, _ =
+    Flow.run
+      (Flow.parse_script_exn "map(family=pseudo,cut=5); sta(po=2)")
+      (Flow.init ~name:"a8" aig)
+  in
+  let lib = Cell_lib.cached Cell_netlist.Tg_pseudo in
+  let params = { Mapper.default_params with Mapper.cut_size = 5 } in
+  let m = Mapper.map ~params lib aig in
+  let sta =
+    Sta.analyze ~model:{ Sta.unit_loads = false; po_fanout = 2.0 } m
+  in
+  Alcotest.(check bool) "mapped stats equal" true
+    (Mapped.stats m = Mapped.stats (Option.get ctx.Flow.mapped));
+  Alcotest.(check (float 1e-9)) "sta delay equal" (Sta.abs_delay_ps sta)
+    (Sta.abs_delay_ps (Option.get ctx.Flow.sta))
+
+let test_verify_and_diags () =
+  let ctx0 = Flow.init ~name:"a8" (adder ()) in
+  let ctx, _ =
+    Flow.run (Flow.parse_script_exn "light; map; verify(seed=7); lint") ctx0
+  in
+  Alcotest.(check bool) "verified" true (ctx.Flow.verified = Some true);
+  Alcotest.(check bool) "clean lint" false (Diag.has_errors ctx.Flow.diags);
+  (* diags_since sees only what the suffix added *)
+  let mid, _ = Flow.run (Flow.parse_script_exn "light; lint(aig)") ctx0 in
+  let after, _ = Flow.run (Flow.parse_script_exn "map; lint") mid in
+  Alcotest.(check int) "diags_since counts the delta"
+    (List.length after.Flow.diags - List.length mid.Flow.diags)
+    (List.length (Flow.diags_since mid after))
+
+let test_place_pass () =
+  let ctx, _ =
+    Flow.run
+      (Flow.parse_script_exn "light; map; place")
+      (Flow.init ~name:"a8" (adder ()))
+  in
+  (match ctx.Flow.placement with
+  | Some p ->
+      Alcotest.(check bool) "utilization in (0,1]" true
+        (p.Fabric.utilization > 0.0 && p.Fabric.utilization <= 1.0)
+  | None -> Alcotest.fail "auto-sized placement failed");
+  (* a fabric that cannot fit the netlist reports a diagnostic, not an
+     exception *)
+  let ctx, _ =
+    Flow.run
+      (Flow.parse_script_exn "light; map; place(rows=2,cols=2)")
+      (Flow.init ~name:"a8" (adder ()))
+  in
+  Alcotest.(check bool) "placement error surfaced as diag" true
+    (ctx.Flow.placement = None && Diag.has_errors ctx.Flow.diags)
+
+let test_pass_ordering_errors () =
+  (match Flow.run (Flow.parse_script_exn "sta") (Flow.init ~name:"x" (adder ())) with
+  | exception Flow.Flow_error _ -> ()
+  | _ -> Alcotest.fail "sta before map accepted");
+  match
+    Flow.run (Flow.parse_script_exn "verify") (Flow.init ~name:"x" (adder ()))
+  with
+  | exception Flow.Flow_error _ -> ()
+  | _ -> Alcotest.fail "verify before map accepted"
+
+(* ---- metrics ---- *)
+
+let test_samples () =
+  let _, samples =
+    Flow.run
+      (Flow.parse_script_exn "synth(full); map; sta; lint")
+      (Flow.init ~name:"t481" (t481 ()))
+  in
+  Alcotest.(check int) "one sample per pass" 4 (List.length samples);
+  let synth_s = List.nth samples 0 in
+  Alcotest.(check bool) "synth shrank the AIG" true
+    (synth_s.Flow.sm_ands_after < synth_s.Flow.sm_ands_before);
+  Alcotest.(check string) "unmapped family is -" "-" synth_s.Flow.sm_family;
+  let map_s = List.nth samples 1 in
+  Alcotest.(check bool) "map records stats" true
+    (map_s.Flow.sm_mapped <> None);
+  Alcotest.(check bool) "map records a cache outcome" true
+    (map_s.Flow.sm_cache <> None);
+  let sta_s = List.nth samples 2 in
+  Alcotest.(check bool) "sta records delay" true (sta_s.Flow.sm_sta_ps <> None);
+  (* renderers cover every sample *)
+  let tsv_lines =
+    List.map Flow.sample_to_tsv samples
+    |> List.filter (fun l -> String.length l > 0)
+  in
+  Alcotest.(check int) "tsv rows" 4 (List.length tsv_lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check int) "tsv column count" 15
+        (List.length (String.split_on_char '\t' l)))
+    tsv_lines;
+  Alcotest.(check int) "tsv header column count" 15
+    (List.length (String.split_on_char '\t' Flow.samples_tsv_header));
+  let json = Flow.samples_to_json samples in
+  Alcotest.(check bool) "json non-trivial" true (String.length json > 100)
+
+(* ---- library cache ---- *)
+
+let test_library_cache () =
+  let _ = Cell_lib.cached Cell_netlist.Tg_static in
+  let h0, m0 = Cell_lib.cache_stats () in
+  let l1 = Cell_lib.cached Cell_netlist.Tg_static in
+  let l2 = Cell_lib.cached Cell_netlist.Tg_static in
+  let h1, m1 = Cell_lib.cache_stats () in
+  Alcotest.(check bool) "same library object" true (l1 == l2);
+  Alcotest.(check int) "two hits" (h0 + 2) h1;
+  Alcotest.(check int) "no new misses" m0 m1;
+  Alcotest.(check bool) "Core.library goes through the cache" true
+    (Core.library `Tg_static == l1)
+
+(* ---- runner and matrix determinism ---- *)
+
+let test_runner_deterministic () =
+  let jobs = Array.init 17 (fun i -> i) in
+  let f i = i * i in
+  Alcotest.(check (array int)) "2 domains = sequential"
+    (Array.map f jobs)
+    (Flow.Runner.map_jobs ~domains:2 f jobs);
+  Alcotest.(check (array int)) "more domains than jobs"
+    (Array.map f [| 1; 2 |])
+    (Flow.Runner.map_jobs ~domains:8 f [| 1; 2 |]);
+  (* first error in input order is re-raised *)
+  match
+    Flow.Runner.map_jobs ~domains:2
+      (fun i -> if i >= 3 then failwith (string_of_int i) else i)
+      jobs
+  with
+  | _ -> Alcotest.fail "error not propagated"
+  | exception Failure _ -> ()
+
+let matrix_script = "light; map; sta; lint"
+
+let matrix_report results =
+  results |> Array.to_list
+  |> List.concat_map (fun (r : Flow.bench_result) ->
+         List.map (fun (_, ctx, _) -> Flow.summary_line ctx)
+           r.Flow.br_per_family)
+  |> String.concat "\n"
+
+let test_matrix_parallel_identical () =
+  let entries =
+    List.map Bench_suite.find [ "add-16"; "t481"; "C1908"; "add-32" ]
+  in
+  let families = [ Cell_netlist.Tg_static; Cell_netlist.Cmos ] in
+  let script = Flow.parse_script_exn matrix_script in
+  let seq = Flow.run_matrix ~domains:1 ~script ~families entries in
+  let par = Flow.run_matrix ~domains:2 ~script ~families entries in
+  Alcotest.(check string) "parallel report byte-identical"
+    (matrix_report seq) (matrix_report par);
+  (* sample streams agree on everything but wall time *)
+  let strip (s : Flow.sample) =
+    Flow.sample_to_tsv { s with Flow.sm_wall_s = 0.0 }
+  in
+  Alcotest.(check (list string)) "metrics identical (times zeroed)"
+    (List.map strip (Flow.matrix_samples seq))
+    (List.map strip (Flow.matrix_samples par));
+  (* prefix hoisting: the prefix ran once per bench, suffix per family *)
+  Array.iter
+    (fun (r : Flow.bench_result) ->
+      Alcotest.(check int) "prefix samples" 1
+        (List.length r.Flow.br_prefix_samples);
+      Alcotest.(check int) "families" 2 (List.length r.Flow.br_per_family);
+      List.iter
+        (fun (_, _, ss) ->
+          Alcotest.(check int) "suffix samples" 3 (List.length ss))
+        r.Flow.br_per_family)
+    seq
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "script",
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "split at map" `Quick test_split_at_map;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "synth passes = direct calls" `Quick
+            test_synth_passes_equiv_direct;
+          Alcotest.test_case "map/sta passes = direct calls" `Quick
+            test_map_sta_pass_equiv_direct;
+          Alcotest.test_case "verify and diags" `Quick test_verify_and_diags;
+          Alcotest.test_case "place" `Quick test_place_pass;
+          Alcotest.test_case "ordering errors" `Quick
+            test_pass_ordering_errors;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "samples" `Quick test_samples ] );
+      ( "cache",
+        [ Alcotest.test_case "library cache" `Quick test_library_cache ] );
+      ( "runner",
+        [
+          Alcotest.test_case "deterministic map_jobs" `Quick
+            test_runner_deterministic;
+          Alcotest.test_case "matrix parallel = sequential" `Quick
+            test_matrix_parallel_identical;
+        ] );
+    ]

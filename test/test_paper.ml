@@ -175,7 +175,11 @@ let test_dynamic_gnor_degradation () =
 let test_fabric_placement () =
   let r = Core.run ~family:`Tg_static (Arith.adder 8) in
   let fab = Fabric.create ~rows:12 ~cols:12 in
-  let p = Fabric.place fab r.Core.mapped in
+  let p =
+    match Fabric.place fab r.Core.mapped with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "placement failed: %s" (Fabric.error_message e)
+  in
   Alcotest.(check int) "all instances placed"
     (Mapped.stats r.Core.mapped).Mapped.gates p.Fabric.tiles_used;
   Alcotest.(check bool) "utilization sane" true
@@ -192,15 +196,29 @@ let test_fabric_placement () =
 let test_fabric_too_small () =
   let r = Core.run ~family:`Tg_static (Arith.adder 8) in
   let fab = Fabric.create ~rows:2 ~cols:2 in
-  Alcotest.check_raises "overflow" (Failure "Fabric.place: fabric too small")
-    (fun () -> ignore (Fabric.place fab r.Core.mapped))
+  match Fabric.place fab r.Core.mapped with
+  | Error (Fabric.Fabric_too_small { tiles; placed; instances } as e) ->
+      Alcotest.(check int) "tiles" 4 tiles;
+      Alcotest.(check bool) "partial placement" true (placed <= 4);
+      Alcotest.(check int) "instances" (Mapped.stats r.Core.mapped).Mapped.gates
+        instances;
+      (* the exception-raising convenience wrapper reports the same error *)
+      Alcotest.check_raises "place_exn" (Failure (Fabric.error_message e))
+        (fun () -> ignore (Fabric.place_exn fab r.Core.mapped))
+  | Error e -> Alcotest.failf "wrong error: %s" (Fabric.error_message e)
+  | Ok _ -> Alcotest.fail "overflow accepted"
 
 let test_fabric_rejects_cmos () =
   let r = Core.run ~family:`Cmos (Arith.adder 4) in
   let fab = Fabric.create ~rows:20 ~cols:20 in
   match Fabric.place fab r.Core.mapped with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "CMOS netlist accepted by the fabric"
+  | Error (Fabric.Not_catalog_cell { instance; cell }) ->
+      Alcotest.(check bool) "instance index in range" true
+        (instance >= 0
+        && instance < Array.length r.Core.mapped.Mapped.instances);
+      Alcotest.(check bool) "names a CMOS cell" true (String.length cell > 0)
+  | Error e -> Alcotest.failf "wrong error: %s" (Fabric.error_message e)
+  | Ok _ -> Alcotest.fail "CMOS netlist accepted by the fabric"
 
 (* ---- core flow ---- *)
 
