@@ -13,6 +13,7 @@ let families = ref "static"
 let jobs = ref 1
 let seed = ref "2026"
 let cut_size = ref 6
+let cut_engine = ref "packed"
 let timing_map = ref false
 let po_fanout = ref 4.0
 let unit_loads = ref false
@@ -41,6 +42,10 @@ let specs =
        is identical at any N)" );
     ("--seed", Arg.Set_string seed, "N simulation seed for verify (default 2026)");
     ("--cut-size", Arg.Set_int cut_size, "K mapper cut size (default 6)");
+    ( "--cut-engine",
+      Arg.Set_string cut_engine,
+      "E cut engine for map and the synthesis passes: packed or reference \
+       (default packed)" );
     ( "--timing-map",
       Arg.Set timing_map,
       " map with the STA-backed load-aware delay cost" );
@@ -84,10 +89,16 @@ let () =
     try Int64.of_string !seed
     with _ -> Cli_common.usage_die ~prog ("bad --seed " ^ !seed)
   in
+  let engine =
+    match Cut.engine_of_string !cut_engine with
+    | Some e -> e
+    | None -> Cli_common.usage_die ~prog ("unknown --cut-engine " ^ !cut_engine)
+  in
   let config =
     {
       Flow.default_config with
       cut_size = !cut_size;
+      cut_engine = engine;
       timing = !timing_map;
       po_fanout = !po_fanout;
       unit_loads = !unit_loads;

@@ -1,9 +1,38 @@
-type t = { leaves : int array; sign : int }
+(* K-feasible priority cuts (Pan–Mishchenko style), in two engines:
+
+   - the legacy list-of-records engine ([compute]), kept as the reference
+     for differential testing and for callers that want plain cut lists;
+   - the packed engine ([compute_packed]): cut sets live in preallocated
+     flat slabs (leaves + signature + truth-table word per cut slot, no
+     per-cut records or lists), candidate filtering runs over a bounded
+     insertion-sorted scratch array with signature pre-rejection, and each
+     cut's truth table is computed bottom-up during the merge from the
+     fanins' cut tables — so consumers never re-walk the cone
+     ([Aig.tt_of_cut]) per cut.
+
+   Both engines produce identical cut sets: the final dominance-filtered
+   set of a node is independent of candidate insertion order, and both
+   commit the same (size, lexicographic leaves) sorted prefix plus the
+   trivial cut last. *)
+
+(* Signature: a 62-bucket bloom filter over leaf ids, used to pre-reject
+   subset tests.  Soundness condition: each leaf contributes exactly one
+   bucket bit determined by the leaf alone, so
+   [leaves a ⊆ leaves b ⟹ sign a land sign b = sign a]; a failed
+   superset-of-bits test therefore proves non-domination, while a passed
+   one still requires the exact subset walk.  ([n mod 62] spreads ids over
+   all buckets; the previous [1 lsl (n land 62)] collapsed every even/odd
+   id pair onto buckets 0 and 2, wasting 60 of the 62 bits.) *)
+let sign_of_node n = 1 lsl (n mod 62)
 
 let signature leaves =
-  Array.fold_left (fun s n -> s lor (1 lsl (n land 62))) 0 leaves
+  Array.fold_left (fun s n -> s lor sign_of_node n) 0 leaves
 
-let trivial n = { leaves = [| n |]; sign = signature [| n |] }
+(* ---------------- reference engine ---------------- *)
+
+type t = { leaves : int array; sign : int }
+
+let trivial n = { leaves = [| n |]; sign = sign_of_node n }
 let size c = Array.length c.leaves
 
 let dominates a b =
@@ -89,10 +118,300 @@ let compute aig ~k ~limit =
             if c <> 0 then c else compare a.leaves b.leaves)
           !acc
       in
-      let rec take n = function
-        | [] -> []
-        | _ when n = 0 -> []
-        | x :: xs -> x :: take (n - 1) xs
+      let take n l =
+        (* first [n] elements, tail-recursively (wide nodes produce long
+           candidate lists) *)
+        let rec go acc n = function
+          | [] -> List.rev acc
+          | _ when n = 0 -> List.rev acc
+          | x :: xs -> go (x :: acc) (n - 1) xs
+        in
+        go [] n l
       in
-      cuts.(nd) <- take (limit - 1) sorted @ [ trivial nd ]);
+      cuts.(nd) <- take (limit - 1) sorted @ [ trivial nd ])
+  ;
   cuts
+
+(* ---------------- engines and counters ---------------- *)
+
+type engine = Packed | Reference
+
+let engine_name = function Packed -> "packed" | Reference -> "reference"
+
+let engine_of_string = function
+  | "packed" -> Some Packed
+  | "reference" | "ref" -> Some Reference
+  | _ -> None
+
+type stats = {
+  mutable built : int;
+  mutable dominated : int;
+  mutable sign_rejects : int;
+  mutable tt_merges : int;
+  mutable probes : int;
+}
+
+let stats_create () =
+  { built = 0; dominated = 0; sign_rejects = 0; tt_merges = 0; probes = 0 }
+
+let stats_add acc s =
+  acc.built <- acc.built + s.built;
+  acc.dominated <- acc.dominated + s.dominated;
+  acc.sign_rejects <- acc.sign_rejects + s.sign_rejects;
+  acc.tt_merges <- acc.tt_merges + s.tt_merges;
+  acc.probes <- acc.probes + s.probes
+
+(* ---------------- packed engine ---------------- *)
+
+type set = {
+  k : int;
+  limit : int;
+  cnum : int array;   (* per node: number of cuts *)
+  clen : int array;   (* per slot [nd * limit + j]: leaf count *)
+  csign : int array;  (* per slot: signature *)
+  ctt : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+      (* per slot: function of the node over the cut leaves (single
+         replicated word, k <= 6) *)
+  cleaves : int array;  (* per slot, stride k: sorted leaf ids *)
+}
+
+let num_cuts s nd = s.cnum.(nd)
+let cut_nleaves s nd j = s.clen.((nd * s.limit) + j)
+let cut_tt s nd j = Bigarray.Array1.get s.ctt ((nd * s.limit) + j)
+let cut_leaf s nd j i = s.cleaves.((((nd * s.limit) + j) * s.k) + i)
+
+let cut_leaves s nd j =
+  let o = ((nd * s.limit) + j) * s.k in
+  Array.sub s.cleaves o s.clen.((nd * s.limit) + j)
+
+(* The word for "variable 0" in the replicated convention — the truth table
+   of a trivial cut. *)
+let var0 = 0xAAAAAAAAAAAAAAAAL
+
+let compute_packed ?stats aig ~k ~limit =
+  if k < 2 || k > 6 then invalid_arg "Cut.compute_packed";
+  if limit < 2 then invalid_arg "Cut.compute_packed: limit";
+  let st = match stats with Some s -> s | None -> stats_create () in
+  let n = Aig.num_nodes aig in
+  let nslots = n * limit in
+  let cnum = Array.make n 0 in
+  let clen = Array.make nslots 0 in
+  let csign = Array.make nslots 0 in
+  let ctt = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout nslots in
+  let cleaves = Array.make (nslots * k) 0 in
+  let set_trivial nd =
+    let slot = (nd * limit) + cnum.(nd) in
+    clen.(slot) <- 1;
+    csign.(slot) <- sign_of_node nd;
+    Bigarray.Array1.set ctt slot var0;
+    cleaves.(slot * k) <- nd;
+    cnum.(nd) <- cnum.(nd) + 1
+  in
+  set_trivial 0;
+  for i = 1 to Aig.num_inputs aig do
+    set_trivial i
+  done;
+  (* Scratch candidate set, sorted ascending by (leaf count, lex leaves).
+     Capacity [limit * limit] holds every survivor of a node's full
+     cross-product: truncating to [limit - 1] only at commit time is what
+     makes the bounded insertion path exactly equivalent to the reference
+     engine's collect/sort/take (a candidate that evicts several dominated
+     cuts can make room that earlier-rejected cuts of a smaller buffer
+     would have needed). *)
+  let cap = limit * limit in
+  let s_len = Array.make cap 0 in
+  let s_sign = Array.make cap 0 in
+  let s_tt = Array.make cap 0L in
+  let s_leaves = Array.make (cap * k) 0 in
+  let m_leaves = Array.make k 0 in
+  (* positions of each fanin-cut leaf inside the merged leaf order *)
+  let pos_a = Array.make k 0 in
+  let pos_b = Array.make k 0 in
+  let cnt = ref 0 in
+  let mlen = ref 0 in
+  (* candidate vs scratch entry [e]: (leaf count, lex leaves) order *)
+  let cmp_entry e =
+    let le = s_len.(e) in
+    if le <> !mlen then compare le !mlen
+    else begin
+      let oe = e * k in
+      let r = ref 0 and i = ref 0 in
+      while !r = 0 && !i < !mlen do
+        r := compare s_leaves.(oe + !i) m_leaves.(!i);
+        incr i
+      done;
+      !r
+    end
+  in
+  (* entry [e]'s leaves ⊆ merged leaves (both sorted) *)
+  let entry_subset_of_cand e =
+    let le = s_len.(e) and oe = e * k in
+    let i = ref 0 and j = ref 0 and r = ref true in
+    while !r && !i < le do
+      if !j >= !mlen then r := false
+      else begin
+        let x = s_leaves.(oe + !i) and y = m_leaves.(!j) in
+        if x = y then begin incr i; incr j end
+        else if x > y then incr j
+        else r := false
+      end
+    done;
+    !r
+  in
+  (* merged leaves ⊆ entry [e]'s leaves *)
+  let cand_subset_of_entry e =
+    let le = s_len.(e) and oe = e * k in
+    let i = ref 0 and j = ref 0 and r = ref true in
+    while !r && !i < !mlen do
+      if !j >= le then r := false
+      else begin
+        let x = m_leaves.(!i) and y = s_leaves.(oe + !j) in
+        if x = y then begin incr i; incr j end
+        else if x > y then incr j
+        else r := false
+      end
+    done;
+    !r
+  in
+  let copy_entry src dst =
+    if src <> dst then begin
+      s_len.(dst) <- s_len.(src);
+      s_sign.(dst) <- s_sign.(src);
+      s_tt.(dst) <- s_tt.(src);
+      Array.blit s_leaves (src * k) s_leaves (dst * k) k
+    end
+  in
+  (* Expand a fanin cut's table to the merged leaf order: complement if the
+     fanin edge is complemented, then bubble each variable up to its merged
+     position (highest first, so the bubbling only crosses dead
+     variables).  Identity when the fanin cut already equals the merged
+     cut (the inner loop body never runs). *)
+  let expand w cmask len pos =
+    let t = ref (Int64.logxor w cmask) in
+    for i = len - 1 downto 0 do
+      for q = i to pos.(i) - 1 do
+        t := Npn.swap_adjacent !t q
+      done
+    done;
+    !t
+  in
+  Aig.iter_ands aig (fun nd ->
+      let f0 = Aig.fanin0 aig nd and f1 = Aig.fanin1 aig nd in
+      let n0 = Aig.node_of f0 and n1 = Aig.node_of f1 in
+      let x0 = if Aig.is_compl f0 then -1L else 0L in
+      let x1 = if Aig.is_compl f1 then -1L else 0L in
+      cnt := 0;
+      for ja = 0 to cnum.(n0) - 1 do
+        for jb = 0 to cnum.(n1) - 1 do
+          let sa = (n0 * limit) + ja and sb = (n1 * limit) + jb in
+          let la = clen.(sa) and lb = clen.(sb) in
+          let oa = sa * k and ob = sb * k in
+          (* sorted-union walk, tracking each side's leaf positions *)
+          let i = ref 0 and j = ref 0 and m = ref 0 in
+          let ok = ref true in
+          while !ok && (!i < la || !j < lb) do
+            if !m = k then ok := false
+            else begin
+              let va = if !i < la then cleaves.(oa + !i) else max_int in
+              let vb = if !j < lb then cleaves.(ob + !j) else max_int in
+              if va = vb then begin
+                m_leaves.(!m) <- va;
+                pos_a.(!i) <- !m;
+                pos_b.(!j) <- !m;
+                incr i; incr j; incr m
+              end
+              else if va < vb then begin
+                m_leaves.(!m) <- va;
+                pos_a.(!i) <- !m;
+                incr i; incr m
+              end
+              else begin
+                m_leaves.(!m) <- vb;
+                pos_b.(!j) <- !m;
+                incr j; incr m
+              end
+            end
+          done;
+          if !ok then begin
+            mlen := !m;
+            let sgn = csign.(sa) lor csign.(sb) in
+            (* Sorted scan: entries before the insertion point are the only
+               possible dominators of the candidate (a strict subset is
+               strictly smaller, hence sorts strictly earlier; an equal set
+               compares equal); entries after it are the only ones the
+               candidate can dominate. *)
+            let ins = ref (-1) and drop = ref false in
+            let e = ref 0 in
+            while !ins < 0 && (not !drop) && !e < !cnt do
+              let c = cmp_entry !e in
+              if c > 0 then ins := !e
+              else if c = 0 then begin
+                drop := true;
+                st.dominated <- st.dominated + 1
+              end
+              else begin
+                (if s_len.(!e) < !mlen then
+                   if s_sign.(!e) land sgn <> s_sign.(!e) then
+                     st.sign_rejects <- st.sign_rejects + 1
+                   else if entry_subset_of_cand !e then begin
+                     drop := true;
+                     st.dominated <- st.dominated + 1
+                   end);
+                incr e
+              end
+            done;
+            if not !drop then begin
+              let ins = if !ins < 0 then !cnt else !ins in
+              (* evict entries the candidate dominates *)
+              let w = ref ins in
+              for r = ins to !cnt - 1 do
+                let keep =
+                  if s_len.(r) <= !mlen then true
+                  else if sgn land s_sign.(r) <> sgn then begin
+                    st.sign_rejects <- st.sign_rejects + 1;
+                    true
+                  end
+                  else if cand_subset_of_entry r then begin
+                    st.dominated <- st.dominated + 1;
+                    false
+                  end
+                  else true
+                in
+                if keep then begin
+                  copy_entry r !w;
+                  incr w
+                end
+              done;
+              cnt := !w;
+              (* shift-insert the candidate at [ins] *)
+              for r = !cnt downto ins + 1 do
+                copy_entry (r - 1) r
+              done;
+              s_len.(ins) <- !mlen;
+              s_sign.(ins) <- sgn;
+              Array.blit m_leaves 0 s_leaves (ins * k) !mlen;
+              (* incremental truth table: expand both fanin-cut tables to
+                 the merged leaf order and conjoin *)
+              let ta = expand (Bigarray.Array1.get ctt sa) x0 la pos_a in
+              let tb = expand (Bigarray.Array1.get ctt sb) x1 lb pos_b in
+              s_tt.(ins) <- Int64.logand ta tb;
+              incr cnt;
+              st.built <- st.built + 1;
+              st.tt_merges <- st.tt_merges + 1
+            end
+          end
+        done
+      done;
+      (* commit the best [limit - 1] cuts, then the trivial cut last *)
+      let ncommit = min !cnt (limit - 1) in
+      let base = nd * limit in
+      for j = 0 to ncommit - 1 do
+        let slot = base + j in
+        clen.(slot) <- s_len.(j);
+        csign.(slot) <- s_sign.(j);
+        Bigarray.Array1.set ctt slot s_tt.(j);
+        Array.blit s_leaves (j * k) cleaves (slot * k) s_len.(j)
+      done;
+      cnum.(nd) <- ncommit;
+      set_trivial nd);
+  { k; limit; cnum; clen; csign; ctt; cleaves }

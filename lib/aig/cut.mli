@@ -3,7 +3,13 @@
     A cut of node [n] is a set of node ids such that every path from a
     primary input to [n] crosses the set; the function of [n] can then be
     expressed over the cut leaves.  Only a bounded number of cuts per node
-    is kept, which is the standard compromise used by technology mappers. *)
+    is kept, which is the standard compromise used by technology mappers.
+
+    Two engines produce identical cut sets: the packed engine
+    ({!compute_packed}) stores cuts in flat preallocated slabs and computes
+    each cut's truth table incrementally during enumeration; the reference
+    engine ({!compute}) is the legacy list-of-records implementation, kept
+    for differential testing. *)
 
 type t = private {
   leaves : int array;  (** sorted ascending *)
@@ -15,7 +21,67 @@ val size : t -> int
 val dominates : t -> t -> bool
 (** [dominates a b]: [a]'s leaves are a subset of [b]'s. *)
 
+val signature : int array -> int
+(** Bloom-filter signature of a (sorted) leaf array.  Sound for subset
+    pre-rejection: [leaves a ⊆ leaves b] implies
+    [signature a land signature b = signature a]. *)
+
 val compute : Aig.t -> k:int -> limit:int -> t list array
 (** [compute aig ~k ~limit] returns, for every node, up to [limit]
     [k]-feasible cuts (the trivial cut included, always last).  Smaller and
     dominating cuts are preferred. *)
+
+(** {1 Engine selection and counters} *)
+
+type engine =
+  | Packed     (** flat slabs + incremental truth tables (the default) *)
+  | Reference  (** legacy lists + per-cut cone walks, for differential runs *)
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+(** ["packed"] / ["reference"] (also ["ref"]); [None] otherwise. *)
+
+(** Hot-path counters, accumulated by whichever subsystem owns the record
+    (one per pass in the flow).  [built] counts candidate cuts accepted
+    into a node's scratch set (including later-evicted ones), [dominated]
+    counts candidates dropped — or evicted — by the dominance filter,
+    [sign_rejects] counts subset walks skipped by the signature pre-filter,
+    [tt_merges] counts incremental truth-table merges, and [probes] counts
+    match-table lookups (filled in by the mapper). *)
+type stats = {
+  mutable built : int;
+  mutable dominated : int;
+  mutable sign_rejects : int;
+  mutable tt_merges : int;
+  mutable probes : int;
+}
+
+val stats_create : unit -> stats
+val stats_add : stats -> stats -> unit
+(** [stats_add acc s] adds [s]'s counters into [acc]. *)
+
+(** {1 Packed cut sets} *)
+
+type set
+(** All cuts of all nodes, packed: slot [j] of node [nd] holds the leaf
+    count, signature, leaves (sorted) and the truth table of [nd] over
+    those leaves as a single replicated word ([k <= 6]). *)
+
+val compute_packed : ?stats:stats -> Aig.t -> k:int -> limit:int -> set
+(** Same cut sets as {!compute} (cut [j] of [compute_packed] equals the
+    [j]-th list element from [compute]), with each cut's function computed
+    bottom-up during the merge.  [2 <= k <= 6]. *)
+
+val num_cuts : set -> int -> int
+val cut_nleaves : set -> int -> int -> int
+(** [cut_nleaves s nd j]: leaf count of cut [j] of node [nd]. *)
+
+val cut_leaf : set -> int -> int -> int -> int
+(** [cut_leaf s nd j i]: leaf [i] (ascending order) of cut [j]. *)
+
+val cut_leaves : set -> int -> int -> int array
+(** Fresh copy of cut [j]'s leaf array. *)
+
+val cut_tt : set -> int -> int -> int64
+(** Truth table of node [nd] over cut [j]'s leaves (replicated word; equals
+    [Aig.tt_of_cut aig (Aig.lit_of_node nd) (cut_leaves s nd j)]). *)

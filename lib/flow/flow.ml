@@ -7,6 +7,7 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Flow_error s)) fmt
 type config = {
   family : Cell_netlist.family;
   cut_size : int;
+  cut_engine : Cut.engine;
   timing : bool;
   po_fanout : float;
   unit_loads : bool;
@@ -18,6 +19,7 @@ let default_config =
   {
     family = Cell_netlist.Tg_static;
     cut_size = 6;
+    cut_engine = Cut.Packed;
     timing = false;
     po_fanout = 4.0;
     unit_loads = false;
@@ -94,10 +96,23 @@ let arg_family step key =
       | None -> fail "%s: unknown family %s" step.pass v)
     (arg_value step key)
 
+let arg_engine cfg step =
+  match arg_value step "engine" with
+  | None -> cfg.cut_engine
+  | Some v -> (
+      match Cut.engine_of_string v with
+      | Some e -> e
+      | None -> fail "%s: unknown engine %s (packed|reference)" step.pass v)
+
 (* The per-pass library-cache outcome is threaded to the metrics layer
    through this domain-local box (set by [map], read by the engine wrapper
    right after the pass returns — never across pass boundaries). *)
 let last_cache_status : [ `Hit | `Miss ] option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+(* Same channel for the cut-engine hot-path counters of the pass that just
+   ran ([map] and the cut-based synthesis passes). *)
+let last_cut_stats : Cut.stats option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
 (* ---------------- passes ---------------- *)
@@ -107,28 +122,53 @@ let with_aig ctx aig =
 
 let pass_balance _cfg _step ctx = with_aig ctx (Synth.balance ctx.aig)
 
-let pass_rewrite _cfg step ctx =
-  with_aig ctx (Synth.rewrite ~zero_gain:(arg_flag step "z") ctx.aig)
+(* The cut-based synthesis passes accumulate the engine's counters into a
+   fresh stats record and publish it for the metrics wrapper. *)
+let with_cut_stats f =
+  let stats = Cut.stats_create () in
+  let r = f stats in
+  Domain.DLS.set last_cut_stats (Some stats);
+  r
 
-let pass_refactor _cfg step ctx =
+let pass_rewrite cfg step ctx =
+  let engine = arg_engine cfg step in
   with_aig ctx
-    (Synth.refactor ~zero_gain:(arg_flag step "z")
-       ?cut_size:(arg_int step "cut") ctx.aig)
+    (with_cut_stats (fun stats ->
+         Synth.rewrite ~zero_gain:(arg_flag step "z") ~engine ~stats ctx.aig))
 
-let pass_resyn2rs _cfg _step ctx = with_aig ctx (Synth.resyn2rs ctx.aig)
-let pass_light _cfg _step ctx = with_aig ctx (Synth.light ctx.aig)
+let pass_refactor cfg step ctx =
+  let engine = arg_engine cfg step in
+  with_aig ctx
+    (with_cut_stats (fun stats ->
+         Synth.refactor ~zero_gain:(arg_flag step "z")
+           ?cut_size:(arg_int step "cut") ~engine ~stats ctx.aig))
 
-let pass_synth _cfg step ctx =
+let pass_resyn2rs cfg step ctx =
+  let engine = arg_engine cfg step in
+  with_aig ctx
+    (with_cut_stats (fun stats -> Synth.resyn2rs ~engine ~stats ctx.aig))
+
+let pass_light cfg step ctx =
+  let engine = arg_engine cfg step in
+  with_aig ctx
+    (with_cut_stats (fun stats -> Synth.light ~engine ~stats ctx.aig))
+
+let pass_synth cfg step ctx =
+  let engine = arg_engine cfg step in
   let mode =
-    match step.args with
+    match List.filter (fun (k, _) -> k <> "engine") step.args with
     | [] -> "full"
     | [ (m, None) ] -> m
     | _ -> fail "synth: expects a single mode (none|light|full)"
   in
   match mode with
   | "none" -> ctx
-  | "light" -> with_aig ctx (Synth.light ctx.aig)
-  | "full" -> with_aig ctx (Synth.resyn2rs ctx.aig)
+  | "light" ->
+      with_aig ctx
+        (with_cut_stats (fun stats -> Synth.light ~engine ~stats ctx.aig))
+  | "full" ->
+      with_aig ctx
+        (with_cut_stats (fun stats -> Synth.resyn2rs ~engine ~stats ctx.aig))
   | m -> fail "synth: unknown mode %s (none|light|full)" m
 
 let pass_map cfg step ctx =
@@ -139,10 +179,14 @@ let pass_map cfg step ctx =
     else if arg_flag step "no-timing" then false
     else cfg.timing
   in
+  let engine = arg_engine cfg step in
   let lib, status = Cell_lib.cached_with_status family in
   Domain.DLS.set last_cache_status (Some status);
-  let params = { Mapper.default_params with Mapper.cut_size; timing } in
-  let mapped = Mapper.map ~params lib ctx.aig in
+  let params =
+    { Mapper.default_params with Mapper.cut_size; timing; engine }
+  in
+  let mapped, stats = Mapper.map_with_stats ~params lib ctx.aig in
+  Domain.DLS.set last_cut_stats (Some stats);
   {
     ctx with
     family;
@@ -254,23 +298,24 @@ let registry : (string * pass_info) list =
       { p_doc = "balance: minimum-depth AND-tree rebuild";
         p_args = Some []; p_apply = pass_balance } );
     ( "rw",
-      { p_doc = "rewrite: 4-cut DAG-aware resubstitution [z]";
-        p_args = Some [ "z" ]; p_apply = pass_rewrite } );
+      { p_doc = "rewrite: 4-cut DAG-aware resubstitution [z, engine=E]";
+        p_args = Some [ "z"; "engine" ]; p_apply = pass_rewrite } );
     ( "rf",
-      { p_doc = "refactor: large-cut ISOP refactoring [z, cut=K]";
-        p_args = Some [ "z"; "cut" ]; p_apply = pass_refactor } );
+      { p_doc = "refactor: large-cut ISOP refactoring [z, cut=K, engine=E]";
+        p_args = Some [ "z"; "cut"; "engine" ]; p_apply = pass_refactor } );
     ( "resyn2rs",
       { p_doc = "the full optimization script (b;rw;rf;b;rw;rw -z;b;rf -z;rw -z;b)";
-        p_args = Some []; p_apply = pass_resyn2rs } );
+        p_args = Some [ "engine" ]; p_apply = pass_resyn2rs } );
     ( "light",
       { p_doc = "the cheap optimization script (b;rw;b)";
-        p_args = Some []; p_apply = pass_light } );
+        p_args = Some [ "engine" ]; p_apply = pass_light } );
     ( "synth",
       { p_doc = "optimization by effort name: synth(none|light|full)";
         p_args = None; p_apply = pass_synth } );
     ( "map",
-      { p_doc = "technology mapping [family=F, cut=K, timing, no-timing]";
-        p_args = Some [ "family"; "cut"; "timing"; "no-timing" ];
+      { p_doc =
+          "technology mapping [family=F, cut=K, timing, no-timing, engine=E]";
+        p_args = Some [ "family"; "cut"; "timing"; "no-timing"; "engine" ];
         p_apply = pass_map } );
     ( "sta",
       { p_doc = "static timing analysis of the mapping [po=N, unit]";
@@ -398,6 +443,7 @@ type sample = {
   sm_mapped : Mapped.stats option;
   sm_sta_ps : float option;
   sm_cache : [ `Hit | `Miss ] option;
+  sm_cut : Cut.stats option;
   sm_new_diags : int;
 }
 
@@ -410,6 +456,7 @@ let opt_changed before after =
 let run_step cfg step ctx =
   let info = find_pass step.pass in
   Domain.DLS.set last_cache_status None;
+  Domain.DLS.set last_cut_stats None;
   let t0 = Unix.gettimeofday () in
   let ctx' = info.p_apply cfg step ctx in
   let wall = Unix.gettimeofday () -. t0 in
@@ -438,6 +485,7 @@ let run_step cfg step ctx =
       sm_mapped = mapped_stats;
       sm_sta_ps = sta_ps;
       sm_cache = Domain.DLS.get last_cache_status;
+      sm_cut = Domain.DLS.get last_cut_stats;
       sm_new_diags = List.length ctx'.diags - List.length ctx.diags;
     }
   in
@@ -456,17 +504,27 @@ let run ?(config = default_config) steps ctx =
 (* ---- rendering ---- *)
 
 let fopt = function None -> "-" | Some f -> Printf.sprintf "%.1f" f
+let iopt = function None -> "-" | Some i -> string_of_int i
+
+let cut_counter f s = Option.map f s.sm_cut
+let cut_built s = cut_counter (fun c -> c.Cut.built) s
+let cut_dominated s = cut_counter (fun c -> c.Cut.dominated) s
+let cut_sign_rejects s = cut_counter (fun c -> c.Cut.sign_rejects) s
+let cut_tt_merges s = cut_counter (fun c -> c.Cut.tt_merges) s
+let cut_probes s = cut_counter (fun c -> c.Cut.probes) s
 
 let render_samples samples =
   let b = Buffer.create 2048 in
-  Printf.bprintf b "%-10s %-12s %-22s %9s %13s %9s %6s %9s %8s %8s %5s %5s\n"
+  Printf.bprintf b
+    "%-10s %-12s %-22s %9s %13s %9s %6s %9s %8s %8s %8s %8s %5s %5s\n"
     "circuit" "family" "pass" "wall(ms)" "ands" "depth" "gates" "area"
-    "delay" "sta-ps" "cache" "diags";
+    "delay" "sta-ps" "cuts" "probes" "cache" "diags";
   List.iter
     (fun s ->
       let delta fmt a b = if a = b then "" else Printf.sprintf fmt (b - a) in
       Printf.bprintf b
-        "%-10s %-12s %-22s %9.2f %8d%-5s %5d%-4s %6s %9s %8s %8s %5s %5d\n"
+        "%-10s %-12s %-22s %9.2f %8d%-5s %5d%-4s %6s %9s %8s %8s %8s %8s %5s \
+         %5d\n"
         s.sm_circuit s.sm_family s.sm_pass (1000.0 *. s.sm_wall_s)
         s.sm_ands_after
         (delta "%+d" s.sm_ands_before s.sm_ands_after)
@@ -478,6 +536,8 @@ let render_samples samples =
         (fopt (Option.map (fun m -> m.Mapped.area) s.sm_mapped))
         (fopt (Option.map (fun m -> m.Mapped.norm_delay) s.sm_mapped))
         (fopt s.sm_sta_ps)
+        (iopt (cut_built s))
+        (iopt (cut_probes s))
         (match s.sm_cache with
         | Some `Hit -> "hit"
         | Some `Miss -> "miss"
@@ -488,10 +548,13 @@ let render_samples samples =
 
 let samples_tsv_header =
   "#circuit\tfamily\tpass\twall_ms\tands_in\tands_out\tdepth_in\tdepth_out\t\
-   gates\tarea\tnorm_delay\tabs_ps\tsta_ps\tcache\tnew_diags"
+   gates\tarea\tnorm_delay\tabs_ps\tsta_ps\tcache\tcuts_built\t\
+   cuts_dominated\tsign_rejects\ttt_merges\tmatch_probes\tnew_diags"
 
 let sample_to_tsv s =
-  Printf.sprintf "%s\t%s\t%s\t%.3f\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%d"
+  Printf.sprintf
+    "%s\t%s\t%s\t%.3f\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\
+     %s\t%s\t%d"
     s.sm_circuit s.sm_family s.sm_pass (1000.0 *. s.sm_wall_s) s.sm_ands_before
     s.sm_ands_after s.sm_depth_before s.sm_depth_after
     (match s.sm_mapped with
@@ -505,6 +568,11 @@ let sample_to_tsv s =
     | Some `Hit -> "hit"
     | Some `Miss -> "miss"
     | None -> "-")
+    (iopt (cut_built s))
+    (iopt (cut_dominated s))
+    (iopt (cut_sign_rejects s))
+    (iopt (cut_tt_merges s))
+    (iopt (cut_probes s))
     s.sm_new_diags
 
 let json_escape s =
@@ -535,7 +603,8 @@ let samples_to_json samples =
         "  {\"circuit\":\"%s\",\"family\":\"%s\",\"pass\":\"%s\",\
          \"wall_ms\":%.3f,\"ands_in\":%d,\"ands_out\":%d,\"depth_in\":%d,\
          \"depth_out\":%d,\"gates\":%s,\"area\":%s,\"norm_delay\":%s,\
-         \"abs_ps\":%s,\"sta_ps\":%s,\"cache\":%s,\"new_diags\":%d}"
+         \"abs_ps\":%s,\"sta_ps\":%s,\"cache\":%s,\"cut\":%s,\
+         \"new_diags\":%d}"
         (json_escape s.sm_circuit) (json_escape s.sm_family)
         (json_escape s.sm_pass) (1000.0 *. s.sm_wall_s) s.sm_ands_before
         s.sm_ands_after s.sm_depth_before s.sm_depth_after
@@ -550,6 +619,14 @@ let samples_to_json samples =
         | Some `Hit -> "\"hit\""
         | Some `Miss -> "\"miss\""
         | None -> "null")
+        (match s.sm_cut with
+        | None -> "null"
+        | Some c ->
+            Printf.sprintf
+              "{\"built\":%d,\"dominated\":%d,\"sign_rejects\":%d,\
+               \"tt_merges\":%d,\"probes\":%d}"
+              c.Cut.built c.Cut.dominated c.Cut.sign_rejects c.Cut.tt_merges
+              c.Cut.probes)
         s.sm_new_diags)
     samples;
   Buffer.add_string b "\n]\n";

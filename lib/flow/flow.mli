@@ -27,6 +27,7 @@ exception Flow_error of string
 type config = {
   family : Cell_netlist.family;  (** default target of [map] *)
   cut_size : int;                (** default mapper cut size (6) *)
+  cut_engine : Cut.engine;       (** default cut engine ({!Cut.Packed}) *)
   timing : bool;                 (** default STA-backed timing mapping *)
   po_fanout : float;             (** default STA primary-output load (4.0) *)
   unit_loads : bool;             (** default fixed-FO4 STA convention *)
@@ -97,6 +98,9 @@ type sample = {
   sm_sta_ps : float option;         (** set by [sta]: absolute critical delay *)
   sm_cache : [ `Hit | `Miss ] option;
       (** library-cache outcome when the pass fetched a library *)
+  sm_cut : Cut.stats option;
+      (** cut-engine hot-path counters when the pass enumerated cuts
+          ([map] and the cut-based synthesis passes) *)
   sm_new_diags : int;     (** findings added by the pass *)
 }
 

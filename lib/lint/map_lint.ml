@@ -280,8 +280,8 @@ let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16) (m : Mapped.t)
                      "instance of '%s' has %d fanins, cell arity is %d"
                      inst.Mapped.cell_name k c.Cell_lib.arity)
               else if k > 0 && k <= 6
-                      && Npn.canonical k inst.Mapped.tt
-                         <> Npn.canonical k c.Cell_lib.tt
+                      && Npn.canonical_cached k inst.Mapped.tt
+                         <> Npn.canonical_cached k c.Cell_lib.tt
               then
                 add
                   (Diag.errorf ~rule:"map-cell-npn" (inst_loc j)

@@ -39,7 +39,7 @@ let analyze lib k =
       in
       if has_free then incr free;
       if has_any then incr any;
-      let c = Npn.canonical k tt in
+      let c = Npn.canonical_cached k tt in
       let prev = try Hashtbl.find classes c with Not_found -> false in
       Hashtbl.replace classes c (prev || has_free)
     end

@@ -160,6 +160,44 @@ let rec build_form g leaf_lits = function
 
 let max_isop_cubes = 96
 
+(* ISOP + factoring of a cone function is a pure function of its truth
+   table, and the same tables recur constantly across nodes and across the
+   sub-passes of a script (~96% repeats on the benchmark suite).  The
+   packed engine memoizes the result per domain; the reference engine
+   keeps the legacy always-recompute path.  The cache changes nothing but
+   wall time: identical inputs map to the identical factored form. *)
+let form_cache_bound = 1 lsl 14
+
+(* Keyed on {!Tt.hash}, which mixes every word of the table; the generic
+   [Hashtbl.hash] samples only a prefix of the boxed int64s, and wide
+   tables that share a prefix would pile into a handful of buckets. *)
+module Form_tbl = Hashtbl.Make (struct
+  type t = Tt.t
+
+  let equal = Tt.equal
+  let hash = Tt.hash
+end)
+
+let form_cache : (Factored.t * int) option Form_tbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Form_tbl.create 1024)
+
+let pick_form_raw t =
+  let sop = Sop.isop t in
+  if Sop.num_cubes sop > max_isop_cubes then None
+  else
+    let f = Factored.factor sop in
+    Some (f, Factored.num_and2 f)
+
+let pick_form_cached t =
+  let tbl = Domain.DLS.get form_cache in
+  match Form_tbl.find_opt tbl t with
+  | Some r -> r
+  | None ->
+      let r = pick_form_raw t in
+      if Form_tbl.length tbl >= form_cache_bound then Form_tbl.reset tbl;
+      Form_tbl.add tbl t r;
+      r
+
 (* Number of AND nodes that stop being referenced when the cone of [nd]
    above the cut is bypassed: the node's MFFC restricted to the cone.
    [refs] are whole-graph fanout counts. *)
@@ -185,7 +223,9 @@ let deaths_in_cone aig refs nd cut =
   go nd;
   !count
 
-let refactor ?(zero_gain = false) ?(cut_size = 10) aig =
+let refactor_impl ?(zero_gain = false) ?(cut_size = 10)
+    ?(engine = Cut.Packed) ?stats aig =
+  let st = match stats with Some s -> s | None -> Cut.stats_create () in
   let cut_size = min cut_size Tt.max_vars in
   let fresh = Aig.create ~size_hint:(Aig.num_nodes aig) () in
   let map = Hashtbl.create (Aig.num_nodes aig) in
@@ -193,41 +233,220 @@ let refactor ?(zero_gain = false) ?(cut_size = 10) aig =
   for i = 0 to Aig.num_inputs aig - 1 do
     Hashtbl.add map (i + 1) (Aig.add_input ~name:(Aig.input_name aig i) fresh)
   done;
+  let n = Aig.num_nodes aig in
   let refs = Aig.fanout_counts aig in
+  (* Timestamp-stamped scratch for the packed engine's per-node
+     bookkeeping: a stamp bump invalidates all marks at once, so no
+     per-call table is ever built or cleared. *)
+  let mark = Array.make n 0 in
+  let dec = Array.make n 0 in
+  let dec_stamp = Array.make n 0 in
+  let stamp = ref 0 in
+  let deref s m =
+    if dec_stamp.(m) <> s then begin
+      dec_stamp.(m) <- s;
+      dec.(m) <- 0
+    end;
+    dec.(m) <- dec.(m) + 1;
+    refs.(m) - dec.(m) = 0
+  in
+  (* [deaths_in_cone], timestamp edition: same traversal, same count. *)
+  let deaths_in_cone_ts nd cut =
+    incr stamp;
+    let s = !stamp in
+    Array.iter (fun l -> mark.(l) <- s) cut;
+    let count = ref 0 in
+    let rec go nd' =
+      incr count;
+      let visit f =
+        let m = Aig.node_of f in
+        if Aig.is_and aig m && mark.(m) <> s && deref s m then go m
+      in
+      visit (Aig.fanin0 aig nd');
+      visit (Aig.fanin1 aig nd')
+    in
+    go nd;
+    !count
+  in
+  (* [Aig.mffc_size], timestamp edition. *)
+  let mffc_size_ts root =
+    if not (Aig.is_and aig root) then 0
+    else begin
+      incr stamp;
+      let s = !stamp in
+      let count = ref 0 in
+      let rec go nd' =
+        incr count;
+        let visit f =
+          let m = Aig.node_of f in
+          if Aig.is_and aig m && deref s m then go m
+        in
+        visit (Aig.fanin0 aig nd');
+        visit (Aig.fanin1 aig nd')
+      in
+      go root;
+      !count
+    end
+  in
+  (* [greedy_cut] without the Hashtbl: leaves live in a small scratch
+     array.  The reference picks the first minimal-growth leaf in
+     [Hashtbl.iter] order, so to stay result-identical this edition breaks
+     growth ties exactly the way that table iterates: ascending bucket
+     ([Hashtbl.hash leaf land 15] — 16 buckets, seed 0, and the table never
+     grows past the 32-binding resize threshold here), then
+     most-recently-inserted first within a bucket. *)
+  let gcap = cut_size + 4 in
+  let glv = Array.make gcap 0 in
+  let gseq = Array.make gcap 0 in
+  let greedy_cut_ts nd k =
+    let gcnt = ref 0 and seqc = ref 0 in
+    let mem x =
+      let r = ref false in
+      for i = 0 to !gcnt - 1 do
+        if glv.(i) = x then r := true
+      done;
+      !r
+    in
+    let add x =
+      if not (mem x) then begin
+        glv.(!gcnt) <- x;
+        incr seqc;
+        gseq.(!gcnt) <- !seqc;
+        incr gcnt
+      end
+    in
+    let remove x =
+      let idx = ref (-1) in
+      for i = 0 to !gcnt - 1 do
+        if glv.(i) = x then idx := i
+      done;
+      if !idx >= 0 then begin
+        glv.(!idx) <- glv.(!gcnt - 1);
+        gseq.(!idx) <- gseq.(!gcnt - 1);
+        decr gcnt
+      end
+    in
+    add (Aig.node_of (Aig.fanin0 aig nd));
+    add (Aig.node_of (Aig.fanin1 aig nd));
+    let continue = ref true in
+    let steps = ref 0 in
+    while !continue && !steps < 64 do
+      incr steps;
+      (* pick the expandable leaf with the smallest growth *)
+      let best = ref (-1) in
+      let bg = ref 0 and bb = ref 0 and bs = ref 0 in
+      for i = 0 to !gcnt - 1 do
+        let leaf = glv.(i) in
+        if Aig.is_and aig leaf then begin
+          let f0 = Aig.node_of (Aig.fanin0 aig leaf) in
+          let f1 = Aig.node_of (Aig.fanin1 aig leaf) in
+          let growth =
+            (if mem f0 || f0 = leaf then 0 else 1)
+            + (if mem f1 || f1 = leaf then 0 else 1)
+            - 1
+          in
+          if !gcnt + growth <= k then begin
+            let bucket = Hashtbl.hash leaf land 15 in
+            if
+              !best < 0
+              || growth < !bg
+              || (growth = !bg
+                 && (bucket < !bb || (bucket = !bb && gseq.(i) > !bs)))
+            then begin
+              best := leaf;
+              bg := growth;
+              bb := bucket;
+              bs := gseq.(i)
+            end
+          end
+        end
+      done;
+      if !best < 0 then continue := false
+      else begin
+        let leaf = !best in
+        remove leaf;
+        add (Aig.node_of (Aig.fanin0 aig leaf));
+        add (Aig.node_of (Aig.fanin1 aig leaf))
+      end
+    done;
+    let arr = Array.sub glv 0 !gcnt in
+    Array.sort compare arr;
+    arr
+  in
+  let greedy =
+    match engine with
+    | Cut.Packed -> greedy_cut_ts
+    | Cut.Reference -> greedy_cut aig
+  in
+  let deaths =
+    match engine with
+    | Cut.Packed -> deaths_in_cone_ts
+    | Cut.Reference -> deaths_in_cone aig refs
+  in
+  let mffc_of =
+    match engine with
+    | Cut.Packed -> mffc_size_ts
+    | Cut.Reference -> Aig.mffc_size aig refs
+  in
   (* Small cuts: use the priority-cut enumeration (several candidate cones
      per node, like ABC's rewrite); large cuts: one greedy reconvergent
-     cut per node (like ABC's refactor). *)
-  let enum_cuts =
-    if cut_size <= 6 then
-      let cuts = Cut.compute aig ~k:cut_size ~limit:8 in
-      fun nd ->
-        (* priority cuts plus the greedy reconvergent cut (the enumeration
-           favors small cuts and can crowd out the reconvergent one) *)
-        let prio =
-          List.filter_map
-            (fun c ->
-              let l = c.Cut.leaves in
-              if Array.length l < 2 then None else Some l)
-            cuts.(nd)
-        in
-        let g = greedy_cut aig nd cut_size in
-        if Array.length g >= 2 && not (List.exists (fun l -> l = g) prio)
-        then g :: prio
-        else prio
+     cut per node (like ABC's refactor).  Each cut is paired with its
+     function when the engine already knows it (packed priority cuts);
+     [None] falls back to the cone walk. *)
+  let enum_cuts : int -> (int array * Tt.t option) list =
+    if cut_size <= 6 then begin
+      match engine with
+      | Cut.Packed ->
+          let cs = Cut.compute_packed ~stats:st aig ~k:cut_size ~limit:8 in
+          fun nd ->
+            let prio = ref [] in
+            for j = Cut.num_cuts cs nd - 1 downto 0 do
+              let m = Cut.cut_nleaves cs nd j in
+              if m >= 2 then
+                prio :=
+                  ( Cut.cut_leaves cs nd j,
+                    Some (Tt.of_bits m (Cut.cut_tt cs nd j)) )
+                  :: !prio
+            done;
+            let prio = !prio in
+            let g = greedy nd cut_size in
+            if
+              Array.length g >= 2
+              && not (List.exists (fun (l, _) -> l = g) prio)
+            then (g, None) :: prio
+            else prio
+      | Cut.Reference ->
+          let cuts = Cut.compute aig ~k:cut_size ~limit:8 in
+          fun nd ->
+            (* priority cuts plus the greedy reconvergent cut (the
+               enumeration favors small cuts and can crowd out the
+               reconvergent one) *)
+            let prio =
+              List.filter_map
+                (fun c ->
+                  let l = c.Cut.leaves in
+                  if Array.length l < 2 then None else Some (l, None))
+                cuts.(nd)
+            in
+            let g = greedy nd cut_size in
+            if
+              Array.length g >= 2
+              && not (List.exists (fun (l, _) -> l = g) prio)
+            then (g, None) :: prio
+            else prio
+    end
     else fun nd ->
-      let c = greedy_cut aig nd cut_size in
-      if Array.length c >= 2 then [ c ] else []
+      let c = greedy nd cut_size in
+      if Array.length c >= 2 then [ (c, None) ] else []
   in
   Aig.iter_ands aig (fun nd ->
-      let mffc = Aig.mffc_size aig refs nd in
+      let mffc = mffc_of nd in
       let replaced = ref false in
       if refs.(nd) > 0 then begin
-        let pick_form t =
-          let sop = Sop.isop t in
-          if Sop.num_cubes sop > max_isop_cubes then None
-          else
-            let f = Factored.factor sop in
-            Some (f, Factored.num_and2 f)
+        let pick_form =
+          match engine with
+          | Cut.Packed -> pick_form_cached
+          | Cut.Reference -> pick_form_raw
         in
         (* Candidates over all cuts and both output polarities.  The value
            of a candidate is (nodes that die) - (strash-aware rebuild
@@ -235,9 +454,13 @@ let refactor ?(zero_gain = false) ?(cut_size = 10) aig =
            strict improvement. *)
         let candidates =
           List.concat_map
-            (fun cut ->
-              let deaths = deaths_in_cone aig refs nd cut in
-              let tt = Aig.tt_of_cut aig (Aig.lit_of_node nd) cut in
+            (fun (cut, tt_opt) ->
+              let deaths = deaths nd cut in
+              let tt =
+                match tt_opt with
+                | Some t -> t
+                | None -> Aig.tt_of_cut aig (Aig.lit_of_node nd) cut
+              in
               List.filter_map
                 (fun (t, neg) ->
                   match pick_form t with
@@ -308,14 +531,17 @@ let guard pass aig =
        (Aig.num_ands out));
   if Aig.num_ands out <= Aig.num_ands aig then out else aig
 
-let refactor ?zero_gain ?cut_size aig =
-  guard (refactor ?zero_gain ?cut_size) aig
+let refactor ?zero_gain ?cut_size ?engine ?stats aig =
+  guard (refactor_impl ?zero_gain ?cut_size ?engine ?stats) aig
 
-let rewrite ?(zero_gain = false) aig = refactor ~zero_gain ~cut_size:4 aig
+let rewrite ?(zero_gain = false) ?engine ?stats aig =
+  refactor ~zero_gain ~cut_size:4 ?engine ?stats aig
 
-let resyn2rs aig =
+let resyn2rs ?engine ?stats aig =
+  let rewrite ?zero_gain a = rewrite ?zero_gain ?engine ?stats a in
+  let refactor ?zero_gain a = refactor ?zero_gain ?engine ?stats a in
   aig |> rewrite |> refactor |> balance |> rewrite
   |> rewrite ~zero_gain:true |> balance |> refactor ~zero_gain:true
   |> rewrite ~zero_gain:true |> balance
 
-let light aig = aig |> rewrite |> balance
+let light ?engine ?stats aig = aig |> rewrite ?engine ?stats |> balance

@@ -3,10 +3,17 @@ type params = {
   cut_limit : int;
   area_passes : int;
   timing : bool;
+  engine : Cut.engine;
 }
 
 let default_params =
-  { cut_size = 6; cut_limit = 12; area_passes = 3; timing = false }
+  {
+    cut_size = 6;
+    cut_limit = 12;
+    area_passes = 3;
+    timing = false;
+    engine = Cut.Packed;
+  }
 
 (* A mapping choice for (node, phase): how the value [node ^ phase] is
    produced. *)
@@ -28,7 +35,8 @@ type slot = {
 
 let infinity_f = infinity
 
-let map ?(params = default_params) lib aig =
+let map_with_stats ?(params = default_params) lib aig =
+  let stats = Cut.stats_create () in
   let k = min 6 params.cut_size in
   let free = Cell_lib.free_phases lib in
   let nph = if free then 1 else 2 in
@@ -39,7 +47,6 @@ let map ?(params = default_params) lib aig =
   if (not free) && inv = None then
     invalid_arg "Mapper.map: non-free-phase library without an inverter";
   let n = Aig.num_nodes aig in
-  let cuts = Cut.compute aig ~k ~limit:params.cut_limit in
   let refs = Aig.fanout_counts aig in
   let refs_f = Array.map (fun r -> float_of_int (max 1 r)) refs in
   (* Load-aware cost (timing mode): a cell rooted at [nd] will drive
@@ -133,27 +140,47 @@ let map ?(params = default_params) lib aig =
   in
   init_leaf_slots ();
   (* Precompute, per AND node, the list of usable (leaves, key) pairs:
-     cut function shrunk to its support. *)
+     cut function shrunk to its support.  The packed engine hands us each
+     cut's function straight out of the enumeration; the reference engine
+     re-walks the cone per cut.  Both produce the same info lists. *)
   let node_cutinfo = Array.make n [] in
-  Aig.iter_ands aig (fun nd ->
-      let infos =
-        List.filter_map
-          (fun cut ->
-            let leaves = cut.Cut.leaves in
-            if Array.length leaves = 1 && leaves.(0) = nd then None
-            else begin
-              let tt = Aig.tt_of_cut aig (Aig.lit_of_node nd) leaves in
-              let small, sup = Tt.shrink_to_support tt in
-              let s = Tt.nvars small in
-              if s > 6 then None
-              else
-                let real_leaves = Array.map (fun i -> leaves.(i)) sup in
-                let key = (Tt.words small).(0) in
-                Some (real_leaves, leaves, s, key)
-            end)
-          cuts.(nd)
-      in
-      node_cutinfo.(nd) <- infos);
+  (match params.engine with
+  | Cut.Packed ->
+      let cs = Cut.compute_packed ~stats aig ~k ~limit:params.cut_limit in
+      Aig.iter_ands aig (fun nd ->
+          let infos = ref [] in
+          for j = Cut.num_cuts cs nd - 1 downto 0 do
+            let m = Cut.cut_nleaves cs nd j in
+            if not (m = 1 && Cut.cut_leaf cs nd j 0 = nd) then begin
+              let key, sup = Npn.shrink (Cut.cut_tt cs nd j) m in
+              let real_leaves = Array.map (Cut.cut_leaf cs nd j) sup in
+              infos :=
+                (real_leaves, Cut.cut_leaves cs nd j, Array.length sup, key)
+                :: !infos
+            end
+          done;
+          node_cutinfo.(nd) <- !infos)
+  | Cut.Reference ->
+      let cuts = Cut.compute aig ~k ~limit:params.cut_limit in
+      Aig.iter_ands aig (fun nd ->
+          let infos =
+            List.filter_map
+              (fun cut ->
+                let leaves = cut.Cut.leaves in
+                if Array.length leaves = 1 && leaves.(0) = nd then None
+                else begin
+                  let tt = Aig.tt_of_cut aig (Aig.lit_of_node nd) leaves in
+                  let small, sup = Tt.shrink_to_support tt in
+                  let s = Tt.nvars small in
+                  if s > 6 then None
+                  else
+                    let real_leaves = Array.map (fun i -> leaves.(i)) sup in
+                    let key = (Tt.words small).(0) in
+                    Some (real_leaves, leaves, s, key)
+                end)
+              cuts.(nd)
+          in
+          node_cutinfo.(nd) <- infos));
   (* arrival/flow of consuming (leaf ^ want_ph) where want_ph already
      accounts for the entry phase bit and the AIG edge complement *)
   let leaf_cost leaf want_ph =
@@ -229,14 +256,16 @@ let map ?(params = default_params) lib aig =
               end
             end
           end
-          else
+          else begin
+            stats.Cut.probes <- stats.Cut.probes + 1;
             List.iter
               (fun entry ->
                 let arr, fl =
                   eval_match nd (if free then 0 else ph) leaves entry
                 in
                 consider (Match (entry, leaves, orig_leaves, want_key)) arr fl)
-              (Cell_lib.matches lib s_arity want_key))
+              (Cell_lib.matches lib s_arity want_key)
+          end)
         node_cutinfo.(nd);
       s.choice <- !best_choice;
       s.arrival <- !best_arr;
@@ -657,12 +686,15 @@ let map ?(params = default_params) lib aig =
         (name, net))
       outputs
   in
-  {
-    Mapped.lib_name = Cell_lib.name lib;
-    tau_ps = Cell_lib.tau_ps lib;
-    num_inputs = Aig.num_inputs aig;
-    input_names =
-      Array.init (Aig.num_inputs aig) (fun i -> Aig.input_name aig i);
-    instances = Array.of_list (List.rev !insts);
-    outputs = out_nets;
-  }
+  ( {
+      Mapped.lib_name = Cell_lib.name lib;
+      tau_ps = Cell_lib.tau_ps lib;
+      num_inputs = Aig.num_inputs aig;
+      input_names =
+        Array.init (Aig.num_inputs aig) (fun i -> Aig.input_name aig i);
+      instances = Array.of_list (List.rev !insts);
+      outputs = out_nets;
+    },
+    stats )
+
+let map ?params lib aig = fst (map_with_stats ?params lib aig)

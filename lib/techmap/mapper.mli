@@ -21,6 +21,11 @@ type params = {
           library pin per AIG fanout, instead of the fixed unit-load FO4.
           Cells without characterization fall back to the fixed delay.
           Default [false] (the paper's convention). *)
+  engine : Cut.engine;
+      (** Cut enumeration engine.  Both produce identical netlists;
+          {!Cut.Packed} (the default) is the fast path, {!Cut.Reference}
+          re-walks each cut's cone and exists for differential testing and
+          benchmarking. *)
 }
 
 val default_params : params
@@ -28,3 +33,9 @@ val default_params : params
 val map : ?params:params -> Cell_lib.t -> Aig.t -> Mapped.t
 (** Maps a combinational AIG.  The mapped netlist is logically equivalent
     to the AIG (checkable with {!Mapped.to_aig} and {!Cec}). *)
+
+val map_with_stats :
+  ?params:params -> Cell_lib.t -> Aig.t -> Mapped.t * Cut.stats
+(** Same as {!map}, also returning the cut-engine counters of the run
+    (enumeration counters are only filled by the packed engine;
+    [probes] — match-table lookups — is counted under both). *)

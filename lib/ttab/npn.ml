@@ -102,6 +102,45 @@ let canonical k t =
   enumerate k t (fun v _ -> if not (ule !best v) then best := v);
   !best
 
+(* Word-level mirror of [Tt.shrink_to_support] for replicated words.  A word
+   replicated at width [2^m] that does not depend on in-word variable [i] is
+   invariant under [flip _ i]; once every support variable has been bubbled
+   down below the dead ones, the word is already replicated at width
+   [2^(support size)], so no re-replication step is needed. *)
+let shrink t m =
+  let sup = ref [] in
+  for i = m - 1 downto 0 do
+    if flip t i <> t then sup := i :: !sup
+  done;
+  let sup = Array.of_list !sup in
+  let r = ref t in
+  Array.iteri
+    (fun j v ->
+      if v <> j then
+        (* v > j always: earlier iterations only move smaller vars down *)
+        for x = v - 1 downto j do r := swap_adjacent !r x done)
+    sup;
+  (!r, sup)
+
+(* Exhaustive canonicalization costs O(k! * 2^(k+1)) word ops; cut functions
+   repeat heavily, so memoize per domain (no locking) behind a size bound.
+   The table is flushed wholesale when full — cheap, and the working set of
+   distinct cut functions per benchmark is far below the bound. *)
+let canon_cache_bound = 1 lsl 16
+
+let canon_cache : (int * int64, int64) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let canonical_cached k t =
+  let tbl = Domain.DLS.get canon_cache in
+  match Hashtbl.find_opt tbl (k, t) with
+  | Some c -> c
+  | None ->
+      let c = canonical k t in
+      if Hashtbl.length tbl >= canon_cache_bound then Hashtbl.reset tbl;
+      Hashtbl.add tbl (k, t) c;
+      c
+
 let num_classes k =
   if k < 0 || k > 4 then invalid_arg "Npn.num_classes";
   let seen = Hashtbl.create 1024 in

@@ -38,6 +38,19 @@ val canonical : int -> int64 -> int64
 (** Exhaustive NPN-canonical representative (numerically smallest variant,
     comparing words as unsigned). *)
 
+val canonical_cached : int -> int64 -> int64
+(** [canonical], memoized per domain behind a size-bounded cache keyed by
+    [(k, t)].  Same result as [canonical]; use on hot paths where the same
+    functions recur (mapper lint, paper coverage). *)
+
+val shrink : int64 -> int -> int64 * int array
+(** [shrink t m] removes the non-support variables of the [m]-variable
+    function [t] ([m <= 6], replicated-word convention): returns
+    [(small, sup)] where [sup] lists the support variables in ascending
+    order and [small] is [t] re-expressed over variables [0..len sup - 1]
+    (variable [j] of [small] is variable [sup.(j)] of [t]).  Word-level
+    equivalent of {!Tt.shrink_to_support} for single-word tables. *)
+
 val num_classes : int -> int
 (** Number of NPN equivalence classes among all functions of exactly [k <= 4]
     variables (exhaustive; exponential in [2^k], for tests and tooling). *)

@@ -1,0 +1,224 @@
+(* Tests for the packed cut engine: equivalence with the reference engine,
+   incremental truth tables vs. cone walks, dominance invariants, and the
+   word-level support shrink / cached canonicalization it builds on. *)
+
+let small_suite = [ "add-16"; "t481"; "C1355"; "C1908" ]
+
+let build name = (Bench_suite.find name).Bench_suite.build ()
+
+(* Optimized graphs exercise wider nodes than the raw builders. *)
+let build_synth name = Synth.light (build name)
+
+let configs = [ (4, 8); (6, 8); (6, 12) ]
+
+(* (a) / tentpole: the packed engine produces the same cut sets, in the
+   same order, as the reference engine. *)
+let test_sets_equal () =
+  List.iter
+    (fun name ->
+      let aig = build_synth name in
+      List.iter
+        (fun (k, limit) ->
+          let ref_cuts = Cut.compute aig ~k ~limit in
+          let s = Cut.compute_packed aig ~k ~limit in
+          for nd = 0 to Aig.num_nodes aig - 1 do
+            if Aig.is_and aig nd || Aig.is_input aig nd || nd = 0 then begin
+              let rl = ref_cuts.(nd) in
+              Alcotest.(check int)
+                (Printf.sprintf "%s k%d nd%d: count" name k nd)
+                (List.length rl) (Cut.num_cuts s nd);
+              List.iteri
+                (fun j c ->
+                  Alcotest.(check (array int))
+                    (Printf.sprintf "%s k%d nd%d cut%d: leaves" name k nd j)
+                    c.Cut.leaves (Cut.cut_leaves s nd j))
+                rl
+            end
+          done)
+        configs)
+    small_suite
+
+(* (a) every incrementally-computed cut tt equals [Aig.tt_of_cut] on the
+   same leaves. *)
+let test_tts_equal () =
+  List.iter
+    (fun name ->
+      let aig = build_synth name in
+      List.iter
+        (fun (k, limit) ->
+          let s = Cut.compute_packed aig ~k ~limit in
+          Aig.iter_ands aig (fun nd ->
+              for j = 0 to Cut.num_cuts s nd - 1 do
+                let leaves = Cut.cut_leaves s nd j in
+                let want =
+                  Aig.tt_of_cut aig (Aig.lit_of_node nd) leaves
+                in
+                let got =
+                  Tt.of_bits (Array.length leaves) (Cut.cut_tt s nd j)
+                in
+                if not (Tt.equal want got) then
+                  Alcotest.failf "%s k%d nd%d cut%d: tt mismatch" name k nd j
+              done))
+        configs)
+    small_suite
+
+(* (b) no cut in a node's final set dominates another (the trivial cut,
+   always last, is exempt by construction: the enumeration never filters
+   against it). *)
+let test_no_dominance () =
+  List.iter
+    (fun name ->
+      let aig = build_synth name in
+      let k = 6 and limit = 12 in
+      let s = Cut.compute_packed aig ~k ~limit in
+      let subset a b =
+        Array.for_all (fun x -> Array.exists (fun y -> y = x) b) a
+      in
+      Aig.iter_ands aig (fun nd ->
+          let nc = Cut.num_cuts s nd in
+          (* last cut is the trivial one *)
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s nd%d: trivial last" name nd)
+            [| nd |]
+            (Cut.cut_leaves s nd (nc - 1));
+          for i = 0 to nc - 2 do
+            for j = 0 to nc - 2 do
+              if i <> j then begin
+                let a = Cut.cut_leaves s nd i and b = Cut.cut_leaves s nd j in
+                if subset a b then
+                  Alcotest.failf "%s nd%d: cut %d dominates cut %d" name nd i
+                    j
+              end
+            done
+          done))
+    small_suite
+
+(* Counters move, and in the directions the semantics dictate. *)
+let test_stats () =
+  let aig = build_synth "C1355" in
+  let st = Cut.stats_create () in
+  let _ = Cut.compute_packed ~stats:st aig ~k:6 ~limit:12 in
+  Alcotest.(check bool) "built > 0" true (st.Cut.built > 0);
+  Alcotest.(check int) "tt per built cut" st.Cut.built st.Cut.tt_merges;
+  Alcotest.(check bool) "dominance filter active" true (st.Cut.dominated > 0);
+  Alcotest.(check bool)
+    "signature pre-filter active" true
+    (st.Cut.sign_rejects > 0);
+  let acc = Cut.stats_create () in
+  Cut.stats_add acc st;
+  Cut.stats_add acc st;
+  Alcotest.(check int) "stats_add" (2 * st.Cut.built) acc.Cut.built
+
+(* The signature is a sound subset filter. *)
+let test_signature_sound () =
+  let rng = Rand64.create 99L in
+  for _ = 1 to 1000 do
+    let n = 1 + Rand64.int rng 6 in
+    let b =
+      Array.init n (fun _ -> Rand64.int rng 500) |> Array.to_list
+      |> List.sort_uniq compare |> Array.of_list
+    in
+    let na = 1 + Rand64.int rng (Array.length b) in
+    let a = Array.sub b 0 na in
+    let sa = Cut.signature a and sb = Cut.signature b in
+    Alcotest.(check int) "subset => signature bits subset" sa (sa land sb)
+  done
+
+(* Npn.shrink mirrors Tt.shrink_to_support on single words. *)
+let test_npn_shrink () =
+  let rng = Rand64.create 7L in
+  for _ = 1 to 2000 do
+    let m = 1 + Rand64.int rng 6 in
+    let t = Tt.of_bits m (Rand64.next rng) in
+    let small, sup = Tt.shrink_to_support t in
+    let w, sup' = Npn.shrink (Tt.words t).(0) m in
+    Alcotest.(check (array int)) "support" sup sup';
+    Alcotest.(check int64) "shrunk word" (Tt.words small).(0) w
+  done
+
+(* Packed-engine synthesis is result-identical to the reference engine,
+   across both refactor branches (priority cuts at k <= 6, greedy-only at
+   k = 10) and the composed script. *)
+let test_refactor_equal () =
+  List.iter
+    (fun name ->
+      let aig = build name in
+      let check label f =
+        let p = Blif.to_string (f ~engine:Cut.Packed aig) in
+        let r = Blif.to_string (f ~engine:Cut.Reference aig) in
+        if p <> r then Alcotest.failf "%s: %s output differs" name label
+      in
+      check "rewrite" (fun ~engine a -> Synth.rewrite ~engine a);
+      check "refactor(k=10)" (fun ~engine a -> Synth.refactor ~engine a);
+      check "refactor(k=6)" (fun ~engine a ->
+          Synth.refactor ~cut_size:6 ~engine a);
+      check "resyn2rs" (fun ~engine a -> Synth.resyn2rs ~engine a))
+    small_suite
+
+(* (c) the packed-engine mapper output is identical to the reference
+   (seed) engine's on the full benchmark suite x all five families. *)
+let test_mapper_identity () =
+  let libs =
+    [
+      Cell_lib.cached Cell_netlist.Tg_static;
+      Cell_lib.cached Cell_netlist.Tg_pseudo;
+      Cell_lib.cached Cell_netlist.Pass_pseudo;
+      Cell_lib.cached Cell_netlist.Pass_static;
+      Cell_lib.cmos ();
+    ]
+  in
+  List.iter
+    (fun (e : Bench_suite.entry) ->
+      let aig = Synth.light (e.Bench_suite.build ()) in
+      List.iter
+        (fun lib ->
+          let pp =
+            { Mapper.default_params with Mapper.engine = Cut.Packed }
+          in
+          let pr =
+            { Mapper.default_params with Mapper.engine = Cut.Reference }
+          in
+          let mp = Mapper.map ~params:pp lib aig in
+          let mr = Mapper.map ~params:pr lib aig in
+          if mp <> mr then
+            Alcotest.failf "%s / %s: mapped netlists differ"
+              e.Bench_suite.name (Cell_lib.name lib))
+        libs)
+    Bench_suite.all
+
+(* canonical_cached agrees with canonical (fresh and cached lookups). *)
+let test_canonical_cached () =
+  let rng = Rand64.create 3L in
+  for _ = 1 to 500 do
+    let k = 1 + Rand64.int rng 4 in
+    let t = Tt.of_bits k (Rand64.next rng) in
+    let w = (Tt.words t).(0) in
+    let want = Npn.canonical k w in
+    Alcotest.(check int64) "fresh" want (Npn.canonical_cached k w);
+    Alcotest.(check int64) "cached" want (Npn.canonical_cached k w)
+  done
+
+let () =
+  Alcotest.run "cut"
+    [
+      ( "packed-engine",
+        [
+          Alcotest.test_case "cut sets equal reference" `Quick test_sets_equal;
+          Alcotest.test_case "incremental tts equal cone walks" `Quick
+            test_tts_equal;
+          Alcotest.test_case "no intra-set dominance" `Quick test_no_dominance;
+          Alcotest.test_case "counters" `Quick test_stats;
+          Alcotest.test_case "refactor identical across engines" `Quick
+            test_refactor_equal;
+          Alcotest.test_case "mapper identical across engines (full suite)"
+            `Slow test_mapper_identity;
+        ] );
+      ( "foundations",
+        [
+          Alcotest.test_case "signature soundness" `Quick test_signature_sound;
+          Alcotest.test_case "Npn.shrink = Tt.shrink_to_support" `Quick
+            test_npn_shrink;
+          Alcotest.test_case "canonical_cached = canonical" `Quick
+            test_canonical_cached;
+        ] );
+    ]

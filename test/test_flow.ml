@@ -150,6 +150,19 @@ let test_samples () =
     (map_s.Flow.sm_cache <> None);
   let sta_s = List.nth samples 2 in
   Alcotest.(check bool) "sta records delay" true (sta_s.Flow.sm_sta_ps <> None);
+  (* cut-engine counters appear exactly on the cut-enumerating passes *)
+  (match synth_s.Flow.sm_cut with
+  | Some c ->
+      Alcotest.(check bool) "synth built cuts" true (c.Cut.built > 0)
+  | None -> Alcotest.fail "synth sample has no cut stats");
+  (match map_s.Flow.sm_cut with
+  | Some c ->
+      Alcotest.(check bool) "map built cuts" true (c.Cut.built > 0);
+      Alcotest.(check bool) "map probed the match tables" true
+        (c.Cut.probes > 0)
+  | None -> Alcotest.fail "map sample has no cut stats");
+  Alcotest.(check bool) "sta has no cut stats" true
+    (sta_s.Flow.sm_cut = None);
   (* renderers cover every sample *)
   let tsv_lines =
     List.map Flow.sample_to_tsv samples
@@ -158,13 +171,44 @@ let test_samples () =
   Alcotest.(check int) "tsv rows" 4 (List.length tsv_lines);
   List.iter
     (fun l ->
-      Alcotest.(check int) "tsv column count" 15
+      Alcotest.(check int) "tsv column count" 20
         (List.length (String.split_on_char '\t' l)))
     tsv_lines;
-  Alcotest.(check int) "tsv header column count" 15
+  Alcotest.(check int) "tsv header column count" 20
     (List.length (String.split_on_char '\t' Flow.samples_tsv_header));
   let json = Flow.samples_to_json samples in
   Alcotest.(check bool) "json non-trivial" true (String.length json > 100)
+
+(* the engine argument is parsed on every cut-based pass, and the reference
+   engine produces identical results through the flow layer *)
+let test_engine_arg () =
+  let run_with script =
+    Flow.run (Flow.parse_script_exn script) (Flow.init ~name:"t481" (t481 ()))
+  in
+  let ctx_p, s_p = run_with "synth(light,engine=packed); map(engine=packed)" in
+  let ctx_r, s_r =
+    run_with "synth(light,engine=reference); map(engine=reference)"
+  in
+  Alcotest.(check bool) "mapped netlists identical across engines" true
+    (ctx_p.Flow.mapped = ctx_r.Flow.mapped);
+  (* the enumeration counters instrument the packed hot path only; the
+     match-table probes are shared, and identical info lists mean identical
+     probe counts *)
+  let cut_of samples i =
+    match (List.nth samples i).Flow.sm_cut with
+    | Some c -> c
+    | None -> Alcotest.failf "sample %d has no cut stats" i
+  in
+  Alcotest.(check bool) "packed synth counted cuts" true
+    ((cut_of s_p 0).Cut.built > 0);
+  Alcotest.(check int) "reference enumeration uninstrumented" 0
+    (cut_of s_r 0).Cut.built;
+  Alcotest.(check int) "probe counts agree" (cut_of s_p 1).Cut.probes
+    (cut_of s_r 1).Cut.probes;
+  Alcotest.(check bool) "probes counted" true ((cut_of s_p 1).Cut.probes > 0);
+  match run_with "map(engine=bogus)" with
+  | exception Flow.Flow_error _ -> ()
+  | _ -> Alcotest.fail "bogus engine accepted"
 
 (* ---- library cache ---- *)
 
@@ -259,7 +303,10 @@ let () =
             test_pass_ordering_errors;
         ] );
       ( "metrics",
-        [ Alcotest.test_case "samples" `Quick test_samples ] );
+        [
+          Alcotest.test_case "samples" `Quick test_samples;
+          Alcotest.test_case "engine argument" `Quick test_engine_arg;
+        ] );
       ( "cache",
         [ Alcotest.test_case "library cache" `Quick test_library_cache ] );
       ( "runner",

@@ -30,10 +30,10 @@ let passes : (string * (Aig.t -> Aig.t)) list =
   [
     ("balance", Synth.balance);
     ("rewrite", (fun a -> Synth.rewrite a));
-    ("rewrite -z", Synth.rewrite ~zero_gain:true);
+    ("rewrite -z", (fun a -> Synth.rewrite ~zero_gain:true a));
     ("refactor", (fun a -> Synth.refactor a));
-    ("resyn2rs", Synth.resyn2rs);
-    ("light", Synth.light);
+    ("resyn2rs", (fun a -> Synth.resyn2rs a));
+    ("light", (fun a -> Synth.light a));
   ]
 
 let test_equivalence () =
