@@ -68,6 +68,23 @@ let print_reproduction () =
         (Cell_netlist.family_name fam) t pt a pa w pw v pv)
     paper_avgs;
 
+  hr "Fault dictionaries - transistor-level defects per family (DESIGN.md §11)";
+  print_endline Cell_fault.summary_header;
+  List.iter
+    (fun fam ->
+      let reports = Cell_fault.analyze_family fam in
+      print_endline (Cell_fault.summary_line (Cell_fault.summarize fam reports)))
+    Cell_netlist.all_families;
+  Printf.printf "gate-level stuck-at (add-16, static): %s\n"
+    (let ctx =
+       Flow.init ~name:"add-16" ((Bench_suite.find "add-16").Bench_suite.build ())
+     in
+     let ctx, _ =
+       Flow.run (Flow.parse_script_exn "synth(light); map(family=static)") ctx
+     in
+     let _, s = Gate_fault.analyze ~rounds:8 (Option.get ctx.Flow.mapped) in
+     Gate_fault.summary_line s);
+
   hr (Printf.sprintf "Table 3 - mapping results%s"
         (if full then "" else " (fast subset; FULL=1 for all 15)"));
   let rows =

@@ -10,16 +10,22 @@
 open Cmdliner
 
 let load_circuit bench blif benchfile =
-  match (bench, blif, benchfile) with
-  | Some name, None, None -> (Bench_suite.find name).Bench_suite.build ()
-  | None, Some path, None ->
-      let ic = open_in path in
-      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Blif.read ic)
-  | None, None, Some path ->
-      let ic = open_in path in
-      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Bench_fmt.read ic)
-  | _ ->
-      failwith "specify exactly one of --bench, --blif, --bench-file"
+  try
+    match (bench, blif, benchfile) with
+    | Some name, None, None -> (Bench_suite.find name).Bench_suite.build ()
+    | None, Some path, None ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+            Blif.read ~file:path ic)
+    | None, None, Some path ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+            Bench_fmt.read ~file:path ic)
+    | _ ->
+        failwith "specify exactly one of --bench, --blif, --bench-file"
+  with
+  | Parse_error.Error e -> failwith (Parse_error.to_string e)
+  | Sys_error msg -> failwith msg
 
 let family_of_string s =
   let short = if s = "pass" then "pass-pseudo" else s in

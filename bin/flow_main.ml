@@ -4,11 +4,14 @@
    Examples:
      flow --script "b; rw; rf; map(cut=6,timing); sta; lint" --bench add-16
      flow --family all --jobs 4 --metrics tsv --metrics-out flow-metrics.tsv
+     flow --input circuit.blif --family pseudo
+     flow --script "synth(light); map; fault" --checkpoint sweep.ck
      flow --list-passes *)
 
 let prog = "flow"
 let script = ref "synth(light); map; sta; lint"
 let benches = ref []
+let inputs = ref []
 let families = ref "static"
 let jobs = ref 1
 let seed = ref "2026"
@@ -17,6 +20,11 @@ let cut_engine = ref "packed"
 let timing_map = ref false
 let po_fanout = ref 4.0
 let unit_loads = ref false
+let conflict_budget = ref 0
+let pass_budget = ref 0.0
+let fault_rounds = ref 32
+let no_isolate = ref false
+let checkpoint = ref ""
 let metrics = ref ""
 let metrics_out = ref ""
 let list_passes = ref false
@@ -31,6 +39,11 @@ let specs =
     ( "--bench",
       Arg.String (fun s -> benches := s :: !benches),
       "NAME restrict to one benchmark (repeatable; default all 15)" );
+    ( "--input",
+      Arg.String (fun s -> inputs := s :: !inputs),
+      "FILE add a circuit from a .blif or .bench file (repeatable; a \
+       malformed file becomes an input-parse error while the other circuits \
+       still run)" );
     ( "--family",
       Arg.Set_string families,
       "FAMS map targets, comma-separated subset of \
@@ -55,6 +68,25 @@ let specs =
     ( "--unit-loads",
       Arg.Set unit_loads,
       " fixed FO4 delay per cell (the legacy Table 3 convention)" );
+    ( "--conflict-budget",
+      Arg.Set_int conflict_budget,
+      "N SAT conflict cap for lint and fault ATPG (0 = default budgets; \
+       exhaustion degrades to a Warning)" );
+    ( "--pass-budget",
+      Arg.Set_float pass_budget,
+      "S wall-clock budget per pass in seconds; overruns add a \
+       flow-pass-budget Warning (0 = off)" );
+    ( "--fault-rounds",
+      Arg.Set_int fault_rounds,
+      "N random 64-pattern rounds for the fault pass (default 32)" );
+    ( "--no-isolate",
+      Arg.Set no_isolate,
+      " let a crashing pass abort the whole run instead of becoming a \
+       flow-pass-crash diagnostic" );
+    ( "--checkpoint",
+      Arg.Set_string checkpoint,
+      "FILE save each finished benchmark there and skip benchmarks already \
+       saved (resume a long matrix run after an interruption)" );
     ( "--metrics",
       Arg.Set_string metrics,
       "MODE per-pass metrics: human, tsv or json" );
@@ -67,7 +99,60 @@ let specs =
 
 let usage = "flow [options]  (see --help)"
 
-let () =
+(* ---- --input circuits ---------------------------------------------- *)
+
+let load_input path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      match String.lowercase_ascii (Filename.extension path) with
+      | ".blif" -> Blif.read ~file:path ic
+      | ".bench" -> Bench_fmt.read ~file:path ic
+      | ext ->
+          failwith
+            (Printf.sprintf "unknown input format %S (expected .blif or .bench)"
+               ext))
+
+(* Parse every --input eagerly: a malformed or unreadable file becomes an
+   [input-parse] error diagnostic and the remaining circuits still run. *)
+let input_circuits paths =
+  List.fold_left
+    (fun (entries, diags) path ->
+      let diag fmt =
+        Printf.ksprintf
+          (fun msg ->
+            ( entries,
+              diags
+              @ [ Diag.errorf ~rule:"input-parse" (Diag.Circuit path) "%s" msg ]
+            ))
+          fmt
+      in
+      match load_input path with
+      | aig ->
+          let name = Filename.remove_extension (Filename.basename path) in
+          ( entries
+            @ [
+                {
+                  Bench_suite.name;
+                  description = path;
+                  build = (fun () -> aig);
+                };
+              ],
+            diags )
+      | exception Parse_error.Error e -> diag "%s" (Parse_error.to_string e)
+      | exception Sys_error msg -> diag "%s" msg
+      | exception Failure msg -> diag "%s" msg)
+    ([], []) paths
+
+(* ---- per-benchmark plain-data projection --------------------------- *)
+(* Fresh results and checkpoint-replayed benchmarks flow through the same
+   (lines, diags, samples) shape, so resumed runs print identically. *)
+
+let result_lines ~has_map (r : Flow.bench_result) =
+  if has_map then
+    List.map (fun (_, ctx, _) -> Flow.summary_line ctx) r.Flow.br_per_family
+  else [ Flow.summary_line r.Flow.br_ctx0 ]
+
+let main () =
   Arg.parse (Arg.align specs)
     (fun a -> Cli_common.usage_die ~prog ("unexpected argument " ^ a))
     usage;
@@ -84,7 +169,13 @@ let () =
   | "" | "human" | "tsv" | "json" -> ()
   | m -> Cli_common.usage_die ~prog ("unknown metrics mode " ^ m));
   let fams = Cli_common.parse_families ~prog !families in
-  let entries = Cli_common.bench_entries ~prog !benches in
+  let input_entries, input_diags = input_circuits (List.rev !inputs) in
+  let entries =
+    (* --input without --bench means "just these circuits" *)
+    if !benches = [] && (input_entries <> [] || input_diags <> []) then
+      input_entries
+    else Cli_common.bench_entries ~prog !benches @ input_entries
+  in
   let seed =
     try Int64.of_string !seed
     with _ -> Cli_common.usage_die ~prog ("bad --seed " ^ !seed)
@@ -103,34 +194,69 @@ let () =
       po_fanout = !po_fanout;
       unit_loads = !unit_loads;
       seed;
+      conflict_budget =
+        (if !conflict_budget > 0 then Some !conflict_budget else None);
+      isolate = not !no_isolate;
+      pass_budget_s = (if !pass_budget > 0.0 then Some !pass_budget else None);
+      fault_rounds = !fault_rounds;
     }
   in
   let domains =
     if !jobs = 0 then Flow.Runner.recommended_domains () else !jobs
   in
-  let results =
-    try Flow.run_matrix ~domains ~config ~script:steps ~families:fams entries
+  let has_map = snd (Flow.split_at_map steps) <> [] in
+  let run_fresh ?on_result todo =
+    try Flow.run_matrix ~domains ~config ?on_result ~script:steps ~families:fams
+          todo
     with Flow.Flow_error msg -> Cli_common.usage_die ~prog msg
+  in
+  let to_entry r =
+    Flow.Checkpoint.of_result r ~lines:(result_lines ~has_map r)
+  in
+  (* One checkpoint entry per benchmark, in request order: replayed from the
+     checkpoint file when present, computed (and saved) otherwise. *)
+  let per_bench =
+    if !checkpoint = "" then
+      Array.to_list (run_fresh entries) |> List.map to_entry
+    else begin
+      let saved = Flow.Checkpoint.load !checkpoint in
+      let todo =
+        List.filter
+          (fun (e : Bench_suite.entry) ->
+            not (Flow.Checkpoint.mem saved e.Bench_suite.name))
+          entries
+      in
+      let store = ref saved in
+      let lock = Mutex.create () in
+      let on_result r =
+        let entry = to_entry r in
+        Mutex.protect lock (fun () ->
+            store := !store @ [ entry ];
+            Flow.Checkpoint.save !checkpoint !store)
+      in
+      ignore (run_fresh ~on_result todo);
+      let final = !store in
+      List.filter_map
+        (fun (e : Bench_suite.entry) ->
+          List.find_opt
+            (fun (ck : Flow.Checkpoint.entry) ->
+              ck.Flow.Checkpoint.ck_bench = e.Bench_suite.name)
+            final)
+        entries
+    end
   in
   (* deterministic report: one summary line per benchmark x family (just
      one per benchmark when the script never maps) *)
-  let has_map = snd (Flow.split_at_map steps) <> [] in
-  Array.iter
-    (fun (r : Flow.bench_result) ->
-      if has_map then
-        List.iter
-          (fun (_, ctx, _) -> print_endline (Flow.summary_line ctx))
-          r.Flow.br_per_family
-      else print_endline (Flow.summary_line r.Flow.br_ctx0))
-    results;
+  List.iter
+    (fun (ck : Flow.Checkpoint.entry) ->
+      List.iter print_endline ck.Flow.Checkpoint.ck_lines)
+    per_bench;
   (* findings, if any *)
   let diags =
-    Array.to_list results
-    |> List.concat_map (fun (r : Flow.bench_result) ->
-           r.Flow.br_ctx0.Flow.diags
-           @ List.concat_map
-               (fun (_, ctx, _) -> Flow.diags_since r.Flow.br_ctx0 ctx)
-               r.Flow.br_per_family)
+    input_diags
+    @ List.concat_map
+        (fun (ck : Flow.Checkpoint.entry) -> ck.Flow.Checkpoint.ck_diags)
+        per_bench
     |> Diag.sort
   in
   if (not !quiet) && diags <> [] then begin
@@ -139,7 +265,11 @@ let () =
   end;
   (* per-pass metrics *)
   (if !metrics <> "" then
-     let samples = Flow.matrix_samples results in
+     let samples =
+       List.concat_map
+         (fun (ck : Flow.Checkpoint.entry) -> ck.Flow.Checkpoint.ck_samples)
+         per_bench
+     in
      let text =
        match !metrics with
        | "human" -> Flow.render_samples samples
@@ -157,12 +287,19 @@ let () =
            ~finally:(fun () -> close_out oc)
            (fun () -> output_string oc text)
      );
-  let verify_failed =
-    Array.exists
-      (fun (r : Flow.bench_result) ->
-        List.exists
-          (fun (_, ctx, _) -> ctx.Flow.verified = Some false)
-          r.Flow.br_per_family)
-      results
-  in
-  exit (if Diag.has_errors diags || verify_failed then 1 else 0)
+  exit (if Diag.has_errors diags then 1 else 0)
+
+(* Anything that still escapes (a crashing pass under --no-isolate, a full
+   disk while checkpointing, ...) is reported as a diagnostic line, never a
+   backtrace. *)
+let () =
+  try main ()
+  with
+  | Sys.Break ->
+      prerr_endline (prog ^ ": interrupted");
+      exit 130
+  | exn ->
+      Format.eprintf "%a@." Diag.pp
+        (Diag.errorf ~rule:"flow-driver-crash" (Diag.Circuit prog) "%s"
+           (Printexc.to_string exn));
+      exit 1

@@ -40,44 +40,50 @@ let write oc aig = output_string oc (to_string aig)
 
 (* ---------------- reading ---------------- *)
 
-let of_string text =
+let of_string ?file text =
+  let fail ~line fmt = Parse_error.fail ?file ~line fmt in
   let lines =
     String.split_on_char '\n' text
-    |> List.map (fun l ->
-           match String.index_opt l '#' with
-           | Some i -> String.sub l 0 i
-           | None -> l)
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "")
+    |> List.mapi (fun i l ->
+           let l =
+             match String.index_opt l '#' with
+             | Some j -> String.sub l 0 j
+             | None -> l
+           in
+           (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
   in
   let inputs = ref [] and outputs = ref [] and defs = ref [] in
-  let parse_call s =
+  let parse_call ~line s =
     (* "OP(a, b, ...)" *)
     match String.index_opt s '(' with
-    | None -> failwith ("Bench: expected call, got " ^ s)
+    | None -> fail ~line "expected call, got %S" s
     | Some i ->
         let op = String.trim (String.sub s 0 i) in
-        let close = String.rindex s ')' in
-        let args = String.sub s (i + 1) (close - i - 1) in
-        let args =
-          String.split_on_char ',' args |> List.map String.trim
-          |> List.filter (fun a -> a <> "")
-        in
-        (String.uppercase_ascii op, args)
+        (match String.rindex_opt s ')' with
+        | None -> fail ~line "unclosed call %S" s
+        | Some close when close < i -> fail ~line "unclosed call %S" s
+        | Some close ->
+            let args = String.sub s (i + 1) (close - i - 1) in
+            let args =
+              String.split_on_char ',' args |> List.map String.trim
+              |> List.filter (fun a -> a <> "")
+            in
+            (String.uppercase_ascii op, args))
   in
   List.iter
-    (fun line ->
-      match String.index_opt line '=' with
+    (fun (line, text) ->
+      match String.index_opt text '=' with
       | None ->
-          let op, args = parse_call line in
+          let op, args = parse_call ~line text in
           (match (op, args) with
           | "INPUT", [ x ] -> inputs := x :: !inputs
-          | "OUTPUT", [ x ] -> outputs := x :: !outputs
-          | _ -> failwith ("Bench: bad declaration " ^ line))
+          | "OUTPUT", [ x ] -> outputs := (line, x) :: !outputs
+          | _ -> fail ~line "bad declaration %S" text)
       | Some i ->
-          let name = String.trim (String.sub line 0 i) in
-          let rhs = String.sub line (i + 1) (String.length line - i - 1) in
-          defs := (name, parse_call (String.trim rhs)) :: !defs)
+          let name = String.trim (String.sub text 0 i) in
+          let rhs = String.sub text (i + 1) (String.length text - i - 1) in
+          defs := (name, line, parse_call ~line (String.trim rhs)) :: !defs)
     lines;
   let inputs = List.rev !inputs and outputs = List.rev !outputs in
   let g = Aig.create () in
@@ -86,15 +92,15 @@ let of_string text =
     (fun name -> Hashtbl.replace signals name (Aig.add_input ~name g))
     inputs;
   let def_of = Hashtbl.create 64 in
-  List.iter (fun (n, d) -> Hashtbl.replace def_of n d) !defs;
-  let rec signal name =
+  List.iter (fun (n, line, d) -> Hashtbl.replace def_of n (line, d)) !defs;
+  let rec signal ~line name =
     match Hashtbl.find_opt signals name with
     | Some l -> l
     | None -> (
         match Hashtbl.find_opt def_of name with
-        | None -> failwith ("Bench: undriven signal " ^ name)
-        | Some (op, args) ->
-            let ins = List.map signal args in
+        | None -> fail ~line "undriven signal %s" name
+        | Some (dline, (op, args)) ->
+            let ins = List.map (signal ~line:dline) args in
             let l =
               match (op, ins) with
               | "AND", ls -> Aig.mk_and_list g ls
@@ -106,12 +112,14 @@ let of_string text =
                   Aig.lnot (List.fold_left (Aig.mk_xor g) l0 ls)
               | "NOT", [ l ] -> Aig.lnot l
               | "BUFF", [ l ] | "BUF", [ l ] -> l
-              | _ -> failwith ("Bench: bad gate " ^ op)
+              | _ -> fail ~line:dline "bad gate %s" op
             in
             Hashtbl.replace signals name l;
             l)
   in
-  List.iter (fun name -> Aig.add_output g name (signal name)) outputs;
+  List.iter
+    (fun (line, name) -> Aig.add_output g name (signal ~line name))
+    outputs;
   g
 
-let read ic = of_string (In_channel.input_all ic)
+let read ?file ic = of_string ?file (In_channel.input_all ic)

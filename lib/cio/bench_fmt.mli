@@ -4,5 +4,9 @@
 
 val to_string : Aig.t -> string
 val write : out_channel -> Aig.t -> unit
-val of_string : string -> Aig.t
-val read : in_channel -> Aig.t
+
+val of_string : ?file:string -> string -> Aig.t
+(** Raises {!Parse_error.Error} with the source line (and [?file], when
+    given) on malformed input. *)
+
+val read : ?file:string -> in_channel -> Aig.t

@@ -47,9 +47,10 @@ let write oc ?model aig = output_string oc (to_string ?model aig)
 (* ---------------- reading ---------------- *)
 
 type pending = {
+  p_line : int;            (* source line of the .names directive *)
   p_inputs : string list;  (* fanin signal names *)
   p_output : string;
-  p_cubes : (string * char) list;  (* input pattern, output phase *)
+  p_cubes : (int * string * char) list;  (* line, input pattern, phase *)
 }
 
 let tokenize line =
@@ -57,25 +58,31 @@ let tokenize line =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> s <> "")
 
-let of_string text =
+let of_string ?file text =
+  let fail ~line fmt = Parse_error.fail ?file ~line fmt in
   let raw_lines = String.split_on_char '\n' text in
-  (* join continuations, strip comments *)
+  (* join continuations, strip comments; each logical line keeps the
+     source line where it started *)
   let lines =
-    let rec go acc pending = function
-      | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    let rec go acc start pending lineno = function
+      | [] -> List.rev (if pending = "" then acc else (start, pending) :: acc)
       | line :: rest ->
           let line =
             match String.index_opt line '#' with
             | Some i -> String.sub line 0 i
             | None -> line
           in
-          let line = String.trim (pending ^ " " ^ line) in
-          if String.length line > 0 && line.[String.length line - 1] = '\\'
-          then go acc (String.sub line 0 (String.length line - 1)) rest
-          else if line = "" then go acc "" rest
-          else go (line :: acc) "" rest
+          let joined = String.trim (pending ^ " " ^ line) in
+          let start = if pending = "" then lineno else start in
+          if String.length joined > 0 && joined.[String.length joined - 1] = '\\'
+          then
+            go acc start
+              (String.sub joined 0 (String.length joined - 1))
+              (lineno + 1) rest
+          else if joined = "" then go acc 0 "" (lineno + 1) rest
+          else go ((start, joined) :: acc) 0 "" (lineno + 1) rest
     in
-    go [] "" raw_lines
+    go [] 0 "" 1 raw_lines
   in
   let inputs = ref [] and outputs = ref [] in
   let tables = ref [] in
@@ -86,7 +93,7 @@ let of_string text =
     | None -> ()
   in
   List.iter
-    (fun line ->
+    (fun (lnum, line) ->
       match tokenize line with
       | [] -> ()
       | tok :: args when tok = ".model" -> ignore args
@@ -95,27 +102,35 @@ let of_string text =
           inputs := !inputs @ args
       | tok :: args when tok = ".outputs" ->
           push_current ();
-          outputs := !outputs @ args
+          outputs := !outputs @ List.map (fun a -> (lnum, a)) args
       | tok :: args when tok = ".names" ->
           push_current ();
           (match List.rev args with
           | out :: ins_rev ->
               current :=
-                Some { p_inputs = List.rev ins_rev; p_output = out; p_cubes = [] }
-          | [] -> failwith "Blif: .names without signals")
+                Some
+                  {
+                    p_line = lnum;
+                    p_inputs = List.rev ins_rev;
+                    p_output = out;
+                    p_cubes = [];
+                  }
+          | [] -> fail ~line:lnum ".names without signals")
       | [ tok ] when tok = ".end" -> push_current ()
       | tok :: _ when String.length tok > 0 && tok.[0] = '.' ->
           push_current () (* ignore other directives (.latch unsupported) *)
       | toks -> (
           match !current with
-          | None -> failwith ("Blif: stray line " ^ line)
+          | None -> fail ~line:lnum "stray line %S (no open .names table)" line
           | Some p -> (
               match toks with
               | [ pat; out ] when (out = "0" || out = "1") ->
-                  current := Some { p with p_cubes = (pat, out.[0]) :: p.p_cubes }
+                  current :=
+                    Some { p with p_cubes = (lnum, pat, out.[0]) :: p.p_cubes }
               | [ out ] when (out = "0" || out = "1") && p.p_inputs = [] ->
-                  current := Some { p with p_cubes = ("", out.[0]) :: p.p_cubes }
-              | _ -> failwith ("Blif: bad cube line " ^ line))))
+                  current :=
+                    Some { p with p_cubes = (lnum, "", out.[0]) :: p.p_cubes }
+              | _ -> fail ~line:lnum "bad cube line %S" line)))
     lines;
   push_current ();
   let g = Aig.create () in
@@ -126,16 +141,16 @@ let of_string text =
   (* topological elaboration of tables by need *)
   let table_of = Hashtbl.create 64 in
   List.iter (fun p -> Hashtbl.replace table_of p.p_output p) !tables;
-  let rec signal name =
+  let rec signal ~line name =
     match Hashtbl.find_opt signals name with
     | Some l -> l
     | None -> (
         match Hashtbl.find_opt table_of name with
-        | None -> failwith ("Blif: undriven signal " ^ name)
+        | None -> fail ~line "undriven signal %s" name
         | Some p ->
             Hashtbl.replace signals name Aig.lit_false (* cycle guard *)
             |> ignore;
-            let ins = List.map signal p.p_inputs in
+            let ins = List.map (signal ~line:p.p_line) p.p_inputs in
             let l = build_table p ins in
             Hashtbl.replace signals name l;
             l)
@@ -144,9 +159,13 @@ let of_string text =
     let phase =
       match p.p_cubes with
       | [] -> '1'
-      | (_, ph) :: _ -> ph
+      | (_, _, ph) :: _ -> ph
     in
-    let cube (pat, _) =
+    let n_ins = List.length ins in
+    let cube (lnum, pat, _) =
+      if String.length pat <> n_ins then
+        fail ~line:lnum "cube %S has %d columns for %d table inputs" pat
+          (String.length pat) n_ins;
       let lits =
         List.mapi
           (fun i l ->
@@ -154,7 +173,7 @@ let of_string text =
             | '1' -> l
             | '0' -> Aig.lnot l
             | '-' -> Aig.lit_true
-            | c -> failwith (Printf.sprintf "Blif: bad pattern char %c" c))
+            | c -> fail ~line:lnum "bad pattern char %c" c)
           ins
       in
       Aig.mk_and_list g lits
@@ -163,11 +182,11 @@ let of_string text =
     if phase = '1' then sum else Aig.lnot sum
   in
   List.iter
-    (fun name -> Aig.add_output g name (signal name))
+    (fun (lnum, name) -> Aig.add_output g name (signal ~line:lnum name))
     !outputs;
   g
 
-let read ic = of_string (In_channel.input_all ic)
+let read ?file ic = of_string ?file (In_channel.input_all ic)
 
 let write_mapped oc ?(model = "mapped") (m : Mapped.t) =
   Printf.fprintf oc ".model %s\n" model;

@@ -10,9 +10,10 @@
 val write : out_channel -> ?model:string -> Aig.t -> unit
 val to_string : ?model:string -> Aig.t -> string
 
-val read : in_channel -> Aig.t
-val of_string : string -> Aig.t
-(** Raises [Failure] with a line diagnostic on malformed input. *)
+val read : ?file:string -> in_channel -> Aig.t
+val of_string : ?file:string -> string -> Aig.t
+(** Raises {!Parse_error.Error} with the source line (and [?file], when
+    given) on malformed input. *)
 
 val write_mapped : out_channel -> ?model:string -> Mapped.t -> unit
 (** Mapped netlists are emitted as [.gate] instantiations (the BLIF

@@ -37,10 +37,15 @@ type token =
   | Tnum of float
   | Tpunct of char
 
-let tokenize text =
+(* positioned token: (token, 1-based line, 1-based column) *)
+type ptoken = token * int * int
+
+let tokenize text : ptoken list =
   let toks = ref [] in
   let n = String.length text in
   let i = ref 0 in
+  let line = ref 1 and bol = ref 0 in
+  let col at = at - !bol + 1 in
   let is_id c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
     || (c >= '0' && c <= '9') || c = '_' || c = '.' || c = '-'
@@ -51,18 +56,24 @@ let tokenize text =
       (* comment to end of line *)
       while !i < n && text.[!i] <> '\n' do incr i done
     end
-    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '\n' then begin
+      incr i;
+      incr line;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if is_id c then begin
       let start = !i in
       while !i < n && is_id text.[!i] do incr i done;
       let word = String.sub text start (!i - start) in
+      let pos = (!line, col start) in
       match float_of_string_opt word with
       | Some f when word.[0] >= '0' && word.[0] <= '9' || word.[0] = '-' ->
-          toks := Tnum f :: !toks
-      | _ -> toks := Tid word :: !toks
+          toks := (Tnum f, fst pos, snd pos) :: !toks
+      | _ -> toks := (Tid word, fst pos, snd pos) :: !toks
     end
     else begin
-      toks := Tpunct c :: !toks;
+      toks := (Tpunct c, !line, col !i) :: !toks;
       incr i
     end
   done;
@@ -78,12 +89,23 @@ type bexpr =
   | Bor of bexpr * bexpr
   | Bxor of bexpr * bexpr
 
-let parse_expr toks =
+let parse_expr ?file toks =
   (* grammar:  or := xor ('+' xor)* ; xor := and ('^' and)* ;
      and := unary (('*')? unary)* ; unary := '!' unary | primary ('’)* ;
      primary := id | '(' or ')' | CONST0 | CONST1 *)
   let rest = ref toks in
-  let peek () = match !rest with [] -> None | t :: _ -> Some t in
+  let pos = ref (match toks with (_, l, c) :: _ -> (l, c) | [] -> (0, 0)) in
+  let fail_here fmt =
+    let l, c = !pos in
+    Parse_error.fail ?file ~line:l ~col:c fmt
+  in
+  let peek () =
+    match !rest with
+    | [] -> None
+    | (t, l, c) :: _ ->
+        pos := (l, c);
+        Some t
+  in
   let advance () = match !rest with [] -> () | _ :: t -> rest := t in
   let rec p_or () =
     let l = ref (p_xor ()) in
@@ -145,12 +167,12 @@ let parse_expr toks =
         let e = p_or () in
         (match peek () with
         | Some (Tpunct ')') -> advance ()
-        | _ -> failwith "Genlib: expected )");
+        | _ -> fail_here "expected )");
         e
     | Some (Tid "CONST0") -> advance (); Bconst false
     | Some (Tid "CONST1") -> advance (); Bconst true
     | Some (Tid name) -> advance (); Bpin name
-    | _ -> failwith "Genlib: expected expression"
+    | _ -> fail_here "expected expression"
   in
   let e = p_or () in
   (e, !rest)
@@ -169,18 +191,23 @@ let rec eval_bexpr env = function
   | Bor (a, b) -> eval_bexpr env a || eval_bexpr env b
   | Bxor (a, b) -> eval_bexpr env a <> eval_bexpr env b
 
-let of_string ~name ~free_phases ~tau_ps text =
+let of_string ?file ~name ~free_phases ~tau_ps text =
   let toks = tokenize text in
   let cells = ref [] in
   let id = ref 0 in
   let rec go toks =
     match toks with
     | [] -> ()
-    | Tid "GATE" :: Tid gname :: Tnum area :: Tid _out :: Tpunct '=' :: rest ->
-        let e, rest = parse_expr rest in
+    | (Tid "GATE", gl, gc)
+      :: (Tid gname, _, _)
+      :: (Tnum area, _, _)
+      :: (Tid _out, _, _)
+      :: (Tpunct '=', _, _)
+      :: rest ->
+        let e, rest = parse_expr ?file rest in
         let rest =
           match rest with
-          | Tpunct ';' :: r -> r
+          | (Tpunct ';', _, _) :: r -> r
           | r -> r
         in
         (* PIN lines: collect the max block delay.  The pin-name slot is
@@ -188,8 +215,16 @@ let of_string ~name ~free_phases ~tau_ps text =
         let delay = ref 0.0 in
         let rec pins rest =
           match rest with
-          | Tid "PIN" :: (Tid _ | Tpunct '*') :: Tid _ :: Tnum _ :: Tnum _
-            :: Tnum rb :: Tnum _ :: Tnum fb :: Tnum _ :: r ->
+          | (Tid "PIN", _, _)
+            :: ((Tid _ | Tpunct '*'), _, _)
+            :: (Tid _, _, _)
+            :: (Tnum _, _, _)
+            :: (Tnum _, _, _)
+            :: (Tnum rb, _, _)
+            :: (Tnum _, _, _)
+            :: (Tnum fb, _, _)
+            :: (Tnum _, _, _)
+            :: r ->
               delay := max !delay (max rb fb);
               pins r
           | r -> r
@@ -198,7 +233,8 @@ let of_string ~name ~free_phases ~tau_ps text =
         (* deterministic pin order: sorted by name (our writer emits a..f) *)
         let pin_names = List.sort compare (pins_of [] e) in
         let arity = List.length pin_names in
-        if arity > 6 then failwith ("Genlib: gate too wide: " ^ gname);
+        if arity > 6 then
+          Parse_error.fail ?file ~line:gl ~col:gc "gate too wide: %s" gname;
         let tt =
           Tt.of_fun (max arity 1) (fun a ->
               eval_bexpr
@@ -224,6 +260,9 @@ let of_string ~name ~free_phases ~tau_ps text =
           :: !cells;
         incr id;
         go rest
+    | (Tid "GATE", gl, gc) :: _ ->
+        Parse_error.fail ?file ~line:gl ~col:gc
+          "malformed GATE header (expected GATE name area out=expr;)"
     | _ :: rest -> go rest
   in
   go toks;

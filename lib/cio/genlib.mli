@@ -9,5 +9,7 @@
 val to_string : Cell_lib.t -> string
 
 val of_string :
+  ?file:string ->
   name:string -> free_phases:bool -> tau_ps:float -> string -> Cell_lib.t
-(** Raises [Failure] with a diagnostic on malformed input. *)
+(** Raises {!Parse_error.Error} with the source line and column (and
+    [?file], when given) on malformed input. *)

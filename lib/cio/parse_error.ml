@@ -1,0 +1,18 @@
+(* Typed parse errors for the interchange-format readers. *)
+
+type t = { file : string option; line : int; col : int; msg : string }
+
+exception Error of t
+
+let to_string e =
+  let file = match e.file with Some f -> f | None -> "<input>" in
+  if e.col > 0 then Printf.sprintf "%s:%d:%d: %s" file e.line e.col e.msg
+  else Printf.sprintf "%s:%d: %s" file e.line e.msg
+
+let fail ?file ?(col = 0) ~line fmt =
+  Printf.ksprintf (fun msg -> raise (Error { file; line; col; msg })) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Parse_error.Error(%s)" (to_string e))
+    | _ -> None)

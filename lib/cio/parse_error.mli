@@ -1,0 +1,24 @@
+(** Typed parse errors for the interchange-format readers ({!Blif},
+    {!Bench_fmt}, {!Genlib}).
+
+    Every reader reports malformed input by raising {!Error} carrying the
+    source file (when known), the 1-based line, the 1-based column when the
+    format is token-oriented (0 = whole line), and a message.  Drivers
+    catch the exception and render {!to_string} as a diagnostic instead of
+    dying with a backtrace. *)
+
+type t = {
+  file : string option;  (** source file, [None] for in-memory input *)
+  line : int;            (** 1-based; 0 when no position is known *)
+  col : int;             (** 1-based; 0 when the format is line-oriented *)
+  msg : string;
+}
+
+exception Error of t
+
+val to_string : t -> string
+(** [file:line:col: msg] ([<input>] when the file is unknown, column
+    omitted when 0). *)
+
+val fail : ?file:string -> ?col:int -> line:int -> ('a, unit, string, 'b) format4 -> 'a
+(** Printf-style raise of {!Error}. *)

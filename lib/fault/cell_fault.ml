@@ -1,0 +1,296 @@
+(* Transistor-level fault dictionaries for the catalog cells (DESIGN.md §11).
+
+   Every fault site of an elaborated cell (Switchsim.Fault.sites) is
+   injected in turn and the cell exhaustively re-simulated.  The outcome
+   taxonomy is driven by what makes this library special: an ambipolar
+   polarity-gate fault does not usually kill the output — it re-maps the
+   cell onto a different Boolean function, often another catalog entry
+   (e.g. freezing the XOR-side polarity gate of F21 = (a+b)(c⊕d) turns the
+   ⊕ into a literal and the cell computes F11 = (a+b)c).  Those
+   function-morphing faults get first-class treatment: the faulty truth
+   table is matched back against the catalog. *)
+
+type outcome =
+  | Masked
+  | Degraded_only of int
+  | Morphed of {
+      target : Catalog.function_match option;
+      faulty_tt : int64;  (* 6-var replicated word, spec convention *)
+      flipped : int;
+    }
+  | Broken of { contention : int; floating : int; flipped : int }
+
+type fault_entry = {
+  fe_fault : Switchsim.Fault.t;
+  fe_desc : string;
+  fe_polarity : bool;
+  fe_outcome : outcome;
+}
+
+type cell_report = {
+  cr_entry : Catalog.entry;
+  cr_family : Cell_netlist.family;
+  cr_faults : fault_entry list;
+}
+
+let is_polarity = function
+  | Switchsim.Fault.Device (_, Switchsim.Fault.Pol_stuck _) -> true
+  | _ -> false
+
+let detected = function
+  | Morphed _ | Broken _ -> true
+  | Masked | Degraded_only _ -> false
+
+let target_name (o : outcome) =
+  match o with
+  | Morphed { target = Some m; _ } -> (
+      let e = Catalog.match_entry m in
+      match m with
+      | Catalog.Exact _ -> e.Catalog.name
+      | Catalog.Complement _ -> "!" ^ e.Catalog.name
+      | Catalog.Npn_class _ -> "~" ^ e.Catalog.name)
+  | Morphed { target = None; faulty_tt; _ } ->
+      if faulty_tt = 0L then "const0"
+      else if faulty_tt = -1L then "const1"
+      else "other"
+  | Masked -> "-"
+  | Degraded_only _ -> "-"
+  | Broken _ -> "-"
+
+let outcome_name = function
+  | Masked -> "masked"
+  | Degraded_only _ -> "degraded"
+  | Morphed _ -> "morphed"
+  | Broken _ -> "broken"
+
+let analyze_fault (cell : Cell_netlist.cell) fault =
+  let open Switchsim in
+  let n = Gate_spec.arity cell.Cell_netlist.spec in
+  let inv = inverting cell in
+  let contention = ref 0
+  and floating = ref 0
+  and flipped = ref 0
+  and degraded = ref 0 in
+  let faulty_bits = Array.make (1 lsl n) false in
+  for a = 0 to (1 lsl n) - 1 do
+    let bits v = a land (1 lsl v) <> 0 in
+    let good = cell_output cell bits in
+    let bad = cell_output_with ~fault cell bits in
+    match bad with
+    | Contention -> incr contention
+    | Floating -> incr floating
+    | Driven (lv, st) -> (
+        let bv = lv = L1 in
+        faulty_bits.(a) <- bv <> inv;
+        match good with
+        | Driven (glv, gst) ->
+            if glv <> lv then incr flipped
+            else if gst = Strong && st = Degraded then incr degraded
+        | Floating | Contention ->
+            (* a good cell never floats or contends (ERC-clean catalog);
+               count defensively as a flip if it ever does *)
+            incr flipped)
+  done;
+  let outcome =
+    if !contention > 0 || !floating > 0 then
+      Broken { contention = !contention; floating = !floating;
+               flipped = !flipped }
+    else if !flipped > 0 then begin
+      let tt =
+        (Tt.words (Tt.of_fun n (fun a -> faulty_bits.(a)))).(0)
+      in
+      Morphed
+        { target = Catalog.find_by_function tt; faulty_tt = tt;
+          flipped = !flipped }
+    end
+    else if !degraded > 0 then Degraded_only !degraded
+    else Masked
+  in
+  {
+    fe_fault = fault;
+    fe_desc = Switchsim.Fault.describe cell fault;
+    fe_polarity = is_polarity fault;
+    fe_outcome = outcome;
+  }
+
+let analyze_cell family (entry : Catalog.entry) =
+  let cell = Cell_netlist.elaborate family entry.Catalog.spec in
+  let faults =
+    List.map (analyze_fault cell) (Switchsim.Fault.sites cell)
+  in
+  { cr_entry = entry; cr_family = family; cr_faults = faults }
+
+let catalog_for family =
+  match family with
+  | Cell_netlist.Cmos -> Catalog.cmos_subset
+  | _ -> Catalog.all
+
+let analyze_family family =
+  List.map (analyze_cell family) (catalog_for family)
+
+(* ---------------- aggregation ---------------- *)
+
+type summary = {
+  s_family : Cell_netlist.family;
+  s_cells : int;
+  s_faults : int;
+  s_masked : int;
+  s_degraded : int;
+  s_morphed : int;
+  s_broken : int;
+  s_pol_faults : int;
+  s_pol_morphed : int;
+}
+
+let summarize family reports =
+  let s =
+    ref
+      {
+        s_family = family;
+        s_cells = List.length reports;
+        s_faults = 0;
+        s_masked = 0;
+        s_degraded = 0;
+        s_morphed = 0;
+        s_broken = 0;
+        s_pol_faults = 0;
+        s_pol_morphed = 0;
+      }
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun fe ->
+          let t = !s in
+          let t = { t with s_faults = t.s_faults + 1 } in
+          let t =
+            match fe.fe_outcome with
+            | Masked -> { t with s_masked = t.s_masked + 1 }
+            | Degraded_only _ -> { t with s_degraded = t.s_degraded + 1 }
+            | Morphed _ -> { t with s_morphed = t.s_morphed + 1 }
+            | Broken _ -> { t with s_broken = t.s_broken + 1 }
+          in
+          let t =
+            if fe.fe_polarity then
+              {
+                t with
+                s_pol_faults = t.s_pol_faults + 1;
+                s_pol_morphed =
+                  (t.s_pol_morphed
+                  + match fe.fe_outcome with Morphed _ -> 1 | _ -> 0);
+              }
+            else t
+          in
+          s := t)
+        r.cr_faults)
+    reports;
+  !s
+
+let coverage s =
+  if s.s_faults = 0 then 1.0
+  else float_of_int (s.s_morphed + s.s_broken) /. float_of_int s.s_faults
+
+(* ---------------- rendering ---------------- *)
+
+let summary_header =
+  Printf.sprintf "%-12s %6s %7s %7s %9s %8s %7s %6s %10s %10s"
+    "family" "cells" "faults" "masked" "degraded" "morphed" "broken"
+    "cov%" "pol-faults" "pol-morphs"
+
+let summary_line s =
+  Printf.sprintf "%-12s %6d %7d %7d %9d %8d %7d %6.1f %10d %10d"
+    (Cell_netlist.family_name s.s_family)
+    s.s_cells s.s_faults s.s_masked s.s_degraded s.s_morphed s.s_broken
+    (100.0 *. coverage s) s.s_pol_faults s.s_pol_morphed
+
+(* the function-morph lines, polarity faults first (the report the paper's
+   structure makes interesting) *)
+let morph_lines ?(polarity_only = false) reports =
+  List.concat_map
+    (fun r ->
+      List.filter_map
+        (fun fe ->
+          match fe.fe_outcome with
+          | Morphed _ when fe.fe_polarity || not polarity_only ->
+              Some
+                (Printf.sprintf "%s %s: %s -> %s"
+                   (Cell_netlist.family_name r.cr_family)
+                   r.cr_entry.Catalog.name fe.fe_desc
+                   (target_name fe.fe_outcome))
+          | _ -> None)
+        r.cr_faults)
+    reports
+
+let tsv_header =
+  String.concat "\t"
+    [ "family"; "cell"; "fault"; "outcome"; "target"; "flipped";
+      "contention"; "floating"; "degraded"; "polarity" ]
+
+let entry_to_tsv family (r : cell_report) fe =
+  let flipped, contention, floating, degraded =
+    match fe.fe_outcome with
+    | Masked -> (0, 0, 0, 0)
+    | Degraded_only d -> (0, 0, 0, d)
+    | Morphed { flipped; _ } -> (flipped, 0, 0, 0)
+    | Broken { contention; floating; flipped } ->
+        (flipped, contention, floating, 0)
+  in
+  String.concat "\t"
+    [
+      Cell_netlist.family_name family;
+      r.cr_entry.Catalog.name;
+      fe.fe_desc;
+      outcome_name fe.fe_outcome;
+      target_name fe.fe_outcome;
+      string_of_int flipped;
+      string_of_int contention;
+      string_of_int floating;
+      string_of_int degraded;
+      (if fe.fe_polarity then "1" else "0");
+    ]
+
+let reports_tsv reports =
+  tsv_header :: List.concat_map
+    (fun r -> List.map (entry_to_tsv r.cr_family r) r.cr_faults)
+    reports
+  |> String.concat "\n"
+
+(* FAULTS.md-style markdown for a set of analyzed families *)
+let render_markdown per_family =
+  let b = Buffer.create (1 lsl 16) in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "# Catalog fault dictionary\n\n";
+  pf "Transistor-level fault dictionary of the full catalog (every fault\n";
+  pf "site of every cell, exhaustively simulated; see DESIGN.md §11).\n";
+  pf "Generated by `fault --catalog --md`.\n\n";
+  pf "## Per-family summary\n\n";
+  pf "| family | cells | faults | masked | degraded | morphed | broken | \
+      coverage | polarity faults | polarity morphs |\n";
+  pf "|---|--:|--:|--:|--:|--:|--:|--:|--:|--:|\n";
+  List.iter
+    (fun (_, _, s) ->
+      pf "| %s | %d | %d | %d | %d | %d | %d | %.1f%% | %d | %d |\n"
+        (Cell_netlist.family_name s.s_family)
+        s.s_cells s.s_faults s.s_masked s.s_degraded s.s_morphed s.s_broken
+        (100.0 *. coverage s) s.s_pol_faults s.s_pol_morphed)
+    per_family;
+  pf "\nCoverage counts the faults that change the Boolean function\n";
+  pf "(morphed) or break the output (broken: contention / floating);\n";
+  pf "degraded-only faults weaken levels without flipping logic and\n";
+  pf "masked faults are unobservable at any input assignment.\n";
+  List.iter
+    (fun (family, reports, _) ->
+      let lines = morph_lines ~polarity_only:true reports in
+      if lines <> [] then begin
+        pf "\n## %s: function-morphing polarity-gate faults (%d)\n\n"
+          (Cell_netlist.family_name family)
+          (List.length lines);
+        pf "A stuck polarity gate re-maps the cell onto another function\n";
+        pf "(`Fxx` exact table, `!Fxx` its complement, `~Fxx` same NPN\n";
+        pf "class, `const0/1` a constant, `other` outside the catalog):\n\n";
+        pf "```\n";
+        List.iter (fun l -> pf "%s\n" l) lines;
+        pf "```\n"
+      end)
+    per_family;
+  Buffer.contents b

@@ -1,0 +1,83 @@
+(** Transistor-level fault dictionaries for the catalog cells.
+
+    Each fault site of an elaborated cell ({!Switchsim.Fault.sites}) is
+    injected and the cell exhaustively re-simulated against the fault-free
+    golden output.  Outcomes follow the taxonomy of DESIGN.md §11; the
+    library-specific phenomenon is {e function morphing} — a fault (most
+    often a stuck polarity gate) silently re-mapping the cell onto a
+    different Boolean function, which is matched back against the
+    F00–F45 catalog. *)
+
+type outcome =
+  | Masked  (** no observable difference on any assignment *)
+  | Degraded_only of int
+      (** logic intact; that many assignments lose full swing *)
+  | Morphed of {
+      target : Catalog.function_match option;
+          (** catalog identity of the faulty function, if any *)
+      faulty_tt : int64;  (** 6-var replicated word, spec convention *)
+      flipped : int;      (** assignments with flipped output *)
+    }
+  | Broken of { contention : int; floating : int; flipped : int }
+      (** some assignment short-circuits or floats the output *)
+
+type fault_entry = {
+  fe_fault : Switchsim.Fault.t;
+  fe_desc : string;
+  fe_polarity : bool;  (** is a polarity-gate stuck-at *)
+  fe_outcome : outcome;
+}
+
+type cell_report = {
+  cr_entry : Catalog.entry;
+  cr_family : Cell_netlist.family;
+  cr_faults : fault_entry list;
+}
+
+val detected : outcome -> bool
+(** Morphed or Broken — the fault changes what the cell computes. *)
+
+val target_name : outcome -> string
+(** ["F11"] exact, ["!F11"] complement, ["~F11"] NPN class, ["const0/1"],
+    ["other"], or ["-"] for non-morph outcomes. *)
+
+val outcome_name : outcome -> string
+
+val analyze_fault : Cell_netlist.cell -> Switchsim.Fault.t -> fault_entry
+val analyze_cell : Cell_netlist.family -> Catalog.entry -> cell_report
+
+val catalog_for : Cell_netlist.family -> Catalog.entry list
+(** Full catalog, or the CMOS-expressible subset for {!Cell_netlist.Cmos}. *)
+
+val analyze_family : Cell_netlist.family -> cell_report list
+
+type summary = {
+  s_family : Cell_netlist.family;
+  s_cells : int;
+  s_faults : int;
+  s_masked : int;
+  s_degraded : int;
+  s_morphed : int;
+  s_broken : int;
+  s_pol_faults : int;
+  s_pol_morphed : int;
+}
+
+val summarize : Cell_netlist.family -> cell_report list -> summary
+
+val coverage : summary -> float
+(** (morphed + broken) / faults — the fraction of defects that change the
+    computed function (degraded-only faults are parametric, not logical). *)
+
+val summary_header : string
+val summary_line : summary -> string
+
+val morph_lines : ?polarity_only:bool -> cell_report list -> string list
+(** One ["family Fxx: site -> target"] line per function-morphing fault. *)
+
+val tsv_header : string
+val reports_tsv : cell_report list -> string
+
+val render_markdown :
+  (Cell_netlist.family * cell_report list * summary) list -> string
+(** The committed FAULTS.md document. *)

@@ -13,6 +13,10 @@ type config = {
   unit_loads : bool;
   seed : int64;
   verify_rounds : int;
+  conflict_budget : int option;
+  isolate : bool;
+  pass_budget_s : float option;
+  fault_rounds : int;
 }
 
 let default_config =
@@ -25,6 +29,10 @@ let default_config =
     unit_loads = false;
     seed = 2026L;
     verify_rounds = 8;
+    conflict_budget = None;
+    isolate = false;
+    pass_budget_s = None;
+    fault_rounds = 32;
   }
 
 type ctx = {
@@ -36,6 +44,7 @@ type ctx = {
   mapped : Mapped.t option;
   sta : Sta.t option;
   placement : Fabric.placement option;
+  fault : Gate_fault.summary option;
   diags : Diag.t list;
   verified : bool option;
 }
@@ -50,6 +59,7 @@ let init ?(family = Cell_netlist.Tg_static) ~name aig =
     mapped = None;
     sta = None;
     placement = None;
+    fault = None;
     diags = [];
     verified = None;
   }
@@ -195,6 +205,7 @@ let pass_map cfg step ctx =
     golden = Some ctx.aig;
     sta = None;
     placement = None;
+    fault = None;
     verified = None;
   }
 
@@ -223,13 +234,14 @@ let lint_name step ctx ~mapped =
           if mapped then ctx.name ^ "/" ^ Cli_common.family_arg_name ctx.family
           else ctx.name)
 
-let pass_lint _cfg step ctx =
+let pass_lint cfg step ctx =
   let ds =
     match ctx.mapped with
     | Some m when not (arg_flag step "aig") ->
         Map_lint.check
           ~name:(lint_name step ctx ~mapped:true)
-          ?lib:ctx.lib ?golden:ctx.golden m
+          ?lib:ctx.lib ?golden:ctx.golden
+          ?conflict_budget:cfg.conflict_budget m
     | _ -> Aig_lint.check ~name:(lint_name step ctx ~mapped:false) ctx.aig
   in
   { ctx with diags = ctx.diags @ ds }
@@ -284,6 +296,52 @@ let pass_place _cfg step ctx =
             ];
       }
 
+let pass_fault cfg step ctx =
+  let m = mapped_or_fail step ctx in
+  let rounds = Option.value (arg_int step "rounds") ~default:cfg.fault_rounds in
+  let seed =
+    match arg_value step "seed" with
+    | Some s -> (
+        try Int64.of_string s
+        with _ -> fail "fault: seed expects an integer, got %s" s)
+    | None -> cfg.seed
+  in
+  let conflict_budget =
+    match arg_int step "budget" with
+    | Some b -> b
+    | None -> Option.value cfg.conflict_budget ~default:100_000
+  in
+  let _, summary = Gate_fault.analyze ~rounds ~seed ~conflict_budget m in
+  let diags =
+    if summary.Gate_fault.g_unknown = 0 then ctx.diags
+    else
+      ctx.diags
+      @ [
+          Diag.warnf ~rule:"fault-budget" (Diag.Circuit ctx.name)
+            "%d of %d faults unresolved: ATPG conflict budget (%d) exhausted"
+            summary.Gate_fault.g_unknown summary.Gate_fault.g_total
+            conflict_budget;
+        ]
+  in
+  { ctx with fault = Some summary; diags }
+
+(* A deliberately failing pass: the negative fixture behind the isolation
+   machinery (test_flow and the CI exit-nonzero-with-report job).  Filters
+   restrict the crash to one matrix cell. *)
+let pass_fail _cfg step ctx =
+  let applies =
+    (match arg_value step "circuit" with
+    | Some n -> n = ctx.name
+    | None -> true)
+    && (match arg_family step "family" with
+       | Some f -> f = ctx.family
+       | None -> true)
+  in
+  if applies then
+    failwith
+      (Option.value (arg_value step "msg") ~default:"deliberate test failure")
+  else ctx
+
 (* ---------------- registry ---------------- *)
 
 type pass_info = {
@@ -329,6 +387,16 @@ let registry : (string * pass_info) list =
     ( "place",
       { p_doc = "place onto the Sec. 5 regular fabric [rows=R, cols=C]";
         p_args = Some [ "rows"; "cols" ]; p_apply = pass_place } );
+    ( "fault",
+      { p_doc =
+          "stuck-at fault simulation + SAT ATPG of the mapping [rounds=N, \
+           seed=N, budget=N]";
+        p_args = Some [ "rounds"; "seed"; "budget" ]; p_apply = pass_fault } );
+    ( "fail",
+      { p_doc =
+          "deliberately raise (crash-isolation fixture) [circuit=N, \
+           family=F, msg=M]";
+        p_args = Some [ "circuit"; "family"; "msg" ]; p_apply = pass_fail } );
   ]
 
 let passes = List.map (fun (n, i) -> (n, i.p_doc)) registry
@@ -444,6 +512,7 @@ type sample = {
   sm_sta_ps : float option;
   sm_cache : [ `Hit | `Miss ] option;
   sm_cut : Cut.stats option;
+  sm_fault : Gate_fault.summary option;
   sm_new_diags : int;
 }
 
@@ -486,20 +555,119 @@ let run_step cfg step ctx =
       sm_sta_ps = sta_ps;
       sm_cache = Domain.DLS.get last_cache_status;
       sm_cut = Domain.DLS.get last_cut_stats;
+      sm_fault = (if opt_changed ctx.fault ctx'.fault then ctx'.fault else None);
       sm_new_diags = List.length ctx'.diags - List.length ctx.diags;
     }
   in
   (ctx', sample)
 
+(* the sample recorded for a pass that crashed under isolation: nothing
+   changed except the diagnostics *)
+let crash_sample step wall before after =
+  {
+    sm_circuit = after.name;
+    sm_family =
+      (if after.mapped <> None then Cli_common.family_arg_name after.family
+       else "-");
+    sm_pass = step_to_string step;
+    sm_wall_s = wall;
+    sm_ands_before = Aig.num_ands before.aig;
+    sm_ands_after = Aig.num_ands after.aig;
+    sm_depth_before = Aig.depth before.aig;
+    sm_depth_after = Aig.depth after.aig;
+    sm_mapped = None;
+    sm_sta_ps = None;
+    sm_cache = None;
+    sm_cut = None;
+    sm_fault = None;
+    sm_new_diags = List.length after.diags - List.length before.diags;
+  }
+
+let budget_diags config step ctx wall =
+  match config.pass_budget_s with
+  | Some budget when wall > budget ->
+      [
+        Diag.warnf ~rule:"flow-pass-budget" (Diag.Circuit ctx.name)
+          "pass %s took %.2fs, over the %.2fs wall-clock budget"
+          (step_to_string step) wall budget;
+      ]
+  | _ -> []
+
 let run ?(config = default_config) steps ctx =
-  let ctx, rev_samples =
-    List.fold_left
-      (fun (ctx, acc) step ->
-        let ctx', s = run_step config step ctx in
-        (ctx', s :: acc))
-      (ctx, []) steps
-  in
-  (ctx, List.rev rev_samples)
+  if not config.isolate then begin
+    let ctx, rev_samples =
+      List.fold_left
+        (fun (ctx, acc) step ->
+          let t0 = Unix.gettimeofday () in
+          let ctx', s = run_step config step ctx in
+          let ctx' =
+            {
+              ctx' with
+              diags =
+                ctx'.diags
+                @ budget_diags config step ctx' (Unix.gettimeofday () -. t0);
+            }
+          in
+          (ctx', s :: acc))
+        (ctx, []) steps
+    in
+    (ctx, List.rev rev_samples)
+  end
+  else begin
+    (* crash isolation: a raising pass becomes a Diag error and aborts the
+       rest of this pipeline (later passes would observe a broken context),
+       but never the caller — the other matrix cells keep going *)
+    let rec go ctx acc = function
+      | [] -> (ctx, List.rev acc)
+      | step :: rest -> (
+          let t0 = Unix.gettimeofday () in
+          match run_step config step ctx with
+          | ctx', s ->
+              let ctx' =
+                {
+                  ctx' with
+                  diags =
+                    ctx'.diags
+                    @ budget_diags config step ctx'
+                        (Unix.gettimeofday () -. t0);
+                }
+              in
+              go ctx' (s :: acc) rest
+          | exception Sys.Break -> raise Sys.Break
+          | exception e ->
+              let wall = Unix.gettimeofday () -. t0 in
+              let msg =
+                match e with
+                | Flow_error m -> m
+                | Failure m -> m
+                | e -> Printexc.to_string e
+              in
+              let skipped =
+                match rest with
+                | [] -> []
+                | rest ->
+                    [
+                      Diag.infof ~rule:"flow-passes-skipped"
+                        (Diag.Circuit ctx.name)
+                        "skipped after the crash: %s"
+                        (script_to_string rest);
+                    ]
+              in
+              let ctx' =
+                {
+                  ctx with
+                  diags =
+                    ctx.diags
+                    @ Diag.errorf ~rule:"flow-pass-crash"
+                        (Diag.Circuit ctx.name) "pass %s raised: %s"
+                        (step_to_string step) msg
+                      :: skipped;
+                }
+              in
+              (ctx', List.rev (crash_sample step wall ctx ctx' :: acc)))
+    in
+    go ctx [] steps
+  end
 
 (* ---- rendering ---- *)
 
@@ -513,18 +681,23 @@ let cut_sign_rejects s = cut_counter (fun c -> c.Cut.sign_rejects) s
 let cut_tt_merges s = cut_counter (fun c -> c.Cut.tt_merges) s
 let cut_probes s = cut_counter (fun c -> c.Cut.probes) s
 
+let fault_cov_str s =
+  match s.sm_fault with
+  | None -> "-"
+  | Some f -> Printf.sprintf "%.1f" (100.0 *. Gate_fault.coverage f)
+
 let render_samples samples =
   let b = Buffer.create 2048 in
   Printf.bprintf b
-    "%-10s %-12s %-22s %9s %13s %9s %6s %9s %8s %8s %8s %8s %5s %5s\n"
+    "%-10s %-12s %-22s %9s %13s %9s %6s %9s %8s %8s %6s %8s %8s %5s %5s\n"
     "circuit" "family" "pass" "wall(ms)" "ands" "depth" "gates" "area"
-    "delay" "sta-ps" "cuts" "probes" "cache" "diags";
+    "delay" "sta-ps" "fault%" "cuts" "probes" "cache" "diags";
   List.iter
     (fun s ->
       let delta fmt a b = if a = b then "" else Printf.sprintf fmt (b - a) in
       Printf.bprintf b
-        "%-10s %-12s %-22s %9.2f %8d%-5s %5d%-4s %6s %9s %8s %8s %8s %8s %5s \
-         %5d\n"
+        "%-10s %-12s %-22s %9.2f %8d%-5s %5d%-4s %6s %9s %8s %8s %6s %8s %8s \
+         %5s %5d\n"
         s.sm_circuit s.sm_family s.sm_pass (1000.0 *. s.sm_wall_s)
         s.sm_ands_after
         (delta "%+d" s.sm_ands_before s.sm_ands_after)
@@ -536,6 +709,7 @@ let render_samples samples =
         (fopt (Option.map (fun m -> m.Mapped.area) s.sm_mapped))
         (fopt (Option.map (fun m -> m.Mapped.norm_delay) s.sm_mapped))
         (fopt s.sm_sta_ps)
+        (fault_cov_str s)
         (iopt (cut_built s))
         (iopt (cut_probes s))
         (match s.sm_cache with
@@ -549,12 +723,13 @@ let render_samples samples =
 let samples_tsv_header =
   "#circuit\tfamily\tpass\twall_ms\tands_in\tands_out\tdepth_in\tdepth_out\t\
    gates\tarea\tnorm_delay\tabs_ps\tsta_ps\tcache\tcuts_built\t\
-   cuts_dominated\tsign_rejects\ttt_merges\tmatch_probes\tnew_diags"
+   cuts_dominated\tsign_rejects\ttt_merges\tmatch_probes\tfaults\t\
+   fault_cov\tfault_unknown\tnew_diags"
 
 let sample_to_tsv s =
   Printf.sprintf
     "%s\t%s\t%s\t%.3f\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\
-     %s\t%s\t%d"
+     %s\t%s\t%s\t%s\t%s\t%d"
     s.sm_circuit s.sm_family s.sm_pass (1000.0 *. s.sm_wall_s) s.sm_ands_before
     s.sm_ands_after s.sm_depth_before s.sm_depth_after
     (match s.sm_mapped with
@@ -573,6 +748,9 @@ let sample_to_tsv s =
     (iopt (cut_sign_rejects s))
     (iopt (cut_tt_merges s))
     (iopt (cut_probes s))
+    (iopt (Option.map (fun f -> f.Gate_fault.g_total) s.sm_fault))
+    (fault_cov_str s)
+    (iopt (Option.map (fun f -> f.Gate_fault.g_unknown) s.sm_fault))
     s.sm_new_diags
 
 let json_escape s =
@@ -604,7 +782,7 @@ let samples_to_json samples =
          \"wall_ms\":%.3f,\"ands_in\":%d,\"ands_out\":%d,\"depth_in\":%d,\
          \"depth_out\":%d,\"gates\":%s,\"area\":%s,\"norm_delay\":%s,\
          \"abs_ps\":%s,\"sta_ps\":%s,\"cache\":%s,\"cut\":%s,\
-         \"new_diags\":%d}"
+         \"fault\":%s,\"new_diags\":%d}"
         (json_escape s.sm_circuit) (json_escape s.sm_family)
         (json_escape s.sm_pass) (1000.0 *. s.sm_wall_s) s.sm_ands_before
         s.sm_ands_after s.sm_depth_before s.sm_depth_after
@@ -627,6 +805,15 @@ let samples_to_json samples =
                \"tt_merges\":%d,\"probes\":%d}"
               c.Cut.built c.Cut.dominated c.Cut.sign_rejects c.Cut.tt_merges
               c.Cut.probes)
+        (match s.sm_fault with
+        | None -> "null"
+        | Some f ->
+            Printf.sprintf
+              "{\"total\":%d,\"sim\":%d,\"atpg\":%d,\"redundant\":%d,\
+               \"unknown\":%d,\"coverage\":%.4f}"
+              f.Gate_fault.g_total f.Gate_fault.g_sim f.Gate_fault.g_atpg
+              f.Gate_fault.g_redundant f.Gate_fault.g_unknown
+              (Gate_fault.coverage f))
         s.sm_new_diags)
     samples;
   Buffer.add_string b "\n]\n";
@@ -652,6 +839,11 @@ let summary_line ctx =
         | Some true -> [ "verify=ok" ]
         | Some false -> [ "verify=FAIL" ]
         | None -> [])
+        @ (match ctx.fault with
+          | Some f ->
+              [ Printf.sprintf "fault=%.1f%%(%d)"
+                  (100.0 *. Gate_fault.coverage f) f.Gate_fault.g_total ]
+          | None -> [])
         @ (match ctx.placement with
           | Some p ->
               [ Printf.sprintf "fabric=%d/%d(%.0f%%)" p.Fabric.tiles_used
@@ -714,8 +906,8 @@ type bench_result = {
   br_per_family : (Cell_netlist.family * ctx * sample list) list;
 }
 
-let run_matrix ?(domains = 1) ?(config = default_config) ~script ~families
-    entries =
+let run_matrix ?(domains = 1) ?(config = default_config) ?on_result ~script
+    ~families entries =
   let prefix, suffix = split_at_map script in
   (* pre-warm the library cache in the calling domain: each needed family is
      characterized exactly once, and the workers only ever hit *)
@@ -730,7 +922,7 @@ let run_matrix ?(domains = 1) ?(config = default_config) ~script ~families
   List.iter
     (fun f -> ignore (Cell_lib.cached f))
     (List.sort_uniq compare (families @ explicit));
-  let job (e : Bench_suite.entry) =
+  let run_job (e : Bench_suite.entry) =
     let ctx0 =
       init ~family:config.family ~name:e.Bench_suite.name (e.Bench_suite.build ())
     in
@@ -750,6 +942,49 @@ let run_matrix ?(domains = 1) ?(config = default_config) ~script ~families
       br_per_family = per_family;
     }
   in
+  let job (e : Bench_suite.entry) =
+    let r =
+      if not config.isolate then run_job e
+      else
+        (* isolation also covers circuit construction / input parsing: a
+           benchmark whose builder raises becomes one error-carrying result
+           while the rest of the matrix completes *)
+        match run_job e with
+        | r -> r
+        | exception Sys.Break -> raise Sys.Break
+        | exception exn ->
+            let msg =
+              match exn with
+              | Flow_error m -> m
+              | Failure m -> m
+              | e -> Printexc.to_string e
+            in
+            let ctx0 =
+              init ~family:config.family ~name:e.Bench_suite.name
+                (Aig.create ())
+            in
+            let ctx0 =
+              {
+                ctx0 with
+                diags =
+                  [
+                    Diag.errorf ~rule:"flow-bench-crash"
+                      (Diag.Circuit e.Bench_suite.name)
+                      "benchmark failed before the flow could isolate it: %s"
+                      msg;
+                  ];
+              }
+            in
+            {
+              br_bench = e.Bench_suite.name;
+              br_ctx0 = ctx0;
+              br_prefix_samples = [];
+              br_per_family = [];
+            }
+    in
+    (match on_result with Some f -> f r | None -> ());
+    r
+  in
   Runner.map_jobs ~domains job (Array.of_list entries)
 
 let matrix_samples results =
@@ -757,3 +992,64 @@ let matrix_samples results =
   |> List.concat_map (fun r ->
          r.br_prefix_samples
          @ List.concat_map (fun (_, _, ss) -> ss) r.br_per_family)
+
+(* ---------------- checkpoint / resume ---------------- *)
+
+module Checkpoint = struct
+  (* Only plain data goes to disk: the rendered report lines plus the raw
+     diagnostics and metric samples of each completed benchmark.  Contexts
+     hold closures (libraries, AIG arenas) and stay in memory. *)
+  type entry = {
+    ck_bench : string;
+    ck_lines : string list;
+    ck_diags : Diag.t list;
+    ck_samples : sample list;
+  }
+
+  let magic = "cntfet-flow-checkpoint-v1\n"
+
+  let save path entries =
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc magic;
+        Marshal.to_channel oc (entries : entry list) []);
+    Sys.rename tmp path
+
+  (* A missing, truncated or foreign file is worth no more than an empty
+     checkpoint: resume recomputes whatever could not be read back. *)
+  let load path =
+    if not (Sys.file_exists path) then []
+    else
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          try
+            let m = really_input_string ic (String.length magic) in
+            if m <> magic then []
+            else (Marshal.from_channel ic : entry list)
+          with _ -> [])
+
+  let of_result (r : bench_result) ~lines =
+    let diags =
+      r.br_ctx0.diags
+      @ List.concat_map
+          (fun (_, ctx, _) -> diags_since r.br_ctx0 ctx)
+          r.br_per_family
+    in
+    let samples =
+      r.br_prefix_samples
+      @ List.concat_map (fun (_, _, ss) -> ss) r.br_per_family
+    in
+    {
+      ck_bench = r.br_bench;
+      ck_lines = lines;
+      ck_diags = diags;
+      ck_samples = samples;
+    }
+
+  let mem entries bench = List.exists (fun e -> e.ck_bench = bench) entries
+end

@@ -33,6 +33,18 @@ type config = {
   unit_loads : bool;             (** default fixed-FO4 STA convention *)
   seed : int64;                  (** default [verify] simulation seed *)
   verify_rounds : int;           (** default [verify] pattern batches (8) *)
+  conflict_budget : int option;
+      (** SAT conflict cap for [lint]'s functional fallback and the [fault]
+          pass's ATPG; exhaustion degrades to a Warning diagnostic
+          ([None] = solver default / unbounded lint solves) *)
+  isolate : bool;
+      (** catch per-pass exceptions: a raising pass becomes a
+          [flow-pass-crash] Error diagnostic and aborts only its own
+          pipeline (default [false]: exceptions propagate) *)
+  pass_budget_s : float option;
+      (** wall-clock budget per pass; overruns add a [flow-pass-budget]
+          Warning (the pass still completes — there is no preemption) *)
+  fault_rounds : int;            (** default [fault] random rounds (32) *)
 }
 
 val default_config : config
@@ -46,6 +58,7 @@ type ctx = {
   mapped : Mapped.t option;
   sta : Sta.t option;
   placement : Fabric.placement option;
+  fault : Gate_fault.summary option;  (** result of the last [fault] pass *)
   diags : Diag.t list;            (** accumulated findings, oldest first *)
   verified : bool option;         (** result of the last [verify] *)
 }
@@ -101,6 +114,8 @@ type sample = {
   sm_cut : Cut.stats option;
       (** cut-engine hot-path counters when the pass enumerated cuts
           ([map] and the cut-based synthesis passes) *)
+  sm_fault : Gate_fault.summary option;
+      (** fault-coverage summary when the pass ran fault analysis *)
   sm_new_diags : int;     (** findings added by the pass *)
 }
 
@@ -115,7 +130,11 @@ val samples_to_json : sample list -> string
 
 val run : ?config:config -> step list -> ctx -> ctx * sample list
 (** Applies the steps in order; each executed pass contributes one
-    {!sample} (in order). *)
+    {!sample} (in order).  With [config.isolate] a raising pass is
+    converted into a [flow-pass-crash] Error diagnostic (plus a
+    [flow-passes-skipped] note for the steps not run) and the function
+    returns normally; with [config.pass_budget_s] slow passes add a
+    [flow-pass-budget] Warning. *)
 
 val summary_line : ctx -> string
 (** One deterministic report line: [name/family gates=… area=… levels=…
@@ -150,6 +169,7 @@ type bench_result = {
 val run_matrix :
   ?domains:int ->
   ?config:config ->
+  ?on_result:(bench_result -> unit) ->
   script:step list ->
   families:Cell_netlist.family list ->
   Bench_suite.entry list ->
@@ -159,8 +179,39 @@ val run_matrix :
     once per family.  Benchmarks fan out across [domains]; the needed
     libraries are pre-warmed in the calling domain so the cache is
     populated exactly once.  Results are in input order regardless of
-    [domains]. *)
+    [domains].
+
+    With [config.isolate], a crash anywhere in one benchmark (including its
+    circuit builder) yields a [flow-bench-crash] / [flow-pass-crash] Error
+    diagnostic in that benchmark's result while every other matrix cell
+    completes.  [on_result] is called once per finished benchmark {e in the
+    worker domain that ran it} (completion order, not input order) — guard
+    shared state with a mutex; used for checkpointing. *)
 
 val matrix_samples : bench_result array -> sample list
 (** All samples of a sweep, flattened in deterministic (bench-major,
     prefix-then-family) order. *)
+
+(** {1 Checkpoint / resume for long matrix runs} *)
+
+module Checkpoint : sig
+  type entry = {
+    ck_bench : string;
+    ck_lines : string list;  (** the report lines the driver printed *)
+    ck_diags : Diag.t list;
+    ck_samples : sample list;
+  }
+
+  val save : string -> entry list -> unit
+  (** Atomic (write-to-temp + rename) snapshot. *)
+
+  val load : string -> entry list
+  (** [[]] when the file is missing, truncated or not a checkpoint —
+      resume then simply recomputes everything. *)
+
+  val of_result : bench_result -> lines:string list -> entry
+  (** Plain-data projection of one finished benchmark (all its diags and
+      samples plus the rendered [lines]). *)
+
+  val mem : entry list -> string -> bool
+end

@@ -70,3 +70,50 @@ let find name = List.find (fun e -> e.name = name) all
 
 let is_cmos_expressible e = Gate_spec.num_xors e.spec = 0
 let cmos_subset = List.filter is_cmos_expressible all
+
+(* ---- reverse lookup: which catalog function is this truth table? ----
+
+   Used by the fault analyzer to name the function a defective cell has
+   morphed into.  Three confidence levels, tried in order: the exact table
+   (same variable roles), its complement, then the NPN class (note that NPN
+   merges some catalog entries, e.g. F02/F03 are one class; the class hit
+   reports the lowest-index member). *)
+
+type function_match = Exact of entry | Complement of entry | Npn_class of entry
+
+let match_entry = function
+  | Exact e | Complement e | Npn_class e -> e
+
+let lookup_tables =
+  lazy
+    (let exact = Hashtbl.create 97 in
+     let compl_ = Hashtbl.create 97 in
+     let npn = Hashtbl.create 97 in
+     List.iter
+       (fun e ->
+         let tt = Gate_spec.tt6 e.spec in
+         if not (Hashtbl.mem exact tt) then Hashtbl.add exact tt e;
+         if not (Hashtbl.mem compl_ (Int64.lognot tt)) then
+           Hashtbl.add compl_ (Int64.lognot tt) e;
+         let small, sup = Npn.shrink tt 6 in
+         let k = Array.length sup in
+         let key = (k, Npn.canonical_cached k small) in
+         if not (Hashtbl.mem npn key) then Hashtbl.add npn key e)
+       all;
+     (exact, compl_, npn))
+
+let find_by_function tt =
+  let exact, compl_, npn = Lazy.force lookup_tables in
+  match Hashtbl.find_opt exact tt with
+  | Some e -> Some (Exact e)
+  | None -> (
+      match Hashtbl.find_opt compl_ tt with
+      | Some e -> Some (Complement e)
+      | None ->
+          let small, sup = Npn.shrink tt 6 in
+          let k = Array.length sup in
+          if k = 0 then None
+          else
+            Option.map
+              (fun e -> Npn_class e)
+              (Hashtbl.find_opt npn (k, Npn.canonical_cached k small)))

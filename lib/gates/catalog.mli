@@ -21,3 +21,18 @@ val cmos_subset : entry list
 (** Entries whose function needs no XOR term. *)
 
 val is_cmos_expressible : entry -> bool
+
+type function_match =
+  | Exact of entry       (** same truth table, same variable roles *)
+  | Complement of entry  (** complement of an entry's table *)
+  | Npn_class of entry
+      (** same NPN class (lowest-index member; NPN merges e.g. F02/F03) *)
+
+val match_entry : function_match -> entry
+
+val find_by_function : int64 -> function_match option
+(** [find_by_function tt] names the catalog function a 6-variable
+    replicated-word truth table implements, trying exact, complemented and
+    NPN-class matches in that order; [None] for constants and tables
+    outside every catalog class.  Used to identify {e function-morphing}
+    faults (DESIGN.md §11). *)

@@ -51,7 +51,7 @@ let aig_of_tt k tt =
    the mapper shrinks cuts to their functional support, so a dropped
    don't-care leaf can leave the cone crossing the leaf boundary while the
    cover is still functionally sound. *)
-let compose_equiv golden root_lit leaves inst_tt =
+let compose_equiv ?conflict_budget golden root_lit leaves inst_tt =
   let outs =
     ("r", root_lit)
     :: Array.to_list
@@ -76,7 +76,7 @@ let compose_equiv golden root_lit leaves inst_tt =
     ignore (Aig.add_input g0)
   done;
   Aig.add_output g0 "m" Aig.lit_false;
-  Cec.check gm g0
+  Cec.check ?conflict_budget gm g0
 
 exception Cut_violation
 
@@ -110,8 +110,8 @@ let aig_of_cut golden root_lit leaves =
   Aig.add_output g "f" (if Aig.is_compl root_lit then Aig.lnot out else out);
   g
 
-let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16) (m : Mapped.t)
-    =
+let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16)
+    ?conflict_budget (m : Mapped.t) =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let ninst = Array.length m.Mapped.instances in
@@ -353,7 +353,7 @@ let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16) (m : Mapped.t)
                 let g1, _ = Aig.extract golden [ ("o", l1) ] in
                 let g2, _ = Aig.extract golden [ ("o", l2) ] in
                 let v =
-                  match Cec.check g1 g2 with
+                  match Cec.check ?conflict_budget g1 g2 with
                   | Cec.Equivalent -> `Proven
                   | Cec.Inequivalent _ -> `Refuted
                   | Cec.Undecided -> `Unknown
@@ -435,7 +435,10 @@ let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16) (m : Mapped.t)
                         aig_of_cut golden cov.Mapped.root_lit leaves
                       with
                       | cone -> (
-                          match Cec.check cone (aig_of_tt k inst_tt) with
+                          match
+                            Cec.check ?conflict_budget cone
+                              (aig_of_tt k inst_tt)
+                          with
                           | Cec.Equivalent -> Some `Ok
                           | Cec.Inequivalent _ ->
                               Some
@@ -506,8 +509,8 @@ let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16) (m : Mapped.t)
                            inst.Mapped.cell_name)
                   | None -> (
                       match
-                        compose_equiv golden cov.Mapped.root_lit leaves
-                          inst_tt
+                        compose_equiv ?conflict_budget golden
+                          cov.Mapped.root_lit leaves inst_tt
                       with
                       | Cec.Equivalent ->
                           add

@@ -53,8 +53,12 @@ val check :
   ?lib:Cell_lib.t ->
   ?golden:Aig.t ->
   ?tt_max_leaves:int ->
+  ?conflict_budget:int ->
   Mapped.t ->
   Diag.t list
 (** [tt_max_leaves] (default 16, i.e. always) bounds the cut width checked
     by exhaustive truth tables; wider covered cuts fall back to a SAT
-    miter over the cut cone.  Lower it only to exercise the SAT path. *)
+    miter over the cut cone.  Lower it only to exercise the SAT path.
+    [conflict_budget] caps every SAT fallback solve; exhaustion degrades
+    the affected rule to a Warning ("budget exhausted") instead of an
+    unbounded solve. *)

@@ -71,8 +71,8 @@ let check ?(sim_rounds = 16) ?(conflict_budget = max_int) ?(seed = 42L) a b =
           in
           Inequivalent cex)
 
-let equivalent a b =
-  match check a b with
+let equivalent ?conflict_budget a b =
+  match check ?conflict_budget a b with
   | Equivalent -> true
   | Inequivalent _ -> false
   | Undecided -> failwith "Cec.equivalent: undecided"

@@ -13,5 +13,6 @@ val check :
   ?sim_rounds:int -> ?conflict_budget:int -> ?seed:int64 ->
   Aig.t -> Aig.t -> verdict
 
-val equivalent : Aig.t -> Aig.t -> bool
-(** [check] specialized: raises [Failure] on [Undecided]. *)
+val equivalent : ?conflict_budget:int -> Aig.t -> Aig.t -> bool
+(** [check] specialized: raises [Failure] on [Undecided] (which can only
+    happen when a [conflict_budget] is given). *)

@@ -4,50 +4,218 @@ type level = L0 | L1
 type strength = Strong | Degraded
 type drive = Driven of level * strength | Floating | Contention
 
+(* ---------------- fault models ---------------- *)
+
+module Fault = struct
+  type device_fault =
+    | Stuck_open
+    | Stuck_short
+    | Pol_stuck of bool
+
+  type t =
+    | Device of int * device_fault
+    | Short of int
+
+  (* Both the site enumeration and the faulty evaluator traverse the cell
+     the same way — pull-up first (when present), then pull-down, each in
+     pre-order — and assign two id streams: device ids (D contributes one,
+     T contributes two, first the d1 half) and net-node ids (every D/T/S/P
+     constructor).  The invariant that ties the two traversals together is
+     local to this module. *)
+
+  type site_info = {
+    si_region : [ `Pu | `Pd ];
+    si_dev : (int * Cell_netlist.device) option;  (* device sites *)
+    si_node : (int * string) option;              (* composite-node sites *)
+  }
+
+  let traverse (c : cell) =
+    let dev = ref 0 and node = ref 0 in
+    let acc = ref [] in
+    let rec go region n =
+      let nid = !node in
+      incr node;
+      match n with
+      | D d ->
+          let id = !dev in
+          incr dev;
+          acc := { si_region = region; si_dev = Some (id, d); si_node = None }
+                 :: !acc
+      | T (d1, d2) ->
+          let id1 = !dev in
+          incr dev;
+          let id2 = !dev in
+          incr dev;
+          acc :=
+            { si_region = region; si_dev = None; si_node = Some (nid, "TG") }
+            :: { si_region = region; si_dev = Some (id2, d2); si_node = None }
+            :: { si_region = region; si_dev = Some (id1, d1); si_node = None }
+            :: !acc
+      | S es ->
+          acc := { si_region = region; si_dev = None;
+                   si_node = Some (nid, "series") } :: !acc;
+          List.iter (go region) es
+      | P es ->
+          acc := { si_region = region; si_dev = None;
+                   si_node = Some (nid, "par") } :: !acc;
+          List.iter (go region) es
+    in
+    (match c.pull_up with Some pu -> go `Pu pu | None -> ());
+    go `Pd c.pull_down;
+    List.rev !acc
+
+  let sites (c : cell) =
+    let infos = traverse c in
+    let dev_faults =
+      List.concat_map
+        (fun i ->
+          match i.si_dev with
+          | None -> []
+          | Some (id, d) ->
+              [ Device (id, Stuck_open); Device (id, Stuck_short) ]
+              @ (match d.polgate with
+                | Some _ -> [ Device (id, Pol_stuck false);
+                              Device (id, Pol_stuck true) ]
+                | None -> []))
+        infos
+    in
+    let shorts =
+      List.filter_map
+        (fun i ->
+          match i.si_node with Some (id, _) -> Some (Short id) | None -> None)
+        infos
+    in
+    dev_faults @ shorts
+
+  let describe (c : cell) f =
+    let infos = traverse c in
+    let region r = match r with `Pu -> "PU" | `Pd -> "PD" in
+    match f with
+    | Device (id, df) -> (
+        let kind =
+          match df with
+          | Stuck_open -> "stuck-open"
+          | Stuck_short -> "stuck-short"
+          | Pol_stuck false -> "polarity-gate stuck-at-n"
+          | Pol_stuck true -> "polarity-gate stuck-at-p"
+        in
+        match
+          List.find_opt
+            (fun i -> match i.si_dev with
+              | Some (d, _) -> d = id
+              | None -> false)
+            infos
+        with
+        | Some ({ si_dev = Some (_, d); _ } as i) ->
+            let ctrl =
+              match d.polgate with
+              | Some pg ->
+                  Printf.sprintf "G=%s%s,PG=%s%s"
+                    (Gate_spec.var_name d.gate.v)
+                    (if d.gate.ph then "" else "'")
+                    (Gate_spec.var_name pg.v)
+                    (if pg.ph then "" else "'")
+              | None ->
+                  Printf.sprintf "G=%s%s" (Gate_spec.var_name d.gate.v)
+                    (if d.on then "" else "'")
+            in
+            Printf.sprintf "%s dev%d(%s) %s" (region i.si_region) id ctrl kind
+        | _ -> Printf.sprintf "dev%d %s (unknown site)" id kind)
+    | Short id -> (
+        match
+          List.find_opt
+            (fun i -> match i.si_node with
+              | Some (n, _) -> n = id
+              | None -> false)
+            infos
+        with
+        | Some ({ si_node = Some (_, k); _ } as i) ->
+            Printf.sprintf "%s %s node%d bridged" (region i.si_region) k id
+        | _ -> Printf.sprintf "node%d bridged (unknown site)" id)
+end
+
+(* ---------------- switch-level evaluation ---------------- *)
+
 (* Effective polarity of a device whose polarity gate is driven: PG = 0
    configures n-type, PG = 1 configures p-type (Fig. 1d).  An n-type device
    passes 0 strongly and 1 weakly; p-type the other way around.  Devices
    with a statically configured polarity are always placed in their good
    direction by construction. *)
+let polarity_strength is_p level =
+  match (level, is_p) with
+  | L1, true | L0, false -> Strong
+  | L1, false | L0, true -> Degraded
+
 let device_strength d bits level =
   match d.polgate with
   | None -> Strong
-  | Some pg ->
-      let is_p = signal_value bits pg in
-      (match (level, is_p) with
-      | L1, true | L0, false -> Strong
-      | L1, false | L0, true -> Degraded)
+  | Some pg -> polarity_strength (signal_value bits pg) level
 
-(* (conducts, best strength among conducting paths) *)
-let rec net_drive n bits level =
-  match n with
-  | D d ->
+(* Mutable id streams threading the Fault-module numbering through an
+   evaluation.  The traversal below visits every device and node
+   unconditionally (no short-circuiting), so the ids are deterministic. *)
+type eval_state = { mutable dev : int; mutable node : int }
+
+(* (conducts, best strength among conducting paths) of one device, with an
+   optional fault applied to it *)
+let device_drive st fault d bits level =
+  let id = st.dev in
+  st.dev <- st.dev + 1;
+  let fault_here =
+    match fault with
+    | Some (Fault.Device (i, df)) when i = id -> Some df
+    | _ -> None
+  in
+  match fault_here with
+  | Some Fault.Stuck_open -> (false, Degraded)
+  | Some Fault.Stuck_short -> (true, Strong)
+  | Some (Fault.Pol_stuck p) when d.polgate <> None ->
+      let conducts = signal_value bits d.gate <> p in
+      (conducts,
+       if conducts then polarity_strength p level else Degraded)
+  | Some (Fault.Pol_stuck _) | None ->
       if device_conducts d bits then (true, device_strength d bits level)
       else (false, Degraded)
-  | T (d1, d2) ->
-      let c1 = device_conducts d1 bits and c2 = device_conducts d2 bits in
-      if not (c1 || c2) then (false, Degraded)
-      else
-        let s1 = if c1 then device_strength d1 bits level else Degraded in
-        let s2 = if c2 then device_strength d2 bits level else Degraded in
-        (true, if s1 = Strong || s2 = Strong then Strong else Degraded)
-  | S es ->
-      List.fold_left
-        (fun (c, s) e ->
-          let ce, se = net_drive e bits level in
-          (c && ce, if se = Degraded then Degraded else s))
-        (true, Strong) es
-  | P es ->
-      let results = List.map (fun e -> net_drive e bits level) es in
-      let conducts = List.exists fst results in
-      let strong = List.exists (fun (c, s) -> c && s = Strong) results in
-      (conducts, if strong then Strong else Degraded)
 
-let stage_output (c : cell) bits =
+let rec net_drive_f st fault n bits level =
+  let nid = st.node in
+  st.node <- st.node + 1;
+  let shorted =
+    match fault with Some (Fault.Short i) -> i = nid | _ -> false
+  in
+  let result =
+    match n with
+    | D d -> device_drive st fault d bits level
+    | T (d1, d2) ->
+        let c1, s1 = device_drive st fault d1 bits level in
+        let c2, s2 = device_drive st fault d2 bits level in
+        if not (c1 || c2) then (false, Degraded)
+        else
+          let s1 = if c1 then s1 else Degraded in
+          let s2 = if c2 then s2 else Degraded in
+          (true, if s1 = Strong || s2 = Strong then Strong else Degraded)
+    | S es ->
+        List.fold_left
+          (fun (c, s) e ->
+            let ce, se = net_drive_f st fault e bits level in
+            (c && ce, if se = Degraded then Degraded else s))
+          (true, Strong) es
+    | P es ->
+        let results =
+          List.map (fun e -> net_drive_f st fault e bits level) es
+        in
+        let conducts = List.exists fst results in
+        let strong = List.exists (fun (c, s) -> c && s = Strong) results in
+        (conducts, if strong then Strong else Degraded)
+  in
+  if shorted then (true, Strong) else result
+
+let stage_output_with fault (c : cell) bits =
+  let st = { dev = 0; node = 0 } in
   match c.pull_up with
   | Some pu -> (
-      let up, sup = net_drive pu bits L1 in
-      let dn, sdn = net_drive c.pull_down bits L0 in
+      let up, sup = net_drive_f st fault pu bits L1 in
+      let dn, sdn = net_drive_f st fault c.pull_down bits L0 in
       match (up, dn) with
       | true, true -> Contention
       | false, false -> Floating
@@ -55,11 +223,11 @@ let stage_output (c : cell) bits =
       | false, true -> Driven (L0, sdn))
   | None ->
       (* ratioed pseudo logic: pull-down fights the weak always-on bias *)
-      let dn, sdn = net_drive c.pull_down bits L0 in
+      let dn, sdn = net_drive_f st fault c.pull_down bits L0 in
       if dn then Driven (L0, sdn) else Driven (L1, Strong)
 
-let cell_output (c : cell) bits =
-  let s = stage_output c bits in
+let cell_output_with ?fault (c : cell) bits =
+  let s = stage_output_with fault c bits in
   if not c.restoring_inverter then s
   else
     match s with
@@ -67,11 +235,15 @@ let cell_output (c : cell) bits =
     | Driven (L1, _) -> Driven (L0, Strong)
     | other -> other
 
-let logic_value c bits =
-  match cell_output c bits with
+let cell_output (c : cell) bits = cell_output_with c bits
+
+let logic_value_with ?fault c bits =
+  match cell_output_with ?fault c bits with
   | Driven (L1, _) -> Some true
   | Driven (L0, _) -> Some false
   | Floating | Contention -> None
+
+let logic_value c bits = logic_value_with c bits
 
 let for_all_assignments (c : cell) f =
   let n = Gate_spec.arity c.spec in

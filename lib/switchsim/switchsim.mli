@@ -19,16 +19,62 @@ type drive =
   | Floating     (** neither network conducts (dynamic nodes) *)
   | Contention   (** both networks conduct — a design error *)
 
+(** Transistor-level defect models over a cell netlist (DESIGN.md §11).
+    Sites are addressed positionally: device ids follow
+    {!Cell_netlist.devices} order (pull-up pre-order then pull-down; a
+    transmission gate contributes its two halves in order), node ids number
+    every series/parallel/TG tree node in the same traversal. *)
+module Fault : sig
+  type device_fault =
+    | Stuck_open
+        (** the tube never conducts (open CNT); a conducting path through it
+            is lost *)
+    | Stuck_short
+        (** source–drain short (metallic CNT): conducts strongly whatever the
+            gates say *)
+    | Pol_stuck of bool
+        (** ambipolar polarity gate stuck: [false] = stuck-at-n, [true] =
+            stuck-at-p.  The device keeps switching on its signal gate but
+            with a frozen polarity — conduction condition {e and} strong
+            direction both change.  Only meaningful on devices with a driven
+            polarity gate; enumerated only for those. *)
+
+  type t =
+    | Device of int * device_fault  (** fault on one device, by id *)
+    | Short of int
+        (** bridge across a composite net node (TG / series / parallel
+            sub-network shorted end to end), by node id *)
+
+  val sites : Cell_netlist.cell -> t list
+  (** Every modeled fault site of the cell, deterministically ordered:
+      device faults in device order (open, short, then the two polarity
+      stuck-ats where applicable), then bridges in node order. *)
+
+  val describe : Cell_netlist.cell -> t -> string
+  (** Human-readable site description, e.g.
+      ["PU dev3(G=a,PG=b') polarity-gate stuck-at-p"]. *)
+end
+
 val cell_output : Cell_netlist.cell -> (int -> bool) -> drive
 (** Output of a cell under a raw-input assignment.  Pseudo cells never
     float (the weak pull-up is always on); cells with a restoring inverter
     report the restored (always strong) level. *)
+
+val cell_output_with :
+  ?fault:Fault.t -> Cell_netlist.cell -> (int -> bool) -> drive
+(** [cell_output] with one fault injected ([?fault:None] is exactly
+    [cell_output] — asserted by a property test over the whole catalog).
+    Faulty cells may float or contend where the good cell never does. *)
 
 val logic_value : Cell_netlist.cell -> (int -> bool) -> bool option
 (** Just the Boolean value ([None] on [Floating]/[Contention]).  Note that
     pseudo and CMOS single-stage cells are inverting: this is the value at
     the cell's output node, to be compared against the spec or its
     complement according to the family. *)
+
+val logic_value_with :
+  ?fault:Fault.t -> Cell_netlist.cell -> (int -> bool) -> bool option
+(** [logic_value] under an injected fault. *)
 
 val inverting : Cell_netlist.cell -> bool
 (** Whether the cell's output node carries the complement of its spec:

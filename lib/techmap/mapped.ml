@@ -147,36 +147,45 @@ let stats m =
     sta_abs_delay_ps = out_max (fun i -> sta_arr.(i)) 0.0 *. m.tau_ps;
   }
 
-let simulate m words =
+let net_value words vals net =
+  let v =
+    match net.driver with
+    | Pi i -> words.(i)
+    | Inst j -> vals.(j)
+    | Const b -> if b then -1L else 0L
+  in
+  if net.negated then Int64.lognot v else v
+
+(* evaluate one instance's 6-var function bit-sliced over the fanin words *)
+let eval_instance words vals inst =
+  let k = Array.length inst.fanins in
+  let out = ref 0L in
+  for bit = 0 to 63 do
+    let idx = ref 0 in
+    for i = 0 to k - 1 do
+      if
+        Int64.(
+          logand
+            (shift_right_logical (net_value words vals inst.fanins.(i)) bit)
+            1L)
+        <> 0L
+      then idx := !idx lor (1 lsl i)
+    done;
+    if Int64.(logand (shift_right_logical inst.tt !idx) 1L) <> 0L then
+      out := Int64.logor !out (Int64.shift_left 1L bit)
+  done;
+  !out
+
+let simulate_values m words =
   if Array.length words <> m.num_inputs then invalid_arg "Mapped.simulate";
   let vals = Array.make (Array.length m.instances) 0L in
-  let net_value net =
-    let v =
-      match net.driver with
-      | Pi i -> words.(i)
-      | Inst j -> vals.(j)
-      | Const b -> if b then -1L else 0L
-    in
-    if net.negated then Int64.lognot v else v
-  in
-  Array.iteri
-    (fun j inst ->
-      (* evaluate the 6-var function bit-sliced over the fanin words *)
-      let k = Array.length inst.fanins in
-      let out = ref 0L in
-      for bit = 0 to 63 do
-        let idx = ref 0 in
-        for i = 0 to k - 1 do
-          if Int64.(logand (shift_right_logical (net_value inst.fanins.(i)) bit) 1L)
-             <> 0L
-          then idx := !idx lor (1 lsl i)
-        done;
-        if Int64.(logand (shift_right_logical inst.tt !idx) 1L) <> 0L then
-          out := Int64.logor !out (Int64.shift_left 1L bit)
-      done;
-      vals.(j) <- !out)
+  Array.iteri (fun j inst -> vals.(j) <- eval_instance words vals inst)
     m.instances;
-  Array.map (fun (_, net) -> net_value net) m.outputs
+  vals
+
+let simulate m words =
+  let vals = simulate_values m words in
+  Array.map (fun (_, net) -> net_value words vals net) m.outputs
 
 let eval m bits =
   let words = Array.map (fun b -> if b then -1L else 0L) bits in

@@ -97,6 +97,19 @@ val instance_levels : t -> int array
 val simulate : t -> int64 array -> int64 array
 (** 64 parallel patterns: word per input, word per output. *)
 
+val simulate_values : t -> int64 array -> int64 array
+(** Like {!simulate} but returns the packed value of every {e instance}
+    (indexed like [instances]); output nets are [net_value] over these.
+    The fault simulator resimulates fanout cones against this baseline. *)
+
+val net_value : int64 array -> int64 array -> net -> int64
+(** [net_value input_words instance_vals net] resolves one net against
+    packed input/instance values, applying the net's polarity. *)
+
+val eval_instance : int64 array -> int64 array -> instance -> int64
+(** One instance's packed output word given packed input words and the
+    packed values of (at least) its fanin instances. *)
+
 val eval : t -> bool array -> bool array
 
 val to_aig : t -> Aig.t

@@ -100,8 +100,8 @@ let test_print_parse_fixpoint () =
               Alcotest.failf "%s: %s roundtrip broke semantics" fmt
                 e.Bench_suite.name
           done)
-        [ ("blif", (fun a -> Blif.to_string a), Blif.of_string);
-          ("bench", Bench_fmt.to_string, Bench_fmt.of_string) ])
+        [ ("blif", (fun a -> Blif.to_string a), fun s -> Blif.of_string s);
+          ("bench", Bench_fmt.to_string, fun s -> Bench_fmt.of_string s) ])
     Bench_suite.all;
   Alcotest.(check pass) "fixpoint on the suite" () ()
 
@@ -129,13 +129,43 @@ let test_bench_parser () =
       Alcotest.(check bool) "bench semantics" (f a b) out.(0))
     [ (false, false); (false, true); (true, false); (true, true) ]
 
+(* malformed inputs raise the typed Parse_error.Error carrying the file
+   and the source position, not a bare Failure *)
 let test_bad_inputs_rejected () =
-  Alcotest.check_raises "undriven blif"
-    (Failure "Blif: undriven signal q") (fun () ->
-      ignore (Blif.of_string ".model m\n.inputs a\n.outputs q\n.end\n"));
+  (match
+     Blif.of_string ~file:"m.blif" ".model m\n.inputs a\n.outputs q\n.end\n"
+   with
+  | exception Parse_error.Error e ->
+      Alcotest.(check string) "rendered position"
+        "m.blif:3: undriven signal q" (Parse_error.to_string e)
+  | _ -> Alcotest.fail "undriven blif accepted");
+  (match
+     Blif.of_string ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n"
+   with
+  | exception Parse_error.Error e ->
+      Alcotest.(check int) "bad cube line" 5 e.Parse_error.line;
+      Alcotest.(check (option string)) "no file" None e.Parse_error.file
+  | _ -> Alcotest.fail "bad cube accepted");
+  (match Blif.of_string ".model m\n.inputs a\nstray\n.end\n" with
+  | exception Parse_error.Error e ->
+      Alcotest.(check int) "stray line" 3 e.Parse_error.line
+  | _ -> Alcotest.fail "stray line accepted");
   (match Bench_fmt.of_string "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n" with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "bad gate accepted")
+  | exception Parse_error.Error e ->
+      Alcotest.(check int) "bad gate line" 3 e.Parse_error.line
+  | _ -> Alcotest.fail "bad gate accepted");
+  (match Bench_fmt.of_string "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\n" with
+  | exception Parse_error.Error e ->
+      Alcotest.(check int) "undriven bench line" 3 e.Parse_error.line
+  | _ -> Alcotest.fail "undriven bench accepted");
+  match
+    Genlib.of_string ~name:"bad" ~free_phases:false ~tau_ps:1.0
+      "GATE BAD 1.0 o=(a;\n"
+  with
+  | exception Parse_error.Error e ->
+      Alcotest.(check int) "genlib line" 1 e.Parse_error.line;
+      Alcotest.(check bool) "genlib column" true (e.Parse_error.col > 0)
+  | _ -> Alcotest.fail "bad genlib accepted"
 
 let test_genlib_parse () =
   let text =

@@ -1,0 +1,225 @@
+(* Tests for the fault subsystem: the transistor-level cell dictionaries
+   (zero-fault fidelity, determinism, the known family-level physics) and
+   the gate-level packed stuck-at simulator (property-tested against a
+   serial structurally-injected reference) plus the ATPG bookkeeping. *)
+
+(* ---- transistor level ---- *)
+
+(* The fault-capable evaluator with no fault injected is the golden
+   switch-level simulator: every catalog cell of every family still
+   computes its spec function through the fault path. *)
+let test_zero_fault_golden () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun (entry : Catalog.entry) ->
+          let cell = Cell_netlist.elaborate family entry.Catalog.spec in
+          let n = Gate_spec.arity entry.Catalog.spec in
+          for a = 0 to (1 lsl n) - 1 do
+            let bits v = a land (1 lsl v) <> 0 in
+            if
+              Switchsim.cell_output_with cell bits
+              <> Switchsim.cell_output cell bits
+            then
+              Alcotest.failf "%s %s: zero-fault drive differs on %d"
+                (Cell_netlist.family_name family)
+                entry.Catalog.name a;
+            match Switchsim.logic_value_with cell bits with
+            | Some v ->
+                (* the output node of an inverting family carries the
+                   complement of the spec *)
+                if v <> Switchsim.inverting cell
+                   <> Gate_spec.eval entry.Catalog.spec bits
+                then
+                  Alcotest.failf "%s %s: wrong logic value on %d"
+                    (Cell_netlist.family_name family)
+                    entry.Catalog.name a
+            | None ->
+                Alcotest.failf "%s %s: output floats/contends on %d"
+                  (Cell_netlist.family_name family)
+                  entry.Catalog.name a
+          done)
+        (Cell_fault.catalog_for family))
+    Cell_netlist.all_families;
+  Alcotest.(check pass) "zero-fault golden" () ()
+
+(* The dictionary is a pure function of (family, catalog): two runs agree
+   structurally, fault for fault. *)
+let test_dictionary_deterministic () =
+  List.iter
+    (fun family ->
+      let r1 = Cell_fault.analyze_family family in
+      let r2 = Cell_fault.analyze_family family in
+      Alcotest.(check bool)
+        (Cell_netlist.family_name family ^ " dictionary deterministic")
+        true (r1 = r2))
+    [ Cell_netlist.Tg_static; Cell_netlist.Tg_pseudo; Cell_netlist.Cmos ]
+
+(* Family-level physics the dictionary must reproduce: complementary
+   (static) cells turn defects into contention/floating, ratioed pseudo
+   cells morph silently, and ambipolar polarity-gate faults are the
+   function-morphing mechanism the paper's library is built on. *)
+let test_dictionary_physics () =
+  let sum fam = Cell_fault.summarize fam (Cell_fault.analyze_family fam) in
+  let st = sum Cell_netlist.Tg_static in
+  Alcotest.(check bool) "static: defects break outputs" true
+    (st.Cell_fault.s_broken > 0);
+  Alcotest.(check bool) "static: polarity faults exist" true
+    (st.Cell_fault.s_pol_faults > 0);
+  let ps = sum Cell_netlist.Tg_pseudo in
+  Alcotest.(check bool) "pseudo: silent function morphs" true
+    (ps.Cell_fault.s_morphed > 0);
+  Alcotest.(check bool) "pseudo: polarity faults morph" true
+    (ps.Cell_fault.s_pol_morphed > 0);
+  List.iter
+    (fun (s : Cell_fault.summary) ->
+      let c = Cell_fault.coverage s in
+      Alcotest.(check bool) "coverage in [0,1]" true (c >= 0.0 && c <= 1.0);
+      Alcotest.(check int) "outcomes partition the faults" s.Cell_fault.s_faults
+        (s.Cell_fault.s_masked + s.Cell_fault.s_degraded
+        + s.Cell_fault.s_morphed + s.Cell_fault.s_broken))
+    [ st; ps ];
+  (* the CMOS dictionary covers exactly the CMOS-expressible subset *)
+  Alcotest.(check int) "cmos subset"
+    (List.length Catalog.cmos_subset)
+    (List.length (Cell_fault.catalog_for Cell_netlist.Cmos))
+
+(* A morph target, when matched, must actually describe the faulty table:
+   exact match = same word, complement = negated word. *)
+let test_morph_targets_honest () =
+  List.iter
+    (fun (r : Cell_fault.cell_report) ->
+      List.iter
+        (fun (fe : Cell_fault.fault_entry) ->
+          match fe.Cell_fault.fe_outcome with
+          | Cell_fault.Morphed
+              { target = Some m; faulty_tt; _ } -> (
+              let e = Catalog.match_entry m in
+              let target_tt = Gate_spec.tt6 e.Catalog.spec in
+              match m with
+              | Catalog.Exact _ ->
+                  Alcotest.(check bool) "exact target" true
+                    (Int64.equal faulty_tt target_tt)
+              | Catalog.Complement _ ->
+                  Alcotest.(check bool) "complement target" true
+                    (Int64.equal faulty_tt (Int64.lognot target_tt))
+              | Catalog.Npn_class _ -> ())
+          | _ -> ())
+        r.Cell_fault.cr_faults)
+    (Cell_fault.analyze_family Cell_netlist.Tg_pseudo)
+
+(* ---- gate level ---- *)
+
+let mapped_of name =
+  let e = Bench_suite.find name in
+  let ctx = Flow.init ~name (e.Bench_suite.build ()) in
+  let ctx, _ =
+    Flow.run
+      (Flow.parse_script_exn "synth(light); map(family=static)")
+      ctx
+  in
+  Option.get ctx.Flow.mapped
+
+(* The packed cone-resimulating fault simulator agrees, fault for fault,
+   with the slow reference: structurally inject the fault (Gate_fault.inject)
+   and fully resimulate the copy on the same pattern stream. *)
+let test_packed_equals_serial () =
+  List.iter
+    (fun name ->
+      let m = mapped_of name in
+      let seed = 99L in
+      let results, s =
+        Gate_fault.analyze ~rounds:4 ~seed ~conflict_budget:5_000 m
+      in
+      let rng = Rand64.create seed in
+      let pats =
+        Array.init s.Gate_fault.g_rounds (fun _ ->
+            Array.init m.Mapped.num_inputs (fun _ -> Rand64.next rng))
+      in
+      let base = Array.map (Mapped.simulate m) pats in
+      Array.iter
+        (fun (r : Gate_fault.result) ->
+          let faulty = Gate_fault.inject m r.Gate_fault.fault in
+          let serial =
+            Array.exists2
+              (fun words b -> Mapped.simulate faulty words <> b)
+              pats base
+          in
+          let packed = r.Gate_fault.status = Gate_fault.Detected_sim in
+          if packed <> serial then
+            Alcotest.failf "%s: %s packed=%b serial=%b" name
+              (Gate_fault.describe m r.Gate_fault.fault)
+              packed serial)
+        results)
+    [ "add-16"; "t481"; "C1355" ];
+  Alcotest.(check pass) "packed = serial" () ()
+
+let test_gate_analysis_deterministic () =
+  let m = mapped_of "add-16" in
+  let r1, s1 = Gate_fault.analyze ~rounds:4 ~seed:7L m in
+  let r2, s2 = Gate_fault.analyze ~rounds:4 ~seed:7L m in
+  Alcotest.(check bool) "results identical" true (r1 = r2);
+  Alcotest.(check bool) "summaries identical" true (s1 = s2);
+  Alcotest.(check string) "tsv identical"
+    (Gate_fault.results_tsv m r1)
+    (Gate_fault.results_tsv m r2)
+
+(* ATPG bookkeeping: statuses partition the fault list, and every ATPG
+   counterexample really distinguishes the faulty netlist. *)
+let test_atpg_bookkeeping () =
+  let m = mapped_of "t481" in
+  (* one round only, so plenty of faults reach the ATPG stage *)
+  let results, s = Gate_fault.analyze ~rounds:1 ~seed:3L m in
+  Alcotest.(check int) "statuses partition" s.Gate_fault.g_total
+    (s.Gate_fault.g_sim + s.Gate_fault.g_atpg + s.Gate_fault.g_redundant
+    + s.Gate_fault.g_unknown);
+  Alcotest.(check int) "one result per fault" s.Gate_fault.g_total
+    (Array.length (Gate_fault.faults_of m));
+  Alcotest.(check bool) "atpg exercised" true (s.Gate_fault.g_atpg > 0);
+  let checked = ref 0 in
+  Array.iter
+    (fun (r : Gate_fault.result) ->
+      match r.Gate_fault.status with
+      | Gate_fault.Detected_atpg cex ->
+          let words =
+            Array.map (fun b -> if b then 1L else 0L) cex
+          in
+          let faulty = Gate_fault.inject m r.Gate_fault.fault in
+          let bit w = Int64.logand w 1L in
+          if
+            Array.map bit (Mapped.simulate m words)
+            = Array.map bit (Mapped.simulate faulty words)
+          then
+            Alcotest.failf "cex does not detect %s"
+              (Gate_fault.describe m r.Gate_fault.fault);
+          incr checked
+      | _ -> ())
+    results;
+  Alcotest.(check bool) "checked some counterexamples" true (!checked > 0);
+  let cov = Gate_fault.coverage s in
+  Alcotest.(check bool) "coverage in [0,1]" true (cov >= 0.0 && cov <= 1.0);
+  Alcotest.(check bool) "testable coverage >= coverage" true
+    (Gate_fault.testable_coverage s >= cov -. 1e-9)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "cell",
+        [
+          Alcotest.test_case "zero-fault = golden sim" `Quick
+            test_zero_fault_golden;
+          Alcotest.test_case "dictionary deterministic" `Quick
+            test_dictionary_deterministic;
+          Alcotest.test_case "family physics" `Quick test_dictionary_physics;
+          Alcotest.test_case "morph targets honest" `Quick
+            test_morph_targets_honest;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "packed = serial reference" `Quick
+            test_packed_equals_serial;
+          Alcotest.test_case "analysis deterministic" `Quick
+            test_gate_analysis_deterministic;
+          Alcotest.test_case "atpg bookkeeping" `Quick test_atpg_bookkeeping;
+        ] );
+    ]

@@ -171,10 +171,10 @@ let test_samples () =
   Alcotest.(check int) "tsv rows" 4 (List.length tsv_lines);
   List.iter
     (fun l ->
-      Alcotest.(check int) "tsv column count" 20
+      Alcotest.(check int) "tsv column count" 23
         (List.length (String.split_on_char '\t' l)))
     tsv_lines;
-  Alcotest.(check int) "tsv header column count" 20
+  Alcotest.(check int) "tsv header column count" 23
     (List.length (String.split_on_char '\t' Flow.samples_tsv_header));
   let json = Flow.samples_to_json samples in
   Alcotest.(check bool) "json non-trivial" true (String.length json > 100)
@@ -282,6 +282,131 @@ let test_matrix_parallel_identical () =
         r.Flow.br_per_family)
     seq
 
+(* ---- crash isolation, fault pass, checkpoints ---- *)
+
+let isolate_config = { Flow.default_config with Flow.isolate = true }
+
+let test_run_isolation () =
+  let ctx, samples =
+    Flow.run ~config:isolate_config
+      (Flow.parse_script_exn "light; fail(msg=boom); map; sta")
+      (Flow.init ~name:"a8" (adder ()))
+  in
+  let has rule =
+    List.exists (fun (d : Diag.t) -> d.Diag.rule = rule) ctx.Flow.diags
+  in
+  Alcotest.(check bool) "crash became an error diag" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.Diag.rule = "flow-pass-crash" && d.Diag.severity = Diag.Error)
+       ctx.Flow.diags);
+  Alcotest.(check bool) "skipped steps noted" true (has "flow-passes-skipped");
+  Alcotest.(check bool) "map never ran" true (ctx.Flow.mapped = None);
+  Alcotest.(check int) "samples: light + the crash" 2 (List.length samples);
+  (* without isolate (the default) the exception still propagates *)
+  match
+    Flow.run (Flow.parse_script_exn "fail") (Flow.init ~name:"x" (adder ()))
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "fail pass did not raise without isolate"
+
+(* the acceptance scenario: one injected matrix cell raises; every other
+   benchmark x family cell completes and the failure is a Diag error *)
+let test_matrix_cell_crash () =
+  let entries = List.map Bench_suite.find [ "add-16"; "t481" ] in
+  let families = [ Cell_netlist.Tg_static; Cell_netlist.Cmos ] in
+  let script =
+    Flow.parse_script_exn "light; map; fail(circuit=t481,family=cmos); sta"
+  in
+  let results =
+    Flow.run_matrix ~config:isolate_config ~script ~families entries
+  in
+  Alcotest.(check int) "both benchmarks reported" 2 (Array.length results);
+  Array.iter
+    (fun (r : Flow.bench_result) ->
+      List.iter
+        (fun (fam, ctx, _) ->
+          let crashed =
+            r.Flow.br_bench = "t481" && fam = Cell_netlist.Cmos
+          in
+          let own = Flow.diags_since r.Flow.br_ctx0 ctx in
+          let has_crash =
+            List.exists
+              (fun (d : Diag.t) ->
+                d.Diag.rule = "flow-pass-crash"
+                && d.Diag.severity = Diag.Error)
+              own
+          in
+          if crashed then begin
+            Alcotest.(check bool) "failure reported as a Diag error" true
+              has_crash;
+            Alcotest.(check bool) "sta skipped in the crashed cell" true
+              (ctx.Flow.sta = None)
+          end
+          else begin
+            Alcotest.(check bool) "other cells clean" false has_crash;
+            Alcotest.(check bool) "other cells completed sta" true
+              (ctx.Flow.sta <> None)
+          end)
+        r.Flow.br_per_family)
+    results
+
+let test_fault_pass () =
+  let ctx, samples =
+    Flow.run
+      (Flow.parse_script_exn "light; map; fault(rounds=4,seed=5)")
+      (Flow.init ~name:"a8" (adder ()))
+  in
+  let s =
+    match ctx.Flow.fault with
+    | Some s -> s
+    | None -> Alcotest.fail "fault pass left no summary"
+  in
+  Alcotest.(check bool) "faults enumerated" true (s.Gate_fault.g_total > 0);
+  let cov = Gate_fault.coverage s in
+  Alcotest.(check bool) "coverage in [0,1]" true (cov >= 0.0 && cov <= 1.0);
+  (match List.rev samples with
+  | last :: _ ->
+      Alcotest.(check bool) "fault sample recorded" true
+        (last.Flow.sm_fault = Some s)
+  | [] -> Alcotest.fail "no samples");
+  (* fault before map is an ordering error *)
+  match
+    Flow.run (Flow.parse_script_exn "fault") (Flow.init ~name:"x" (adder ()))
+  with
+  | exception Flow.Flow_error _ -> ()
+  | _ -> Alcotest.fail "fault before map accepted"
+
+let test_checkpoint_roundtrip () =
+  let entries = [ Bench_suite.find "add-16" ] in
+  let script = Flow.parse_script_exn "light; map; lint" in
+  let results =
+    Flow.run_matrix ~script ~families:[ Cell_netlist.Tg_static ] entries
+  in
+  let lines =
+    List.map
+      (fun (_, ctx, _) -> Flow.summary_line ctx)
+      results.(0).Flow.br_per_family
+  in
+  let entry = Flow.Checkpoint.of_result results.(0) ~lines in
+  let path = Filename.temp_file "flowck" ".bin" in
+  Flow.Checkpoint.save path [ entry ];
+  let back = Flow.Checkpoint.load path in
+  Alcotest.(check bool) "roundtrip equal" true (back = [ entry ]);
+  Alcotest.(check bool) "mem finds the bench" true
+    (Flow.Checkpoint.mem back "add-16");
+  Alcotest.(check bool) "mem rejects others" false
+    (Flow.Checkpoint.mem back "t481");
+  (* corrupt and missing files resume from scratch instead of raising *)
+  let oc = open_out path in
+  output_string oc "not a checkpoint";
+  close_out oc;
+  Alcotest.(check bool) "corrupt file loads as empty" true
+    (Flow.Checkpoint.load path = []);
+  Sys.remove path;
+  Alcotest.(check bool) "missing file loads as empty" true
+    (Flow.Checkpoint.load path = [])
+
 let () =
   Alcotest.run "flow"
     [
@@ -315,5 +440,13 @@ let () =
             test_runner_deterministic;
           Alcotest.test_case "matrix parallel = sequential" `Quick
             test_matrix_parallel_identical;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "pass crash isolation" `Quick test_run_isolation;
+          Alcotest.test_case "matrix cell crash" `Quick test_matrix_cell_crash;
+          Alcotest.test_case "fault pass" `Quick test_fault_pass;
+          Alcotest.test_case "checkpoint roundtrip" `Quick
+            test_checkpoint_roundtrip;
         ] );
     ]
