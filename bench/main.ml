@@ -225,6 +225,96 @@ let print_reproduction () =
     | None -> List.map (fun (e : Bench_suite.entry) -> e.Bench_suite.name)
                 Bench_suite.all)
 
+(* ---------------- static testability (DESIGN.md §12) ---------------- *)
+
+let print_testability () =
+  let entries =
+    match benches with
+    | None -> Bench_suite.all
+    | Some names -> List.map Bench_suite.find names
+  in
+  let mapped_of ?(cost = "area") fam (e : Bench_suite.entry) =
+    let ctx = Flow.init ~family:fam ~name:e.Bench_suite.name (e.Bench_suite.build ()) in
+    let ctx, _ =
+      Flow.run
+        (Flow.parse_script_exn (Printf.sprintf "synth(light); map(cost=%s)" cost))
+        ctx
+    in
+    (Option.get ctx.Flow.mapped, Option.get ctx.Flow.golden)
+  in
+
+  hr "Static testability - SCOAP / collapsing / redundancy per family (DESIGN.md §12)";
+  let rows =
+    Array.to_list
+      (Flow.Runner.map_jobs ~domains:jobs
+         (fun ((fam, e) : Cell_netlist.family * Bench_suite.entry) ->
+           let m, _ = mapped_of fam e in
+           let t = Testability.analyze m in
+           Printf.sprintf "%-10s %-12s %s" e.Bench_suite.name
+             (Cell_netlist.family_name fam)
+             (Testability.summary_line t.Testability.summary))
+         (Array.of_list
+            (List.concat_map
+               (fun fam -> List.map (fun e -> (fam, e)) entries)
+               Cell_netlist.all_families)))
+  in
+  List.iter print_endline rows;
+
+  hr "Testability-driven mapping (tg-pseudo): map(cost=testability) vs map";
+  (* random-pattern detection under a tight pattern budget is where mapping
+     choices show before coverage saturates; ATPG is capped at one conflict
+     so the sim-only detection fraction is the metric *)
+  let rounds = 2 and budget = 1 in
+  Printf.printf
+    "%-8s %7s %8s %8s %9s %9s %8s %5s   (sim-detected%% of %d x 64 patterns)\n"
+    "bench" "det%" "det%(tb)" "delta" "area" "area(tb)" "darea%" "cec" rounds;
+  let cells =
+    Array.to_list
+      (Flow.Runner.map_jobs ~domains:jobs
+         (fun (e : Bench_suite.entry) ->
+           let fam = Cell_netlist.Tg_pseudo in
+           let m0, _ = mapped_of fam e in
+           let m1, golden = mapped_of ~cost:"testability" fam e in
+           let det m =
+             let _, s =
+               Gate_fault.analyze ~rounds ~conflict_budget:budget m
+             in
+             ( 100.0 *. float_of_int s.Gate_fault.g_sim
+               /. float_of_int s.Gate_fault.g_total,
+               s.Gate_fault.g_total )
+           in
+           let d0, n0 = det m0 and d1, n1 = det m1 in
+           let a0 = (Mapped.stats m0).Mapped.area
+           and a1 = (Mapped.stats m1).Mapped.area in
+           let cec =
+             match
+               Cec.check ~conflict_budget:200_000 golden (Mapped.to_aig m1)
+             with
+             | Cec.Equivalent -> "ok"
+             | Cec.Inequivalent _ -> "FAIL"
+             | Cec.Undecided -> "?"
+           in
+           (e.Bench_suite.name, d0, n0, d1, n1, a0, a1, cec))
+         (Array.of_list entries))
+  in
+  let sum0 = ref 0.0 and sum1 = ref 0.0 and asum = ref 0.0 in
+  List.iter
+    (fun (name, d0, _, d1, _, a0, a1, cec) ->
+      sum0 := !sum0 +. d0;
+      sum1 := !sum1 +. d1;
+      asum := !asum +. (100.0 *. (a1 -. a0) /. a0);
+      Printf.printf "%-8s %7.3f %8.3f %+8.3f %9.1f %9.1f %+7.2f%% %5s\n" name
+        d0 d1 (d1 -. d0) a0 a1
+        (100.0 *. (a1 -. a0) /. a0)
+        cec)
+    cells;
+  let n = float_of_int (List.length cells) in
+  Printf.printf
+    "mean     %7.3f %8.3f %+8.3f %28s %+7.2f%%\n"
+    (!sum0 /. n) (!sum1 /. n)
+    ((!sum1 -. !sum0) /. n)
+    "" (!asum /. n)
+
 (* ---------------- ablations ---------------- *)
 
 let print_ablations () =
@@ -362,6 +452,7 @@ let run_timings () =
 let () =
   let t0 = Unix.gettimeofday () in
   print_reproduction ();
+  print_testability ();
   print_ablations ();
   run_timings ();
   Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

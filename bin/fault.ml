@@ -6,7 +6,10 @@
      each fault site), with the function-morph report the polarity gates
      make interesting.  `--md` emits the committed FAULTS.md document.
    - `fault --bench NAME`: gate-level stuck-at fault simulation + SAT ATPG
-     over the mapped benchmark, with coverage summary per family. *)
+     over the mapped benchmark, with coverage summary per family.
+   - `fault --bench NAME --testability`: the *static* analysis instead —
+     SCOAP scores, fault collapsing and redundancy identification
+     (Testability), no simulation or SAT. *)
 
 let prog = "fault"
 let catalog = ref false
@@ -20,6 +23,9 @@ let conflict_budget = ref 100_000
 let tsv = ref false
 let md = ref false
 let morphs = ref false
+let testability = ref false
+let no_learn = ref false
+let cost = ref "area"
 let out = ref ""
 
 let specs =
@@ -48,6 +54,16 @@ let specs =
     ("--tsv", Arg.Set tsv, " machine-readable per-fault output");
     ("--md", Arg.Set md, " markdown fault-dictionary document (FAULTS.md)");
     ("--morphs", Arg.Set morphs, " list every function-morphing fault");
+    ( "--testability",
+      Arg.Set testability,
+      " static testability analysis of the mapped benchmark (SCOAP, \
+       collapsing, redundancy) instead of fault simulation" );
+    ( "--no-learn",
+      Arg.Set no_learn,
+      " testability: skip static learning (forward constants only)" );
+    ( "--cost",
+      Arg.Set_string cost,
+      "KIND mapper covering cost: area|testability (default area)" );
     ("--out", Arg.Set_string out, "FILE write the report there");
   ]
 
@@ -92,33 +108,64 @@ let catalog_report fams oc =
         per_family
   end
 
+let cost_fn () =
+  match !cost with
+  | "area" -> None
+  | "testability" -> Some Testability.cell_cost
+  | c -> Cli_common.usage_die ~prog ("unknown --cost " ^ c)
+
+let map_bench (e : Bench_suite.entry) fam =
+  let aig = e.Bench_suite.build () in
+  let optimized =
+    match !synth_mode with
+    | "none" -> aig
+    | "light" -> Synth.light aig
+    | _ -> Synth.resyn2rs aig
+  in
+  let params =
+    {
+      Mapper.default_params with
+      Mapper.cut_size = !cut_size;
+      cost = cost_fn ();
+    }
+  in
+  Mapper.map ~params (Cell_lib.cached fam) optimized
+
 let bench_report entries fams seed oc =
   List.iter
     (fun (e : Bench_suite.entry) ->
       List.iter
         (fun fam ->
-          let aig = e.Bench_suite.build () in
-          let result =
-            Core.run
-              ~synthesize:(!synth_mode <> "none")
-              ~cut_size:!cut_size ~verify:false
-              ~family:(Core.of_netlist_family fam) aig
-          in
-          let results, summary =
-            Gate_fault.analyze ~rounds:!rounds ~seed
-              ~conflict_budget:!conflict_budget result.Core.mapped
-          in
-          if !tsv then begin
-            Printf.fprintf oc "# %s %s\n" e.Bench_suite.name
-              (Cell_netlist.family_name fam);
-            output_string oc
-              (Gate_fault.results_tsv result.Core.mapped results);
-            output_char oc '\n'
+          let mapped = map_bench e fam in
+          if !testability then begin
+            let t = Testability.analyze ~learn:(not !no_learn) mapped in
+            if !tsv then begin
+              Printf.fprintf oc "# %s %s\n" e.Bench_suite.name
+                (Cell_netlist.family_name fam);
+              output_string oc (Testability.to_tsv mapped t);
+              output_char oc '\n'
+            end
+            else
+              Printf.fprintf oc "%-10s %-12s %s\n" e.Bench_suite.name
+                (Cell_netlist.family_name fam)
+                (Testability.summary_line t.Testability.summary)
           end
-          else
-            Printf.fprintf oc "%-10s %-12s %s\n" e.Bench_suite.name
-              (Cell_netlist.family_name fam)
-              (Gate_fault.summary_line summary))
+          else begin
+            let results, summary =
+              Gate_fault.analyze ~rounds:!rounds ~seed
+                ~conflict_budget:!conflict_budget mapped
+            in
+            if !tsv then begin
+              Printf.fprintf oc "# %s %s\n" e.Bench_suite.name
+                (Cell_netlist.family_name fam);
+              output_string oc (Gate_fault.results_tsv mapped results);
+              output_char oc '\n'
+            end
+            else
+              Printf.fprintf oc "%-10s %-12s %s\n" e.Bench_suite.name
+                (Cell_netlist.family_name fam)
+                (Gate_fault.summary_line summary)
+          end)
         fams)
     entries
 

@@ -45,6 +45,7 @@ type ctx = {
   sta : Sta.t option;
   placement : Fabric.placement option;
   fault : Gate_fault.summary option;
+  testability : Testability.summary option;
   diags : Diag.t list;
   verified : bool option;
 }
@@ -60,6 +61,7 @@ let init ?(family = Cell_netlist.Tg_static) ~name aig =
     sta = None;
     placement = None;
     fault = None;
+    testability = None;
     diags = [];
     verified = None;
   }
@@ -190,10 +192,16 @@ let pass_map cfg step ctx =
     else cfg.timing
   in
   let engine = arg_engine cfg step in
+  let cost =
+    match arg_value step "cost" with
+    | None | Some "area" -> None
+    | Some "testability" -> Some Testability.cell_cost
+    | Some c -> fail "map: unknown cost %s (area|testability)" c
+  in
   let lib, status = Cell_lib.cached_with_status family in
   Domain.DLS.set last_cache_status (Some status);
   let params =
-    { Mapper.default_params with Mapper.cut_size; timing; engine }
+    { Mapper.default_params with Mapper.cut_size; timing; engine; cost }
   in
   let mapped, stats = Mapper.map_with_stats ~params lib ctx.aig in
   Domain.DLS.set last_cut_stats (Some stats);
@@ -206,6 +214,7 @@ let pass_map cfg step ctx =
     sta = None;
     placement = None;
     fault = None;
+    testability = None;
     verified = None;
   }
 
@@ -325,6 +334,16 @@ let pass_fault cfg step ctx =
   in
   { ctx with fault = Some summary; diags }
 
+let pass_testability _cfg step ctx =
+  let m = mapped_or_fail step ctx in
+  let t = Testability.analyze ~learn:(not (arg_flag step "no-learn")) m in
+  let diags =
+    if arg_flag step "lint" then
+      ctx.diags @ Testability.lint ~name:(lint_name step ctx ~mapped:true) m t
+    else ctx.diags
+  in
+  { ctx with testability = Some t.Testability.summary; diags }
+
 (* A deliberately failing pass: the negative fixture behind the isolation
    machinery (test_flow and the CI exit-nonzero-with-report job).  Filters
    restrict the crash to one matrix cell. *)
@@ -372,8 +391,10 @@ let registry : (string * pass_info) list =
         p_args = None; p_apply = pass_synth } );
     ( "map",
       { p_doc =
-          "technology mapping [family=F, cut=K, timing, no-timing, engine=E]";
-        p_args = Some [ "family"; "cut"; "timing"; "no-timing"; "engine" ];
+          "technology mapping [family=F, cut=K, timing, no-timing, engine=E, \
+           cost=area|testability]";
+        p_args =
+          Some [ "family"; "cut"; "timing"; "no-timing"; "engine"; "cost" ];
         p_apply = pass_map } );
     ( "sta",
       { p_doc = "static timing analysis of the mapping [po=N, unit]";
@@ -392,6 +413,12 @@ let registry : (string * pass_info) list =
           "stuck-at fault simulation + SAT ATPG of the mapping [rounds=N, \
            seed=N, budget=N]";
         p_args = Some [ "rounds"; "seed"; "budget" ]; p_apply = pass_fault } );
+    ( "testability",
+      { p_doc =
+          "static testability analysis: SCOAP, fault collapsing, redundancy \
+           [no-learn, lint, tag=T, name=N]";
+        p_args = Some [ "no-learn"; "lint"; "tag"; "name" ];
+        p_apply = pass_testability } );
     ( "fail",
       { p_doc =
           "deliberately raise (crash-isolation fixture) [circuit=N, \
@@ -513,6 +540,7 @@ type sample = {
   sm_cache : [ `Hit | `Miss ] option;
   sm_cut : Cut.stats option;
   sm_fault : Gate_fault.summary option;
+  sm_testability : Testability.summary option;
   sm_new_diags : int;
 }
 
@@ -556,6 +584,9 @@ let run_step cfg step ctx =
       sm_cache = Domain.DLS.get last_cache_status;
       sm_cut = Domain.DLS.get last_cut_stats;
       sm_fault = (if opt_changed ctx.fault ctx'.fault then ctx'.fault else None);
+      sm_testability =
+        (if opt_changed ctx.testability ctx'.testability then ctx'.testability
+         else None);
       sm_new_diags = List.length ctx'.diags - List.length ctx.diags;
     }
   in
@@ -580,6 +611,7 @@ let crash_sample step wall before after =
     sm_cache = None;
     sm_cut = None;
     sm_fault = None;
+    sm_testability = None;
     sm_new_diags = List.length after.diags - List.length before.diags;
   }
 
@@ -724,12 +756,13 @@ let samples_tsv_header =
   "#circuit\tfamily\tpass\twall_ms\tands_in\tands_out\tdepth_in\tdepth_out\t\
    gates\tarea\tnorm_delay\tabs_ps\tsta_ps\tcache\tcuts_built\t\
    cuts_dominated\tsign_rejects\ttt_merges\tmatch_probes\tfaults\t\
-   fault_cov\tfault_unknown\tnew_diags"
+   fault_cov\tfault_unknown\ttb_classes\ttb_collapsed\ttb_redundant\t\
+   new_diags"
 
 let sample_to_tsv s =
   Printf.sprintf
     "%s\t%s\t%s\t%.3f\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\
-     %s\t%s\t%s\t%s\t%s\t%d"
+     %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d"
     s.sm_circuit s.sm_family s.sm_pass (1000.0 *. s.sm_wall_s) s.sm_ands_before
     s.sm_ands_after s.sm_depth_before s.sm_depth_after
     (match s.sm_mapped with
@@ -751,6 +784,9 @@ let sample_to_tsv s =
     (iopt (Option.map (fun f -> f.Gate_fault.g_total) s.sm_fault))
     (fault_cov_str s)
     (iopt (Option.map (fun f -> f.Gate_fault.g_unknown) s.sm_fault))
+    (iopt (Option.map (fun t -> t.Testability.t_classes) s.sm_testability))
+    (iopt (Option.map (fun t -> t.Testability.t_collapsed) s.sm_testability))
+    (iopt (Option.map (fun t -> t.Testability.t_redundant) s.sm_testability))
     s.sm_new_diags
 
 let json_escape s =
@@ -782,7 +818,7 @@ let samples_to_json samples =
          \"wall_ms\":%.3f,\"ands_in\":%d,\"ands_out\":%d,\"depth_in\":%d,\
          \"depth_out\":%d,\"gates\":%s,\"area\":%s,\"norm_delay\":%s,\
          \"abs_ps\":%s,\"sta_ps\":%s,\"cache\":%s,\"cut\":%s,\
-         \"fault\":%s,\"new_diags\":%d}"
+         \"fault\":%s,\"testability\":%s,\"new_diags\":%d}"
         (json_escape s.sm_circuit) (json_escape s.sm_family)
         (json_escape s.sm_pass) (1000.0 *. s.sm_wall_s) s.sm_ands_before
         s.sm_ands_after s.sm_depth_before s.sm_depth_after
@@ -814,6 +850,17 @@ let samples_to_json samples =
               f.Gate_fault.g_total f.Gate_fault.g_sim f.Gate_fault.g_atpg
               f.Gate_fault.g_redundant f.Gate_fault.g_unknown
               (Gate_fault.coverage f))
+        (match s.sm_testability with
+        | None -> "null"
+        | Some t ->
+            Printf.sprintf
+              "{\"faults\":%d,\"classes\":%d,\"dominated\":%d,\
+               \"collapsed\":%d,\"redundant\":%d,\"const_lines\":%d,\
+               \"score_mean\":%.3f}"
+              t.Testability.t_faults t.Testability.t_classes
+              t.Testability.t_dominated t.Testability.t_collapsed
+              t.Testability.t_redundant t.Testability.t_const_lines
+              t.Testability.t_score_mean)
         s.sm_new_diags)
     samples;
   Buffer.add_string b "\n]\n";
@@ -843,6 +890,11 @@ let summary_line ctx =
           | Some f ->
               [ Printf.sprintf "fault=%.1f%%(%d)"
                   (100.0 *. Gate_fault.coverage f) f.Gate_fault.g_total ]
+          | None -> [])
+        @ (match ctx.testability with
+          | Some t ->
+              [ Printf.sprintf "tb=%d/%d(red %d)" t.Testability.t_collapsed
+                  t.Testability.t_classes t.Testability.t_redundant ]
           | None -> [])
         @ (match ctx.placement with
           | Some p ->

@@ -59,6 +59,8 @@ type ctx = {
   sta : Sta.t option;
   placement : Fabric.placement option;
   fault : Gate_fault.summary option;  (** result of the last [fault] pass *)
+  testability : Testability.summary option;
+      (** result of the last [testability] pass *)
   diags : Diag.t list;            (** accumulated findings, oldest first *)
   verified : bool option;         (** result of the last [verify] *)
 }
@@ -116,6 +118,8 @@ type sample = {
           ([map] and the cut-based synthesis passes) *)
   sm_fault : Gate_fault.summary option;
       (** fault-coverage summary when the pass ran fault analysis *)
+  sm_testability : Testability.summary option;
+      (** static-testability summary when the pass ran the analysis *)
   sm_new_diags : int;     (** findings added by the pass *)
 }
 

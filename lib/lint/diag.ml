@@ -43,10 +43,26 @@ let pp fmt d =
   Format.fprintf fmt "%s[%s] %s: %s" (severity_name d.severity) d.rule
     (location_string d.loc) d.msg
 
+(* One finding must always be exactly one TSV row of exactly four fields:
+   separator and record characters embedded in a message (e.g. quoted user
+   input from a parse error) are escaped, not flattened, so the row stays
+   machine-parseable and lossless. *)
+let tsv_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let to_tsv d =
-  let clean s = String.map (fun c -> if c = '\t' || c = '\n' then ' ' else c) s in
   Printf.sprintf "%s\t%s\t%s\t%s" (severity_name d.severity) d.rule
-    (clean (location_string d.loc)) (clean d.msg)
+    (tsv_escape (location_string d.loc))
+    (tsv_escape d.msg)
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds
 let warnings ds = List.filter (fun d -> d.severity = Warning) ds

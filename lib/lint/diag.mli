@@ -39,10 +39,15 @@ val pp_location : Format.formatter -> location -> unit
 val pp : Format.formatter -> t -> unit
 (** One human-readable line: [severity[rule] location: message]. *)
 
+val tsv_escape : string -> string
+(** Backslash-escapes [\ ], tab, newline and carriage return so an
+    arbitrary string occupies exactly one TSV field. *)
+
 val to_tsv : t -> string
 (** Machine-readable line: four tab-separated fields
-    [severity), rule, location, message] (tabs in the message are
-    replaced by spaces). *)
+    [severity, rule, location, message].  Tabs/newlines embedded in the
+    location or message are {!tsv_escape}d, so one finding is always
+    exactly one row of exactly four fields, losslessly. *)
 
 val errors : t list -> t list
 val warnings : t list -> t list

@@ -4,6 +4,7 @@ type params = {
   area_passes : int;
   timing : bool;
   engine : Cut.engine;
+  cost : (Cell_lib.cell -> float) option;
 }
 
 let default_params =
@@ -13,6 +14,7 @@ let default_params =
     area_passes = 3;
     timing = false;
     engine = Cut.Packed;
+    cost = None;
   }
 
 (* A mapping choice for (node, phase): how the value [node ^ phase] is
@@ -41,8 +43,16 @@ let map_with_stats ?(params = default_params) lib aig =
   let free = Cell_lib.free_phases lib in
   let nph = if free then 1 else 2 in
   let inv = Cell_lib.inverter lib in
+  (* Covering cost of a cell.  The flow/"area" currency of the matcher is
+     pluggable (ROADMAP: cost-generic mapping): [params.cost] replaces raw
+     cell area in every flow computation — matching, bridging and the
+     recovery passes — while arrival time stays lexicographically primary
+     and the reported netlist area is always the real cell area. *)
+  let cell_cost (c : Cell_lib.cell) =
+    match params.cost with Some f -> f c | None -> c.Cell_lib.area
+  in
   let inv_area =
-    match inv with Some c -> c.Cell_lib.area | None -> infinity_f
+    match inv with Some c -> cell_cost c | None -> infinity_f
   in
   if (not free) && inv = None then
     invalid_arg "Mapper.map: non-free-phase library without an inverter";
@@ -189,7 +199,7 @@ let map_with_stats ?(params = default_params) lib aig =
   in
   let eval_match nd p leaves entry =
     let cell = entry.Cell_lib.cell in
-    let arr = ref 0.0 and fl = ref cell.Cell_lib.area in
+    let arr = ref 0.0 and fl = ref (cell_cost cell) in
     Array.iteri
       (fun i leaf ->
         let want = (entry.Cell_lib.phase lsr i) land 1 = 1 in

@@ -26,6 +26,16 @@ type params = {
           {!Cut.Packed} (the default) is the fast path, {!Cut.Reference}
           re-walks each cut's cone and exists for differential testing and
           benchmarking. *)
+  cost : (Cell_lib.cell -> float) option;
+      (** Pluggable covering cost (the opening move of the ROADMAP's
+          cost-generic mapping refactor).  When set, this function replaces
+          raw cell area as the flow currency of matching, phase bridging
+          and area recovery: delay stays lexicographically primary, but
+          ties and the recovery passes minimize the plugged cost instead of
+          area.  The caller supplies any [Cell_lib.cell -> float] — e.g.
+          [Testability.cell_cost] charges cells with poorly-sensitizable
+          pins.  [None] (the default) is exact area flow; reported netlist
+          area is always real cell area either way. *)
 }
 
 val default_params : params

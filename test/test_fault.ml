@@ -201,6 +201,211 @@ let test_atpg_bookkeeping () =
   Alcotest.(check bool) "testable coverage >= coverage" true
     (Gate_fault.testable_coverage s >= cov -. 1e-9)
 
+(* ---- static testability ---- *)
+
+let mapped_for family name =
+  let e = Bench_suite.find name in
+  let ctx = Flow.init ~family ~name (e.Bench_suite.build ()) in
+  let ctx, _ = Flow.run (Flow.parse_script_exn "synth(light); map") ctx in
+  Option.get ctx.Flow.mapped
+
+(* Per-fault detection vector: one word per pattern batch, bit b set iff
+   pattern b distinguishes the faulty netlist on some output. *)
+let det_signature base pats faulty =
+  Array.map2
+    (fun words good ->
+      let out = Mapped.simulate faulty words in
+      let d = ref 0L in
+      Array.iteri
+        (fun i w -> d := Int64.logor !d (Int64.logxor w good.(i)))
+        out;
+      !d)
+    pats base
+
+let random_pats m ~rounds ~seed =
+  let rng = Rand64.create seed in
+  Array.init rounds (fun _ ->
+      Array.init m.Mapped.num_inputs (fun _ -> Rand64.next rng))
+
+(* Soundness of every static redundancy claim, cross-checked by the ATPG
+   path on the full benchmark x family matrix: a claimed-redundant fault
+   must never be proved testable (CEC Inequivalent) — only Equivalent
+   (confirmed redundant) or Undecided (budget) are acceptable. *)
+let test_redundancy_sound () =
+  let checked = ref 0 in
+  List.iter
+    (fun (e : Bench_suite.entry) ->
+      List.iter
+        (fun fam ->
+          let m = mapped_for fam e.Bench_suite.name in
+          let t = Testability.analyze m in
+          let good = lazy (Mapped.to_aig m) in
+          Array.iteri
+            (fun i -> function
+              | None -> ()
+              | Some reason -> (
+                  let f = t.Testability.faults.(i) in
+                  let bad = Mapped.to_aig (Gate_fault.inject m f) in
+                  (* a modest conflict budget keeps the full-matrix sweep
+                     affordable: a *false* claim is caught by the random-
+                     simulation rounds or a quick SAT refutation, while a
+                     true redundancy that is expensive to prove UNSAT
+                     degrades to Undecided — never Inequivalent *)
+                  match
+                    Cec.check ~sim_rounds:2 ~conflict_budget:2_000 ~seed:5L
+                      (Lazy.force good) bad
+                  with
+                  | Cec.Inequivalent _ ->
+                      Alcotest.failf "%s/%s: %s claimed %s but is testable"
+                        e.Bench_suite.name
+                        (Cell_netlist.family_name fam)
+                        (Gate_fault.describe m f)
+                        (Testability.reason_name reason)
+                  | Cec.Equivalent | Cec.Undecided -> incr checked))
+            t.Testability.redundant)
+        Cell_netlist.all_families)
+    Bench_suite.all;
+  Alcotest.(check bool) "some redundancy claims checked" true (!checked > 0)
+
+(* Collapsing agrees with the simulator: faults of one equivalence class
+   have identical per-pattern detection vectors under random patterns. *)
+let test_classes_agree_with_sim () =
+  List.iter
+    (fun name ->
+      let m = mapped_of name in
+      let t = Testability.analyze m in
+      let pats = random_pats m ~rounds:4 ~seed:42L in
+      let base = Array.map (Mapped.simulate m) pats in
+      let by_class = Hashtbl.create 997 in
+      Array.iteri
+        (fun i f ->
+          let s = det_signature base pats (Gate_fault.inject m f) in
+          let c = t.Testability.cls.(i) in
+          match Hashtbl.find_opt by_class c with
+          | None -> Hashtbl.add by_class c (f, s)
+          | Some (f0, s0) ->
+              if s0 <> s then
+                Alcotest.failf
+                  "%s: class %d: %s and %s detected by different patterns"
+                  name c
+                  (Gate_fault.describe m f0)
+                  (Gate_fault.describe m f))
+        t.Testability.faults;
+      Alcotest.(check int)
+        (name ^ ": one signature set per class")
+        (Array.length t.Testability.rep)
+        (Hashtbl.length by_class))
+    [ "add-16"; "t481"; "C1355" ]
+
+(* Dominance agrees with the simulator, per pattern: a dominated class
+   records the witness fault whose test set is contained in its own, so
+   every random pattern detecting the witness must detect the class. *)
+let test_dominance_sound () =
+  List.iter
+    (fun name ->
+      let m = mapped_of name in
+      let t = Testability.analyze m in
+      let pats = random_pats m ~rounds:8 ~seed:7L in
+      let base = Array.map (Mapped.simulate m) pats in
+      let checked = ref 0 in
+      Array.iteri
+        (fun c g ->
+          if g >= 0 then begin
+            let f = t.Testability.rep.(c) in
+            let sf =
+              det_signature base pats
+                (Gate_fault.inject m t.Testability.faults.(f))
+            and sg =
+              det_signature base pats
+                (Gate_fault.inject m t.Testability.faults.(g))
+            in
+            Array.iteri
+              (fun r wg ->
+                if Int64.logand wg (Int64.lognot sf.(r)) <> 0L then
+                  Alcotest.failf
+                    "%s: witness %s detected where dominated %s is not" name
+                    (Gate_fault.describe m t.Testability.faults.(g))
+                    (Gate_fault.describe m t.Testability.faults.(f)))
+              sg;
+            incr checked
+          end)
+        t.Testability.dom_by;
+      Alcotest.(check bool)
+        (name ^ ": dominated classes checked")
+        true (!checked > 0))
+    [ "add-16"; "t481"; "C1355" ]
+
+(* SCOAP scores predict random-pattern detection hardness: Spearman rank
+   correlation between the static score (higher = harder) and the
+   empirical detection probability (fraction of patterns detecting the
+   fault; lower = harder) must be clearly negative. *)
+let spearman xs ys =
+  let n = Array.length xs in
+  let rank v =
+    let idx = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare v.(a) v.(b)) idx;
+    let r = Array.make n 0.0 in
+    let i = ref 0 in
+    while !i < n do
+      let j = ref !i in
+      while !j < n - 1 && v.(idx.(!j + 1)) = v.(idx.(!i)) do incr j done;
+      let avg = float_of_int (!i + !j) /. 2.0 in
+      for k = !i to !j do
+        r.(idx.(k)) <- avg
+      done;
+      i := !j + 1
+    done;
+    r
+  in
+  let rx = rank xs and ry = rank ys in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+  let mx = mean rx and my = mean ry in
+  let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let a = rx.(i) -. mx and b = ry.(i) -. my in
+    num := !num +. (a *. b);
+    dx := !dx +. (a *. a);
+    dy := !dy +. (b *. b)
+  done;
+  !num /. sqrt (!dx *. !dy)
+
+let test_scoap_predicts_hardness () =
+  List.iter
+    (fun name ->
+      let m = mapped_of name in
+      let t = Testability.analyze m in
+      let pats = random_pats m ~rounds:8 ~seed:11L in
+      let base = Array.map (Mapped.simulate m) pats in
+      let scores = ref [] and probs = ref [] in
+      Array.iteri
+        (fun i f ->
+          let s = t.Testability.score.(i) in
+          if t.Testability.redundant.(i) = None && s < infinity then begin
+            let sg = det_signature base pats (Gate_fault.inject m f) in
+            let hits =
+              Array.fold_left
+                (fun acc w ->
+                  let c = ref 0 in
+                  for b = 0 to 63 do
+                    if Int64.logand (Int64.shift_right_logical w b) 1L = 1L
+                    then incr c
+                  done;
+                  acc + !c)
+                0 sg
+            in
+            scores := s :: !scores;
+            probs :=
+              (float_of_int hits /. float_of_int (64 * Array.length sg))
+              :: !probs
+          end)
+        t.Testability.faults;
+      let xs = Array.of_list !scores and ys = Array.of_list !probs in
+      let rho = spearman xs ys in
+      if rho >= -0.3 then
+        Alcotest.failf "%s: SCOAP score vs detection probability rho=%.3f"
+          name rho)
+    [ "add-16"; "t481"; "C1355" ]
+
 let () =
   Alcotest.run "fault"
     [
@@ -221,5 +426,16 @@ let () =
           Alcotest.test_case "analysis deterministic" `Quick
             test_gate_analysis_deterministic;
           Alcotest.test_case "atpg bookkeeping" `Quick test_atpg_bookkeeping;
+        ] );
+      ( "testability",
+        [
+          Alcotest.test_case "redundancy claims sound (full matrix)" `Slow
+            test_redundancy_sound;
+          Alcotest.test_case "classes agree with simulation" `Quick
+            test_classes_agree_with_sim;
+          Alcotest.test_case "dominance witnesses sound" `Quick
+            test_dominance_sound;
+          Alcotest.test_case "scoap predicts hardness" `Quick
+            test_scoap_predicts_hardness;
         ] );
     ]

@@ -392,6 +392,44 @@ let test_flow_clean () =
         (Map_lint.check ~lib ~golden:opt m))
     [ `Tg_static; `Cmos ]
 
+(* ---------------- diagnostic rendering ---------------- *)
+
+(* Negative fixture: a message carrying embedded tabs, newlines, CRs and
+   backslashes (e.g. quoted user input from a parse error) must still render
+   as exactly one TSV row of exactly four fields, losslessly. *)
+let test_diag_tsv_escaping () =
+  let d =
+    Diag.errorf ~rule:"input-parse"
+      (Diag.Circuit "bad\tname")
+      "line 3: unexpected token %S near\n\tcol\r4 (path C:\\tmp)" "a\tb"
+  in
+  let row = Diag.to_tsv d in
+  Alcotest.(check int)
+    "one row" 1
+    (List.length (String.split_on_char '\n' row));
+  Alcotest.(check bool) "no raw CR" false (String.contains row '\r');
+  (match String.split_on_char '\t' row with
+  | [ sev; rule; loc; msg ] ->
+      Alcotest.(check string) "severity field" "error" sev;
+      Alcotest.(check string) "rule field" "input-parse" rule;
+      Alcotest.(check string) "location field" "bad\\tname" loc;
+      Alcotest.(check bool) "message keeps escaped newline" true
+        (String.length msg > 0
+        && not (String.contains msg '\n')
+        && not (String.contains msg '\r'))
+  | fields ->
+      Alcotest.failf "expected exactly 4 TSV fields, got %d"
+        (List.length fields));
+  (* escaping is injective: distinct messages stay distinct *)
+  let mk m = Diag.to_tsv (Diag.errorf ~rule:"r" (Diag.Circuit "c") "%s" m) in
+  Alcotest.(check bool) "tab vs literal backslash-t differ" true
+    (mk "a\tb" <> mk "a\\tb");
+  (* a tab-free, newline-free finding renders byte-identically to the
+     pre-escaping convention *)
+  Alcotest.(check string) "plain findings unchanged"
+    "warning\tw-rule\tplain\thello world"
+    (Diag.to_tsv (Diag.warnf ~rule:"w-rule" (Diag.Circuit "plain") "hello world"))
+
 (* ---------------- dynamic-gate edge cases ---------------- *)
 
 let test_dynamic_edges () =
@@ -444,6 +482,7 @@ let () =
       ( "flow",
         [
           Alcotest.test_case "add-16 clean" `Quick test_flow_clean;
+          Alcotest.test_case "diag tsv escaping" `Quick test_diag_tsv_escaping;
           Alcotest.test_case "dynamic edges" `Quick test_dynamic_edges;
         ] );
     ]
