@@ -199,10 +199,170 @@ let sim_fault (m : Mapped.t) cones words base_vals base_outs scratch f =
   (match injected with Some j -> scratch.(j) <- base_vals.(j) | None -> ());
   detected
 
+(* ---------------- incremental ATPG ---------------- *)
+
+type atpg_engine = Incremental | Rebuild
+
+(* One CNF miter per netlist: a good copy and a faulty copy sharing the
+   primary inputs, with every surviving fault wired through a selector
+   variable.  A fault is then decided by one [solve ~assumptions] with its
+   selector true and all others false — the learned clauses, variable
+   activities and the encoding itself are shared across the whole sweep,
+   instead of rebuilding a fresh miter per fault as [Rebuild] does.
+
+   Injection matches [inject]'s semantics exactly: an output stuck forces
+   the instance output, a pin stuck forces the {e post-negation} pin value
+   feeding the truth table, and a PI stuck forces the {e pre-negation}
+   input value (output nets reading the PI directly see it too). *)
+module Atpg = struct
+  type miter = {
+    s : Solver.t;
+    piv : int array;    (* good (= shared) primary-input variables *)
+    sels : int array;   (* per-survivor selector variables *)
+  }
+
+  (* y <-> tt(lits), via ISOP covers of the on- and off-set: every on-set
+     cube c contributes (y \/ ~c), every off-set cube d contributes
+     (~y \/ ~d). *)
+  let encode_tt s lits arity tt y =
+    let t = Tt.of_bits arity tt in
+    let cube_clause base c =
+      let cl = ref [ base ] in
+      for i = 0 to arity - 1 do
+        if Cube.has_pos c i then cl := Solver.lit_not lits.(i) :: !cl
+        else if Cube.has_neg c i then cl := lits.(i) :: !cl
+      done;
+      Solver.add_clause s !cl
+    in
+    List.iter (cube_clause y) (Sop.isop t).Sop.cubes;
+    List.iter
+      (cube_clause (Solver.lit_not y))
+      (Sop.isop (Tt.bnot t)).Sop.cubes
+
+  let build (m : Mapped.t) (survivors : fault array) =
+    let s = Solver.create () in
+    (* a dedicated constant-false variable *)
+    let cfalse = Solver.new_var s in
+    Solver.add_clause s [ Solver.neg cfalse ];
+    let const_lit b = if b then Solver.neg cfalse else Solver.pos cfalse in
+    let piv = Array.init m.Mapped.num_inputs (fun _ -> Solver.new_var s) in
+    let sels = Array.map (fun _ -> Solver.new_var s) survivors in
+    (* z = if sel then b else x *)
+    let mux sel b x =
+      let z = Solver.pos (Solver.new_var s) in
+      let sl = Solver.pos sel in
+      let nsl = Solver.lit_not sl in
+      if b then Solver.add_clause s [ nsl; z ]
+      else Solver.add_clause s [ nsl; Solver.lit_not z ];
+      Solver.add_clause s [ sl; Solver.lit_not z; x ];
+      Solver.add_clause s [ sl; z; Solver.lit_not x ];
+      z
+    in
+    let chain faults x =
+      List.fold_left (fun x (sel, b) -> mux sel b x) x faults
+    in
+    (* survivor lookup per injection point, in survivor order *)
+    let pi_faults = Array.make m.Mapped.num_inputs [] in
+    let n_inst = Array.length m.Mapped.instances in
+    let out_faults = Array.make (max n_inst 1) [] in
+    let pin_faults = Hashtbl.create 64 in
+    Array.iteri
+      (fun k f ->
+        match f.site with
+        | Pi_sa i -> pi_faults.(i) <- (sels.(k), f.stuck) :: pi_faults.(i)
+        | Out_sa j -> out_faults.(j) <- (sels.(k), f.stuck) :: out_faults.(j)
+        | Pin_sa (j, p) ->
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt pin_faults (j, p))
+            in
+            Hashtbl.replace pin_faults (j, p) ((sels.(k), f.stuck) :: prev))
+      survivors;
+    (* faulty primary-input values *)
+    let fpi =
+      Array.init m.Mapped.num_inputs (fun i ->
+          chain pi_faults.(i) (Solver.pos piv.(i)))
+    in
+    (* the two circuit copies, in (topological) instance order *)
+    let gv = Array.make (max n_inst 1) 0 in
+    let fout = Array.make (max n_inst 1) 0 in
+    let good_driver_lit (net : Mapped.net) =
+      match net.Mapped.driver with
+      | Mapped.Pi i -> Solver.pos piv.(i)
+      | Mapped.Inst k -> Solver.pos gv.(k)
+      | Mapped.Const b -> const_lit b
+    in
+    let faulty_driver_lit (net : Mapped.net) =
+      match net.Mapped.driver with
+      | Mapped.Pi i -> fpi.(i)
+      | Mapped.Inst k -> fout.(k)
+      | Mapped.Const b -> const_lit b
+    in
+    let net_lit driver_lit (net : Mapped.net) =
+      let l = driver_lit net in
+      if net.Mapped.negated then Solver.lit_not l else l
+    in
+    Array.iteri
+      (fun j (inst : Mapped.instance) ->
+        let arity = Array.length inst.Mapped.fanins in
+        (* good copy *)
+        let g = Solver.new_var s in
+        gv.(j) <- g;
+        let glits = Array.map (net_lit good_driver_lit) inst.Mapped.fanins in
+        encode_tt s glits arity inst.Mapped.tt (Solver.pos g);
+        (* faulty copy: pin stucks apply after the net negation *)
+        let flits =
+          Array.mapi
+            (fun p net ->
+              let x = net_lit faulty_driver_lit net in
+              match Hashtbl.find_opt pin_faults (j, p) with
+              | Some faults -> chain faults x
+              | None -> x)
+            inst.Mapped.fanins
+        in
+        let fr = Solver.new_var s in
+        encode_tt s flits arity inst.Mapped.tt (Solver.pos fr);
+        fout.(j) <- chain out_faults.(j) (Solver.pos fr))
+      m.Mapped.instances;
+    (* miter outputs: some output must differ *)
+    let xors =
+      Array.map
+        (fun (_, net) ->
+          let la = net_lit good_driver_lit net in
+          let lb = net_lit faulty_driver_lit net in
+          let x = Solver.pos (Solver.new_var s) in
+          let nx = Solver.lit_not x in
+          let nla = Solver.lit_not la and nlb = Solver.lit_not lb in
+          Solver.add_clause s [ nx; la; lb ];
+          Solver.add_clause s [ nx; nla; nlb ];
+          Solver.add_clause s [ x; la; nlb ];
+          Solver.add_clause s [ x; nla; lb ];
+          x)
+        m.Mapped.outputs
+    in
+    Solver.add_clause s (Array.to_list xors);
+    { s; piv; sels }
+
+  (* Decide survivor [k]: its selector true, every other selector false. *)
+  let query mt ~conflict_budget k =
+    let assumptions =
+      Solver.pos mt.sels.(k)
+      :: (Array.to_list
+            (Array.mapi
+               (fun g sel -> if g = k then -1 else Solver.neg sel)
+               mt.sels)
+         |> List.filter (fun l -> l >= 0))
+    in
+    match Solver.solve ~assumptions ~conflict_budget mt.s with
+    | Solver.Unsat -> Redundant
+    | Solver.Unknown -> Unknown
+    | Solver.Sat ->
+        Detected_atpg (Array.map (Solver.model_value mt.s) mt.piv)
+end
+
 (* ---------------- the analysis driver ---------------- *)
 
 let analyze ?(rounds = 32) ?(seed = 2026L) ?(conflict_budget = 100_000)
-    (m : Mapped.t) =
+    ?(atpg = Incremental) ?stats (m : Mapped.t) =
   let faults = faults_of m in
   let n = Array.length faults in
   let status = Array.make n None in
@@ -229,19 +389,37 @@ let analyze ?(rounds = 32) ?(seed = 2026L) ?(conflict_budget = 100_000)
   done;
   (* ATPG sweep over the survivors *)
   (if !live > 0 then
-     let good = Mapped.to_aig m in
-     Array.iteri
-       (fun i f ->
-         if status.(i) = None then
-           let bad = Mapped.to_aig (inject m f) in
-           status.(i) <-
-             Some
-               (match Cec.check ~sim_rounds:4 ~conflict_budget ~seed good bad
-                with
-               | Cec.Equivalent -> Redundant
-               | Cec.Inequivalent cex -> Detected_atpg cex
-               | Cec.Undecided -> Unknown))
-       faults);
+     match atpg with
+     | Rebuild ->
+         let good = Mapped.to_aig m in
+         Array.iteri
+           (fun i f ->
+             if status.(i) = None then
+               let bad = Mapped.to_aig (inject m f) in
+               status.(i) <-
+                 Some
+                   (match
+                      Cec.check ~sim_rounds:4 ~conflict_budget ~seed ?stats
+                        good bad
+                    with
+                   | Cec.Equivalent -> Redundant
+                   | Cec.Inequivalent cex -> Detected_atpg cex
+                   | Cec.Undecided -> Unknown))
+           faults
+     | Incremental ->
+         let surv_idx = ref [] in
+         Array.iteri
+           (fun i _ -> if status.(i) = None then surv_idx := i :: !surv_idx)
+           faults;
+         let surv_idx = Array.of_list (List.rev !surv_idx) in
+         let survivors = Array.map (fun i -> faults.(i)) surv_idx in
+         let mt = Atpg.build m survivors in
+         Array.iteri
+           (fun k i -> status.(i) <- Some (Atpg.query mt ~conflict_budget k))
+           surv_idx;
+         (match stats with
+         | Some acc -> Solver.stats_accum acc (Solver.stats_of mt.Atpg.s)
+         | None -> ()));
   let results =
     Array.mapi
       (fun i f ->

@@ -48,15 +48,30 @@ val inject : Mapped.t -> fault -> Mapped.t
     and converts with the ordinary {!Mapped} API; its cover provenance is
     stale by construction, so don't lint it. *)
 
+type atpg_engine =
+  | Incremental
+      (** one CNF miter per netlist, survivors decided as assumption
+          queries against per-fault selector variables (default) *)
+  | Rebuild
+      (** the pre-incremental behaviour: a fresh {!Cec.check} miter per
+          surviving fault *)
+
 val analyze :
   ?rounds:int ->
   ?seed:int64 ->
   ?conflict_budget:int ->
+  ?atpg:atpg_engine ->
+  ?stats:Solver.stats ->
   Mapped.t ->
   result array * summary
 (** Full fault-simulation + ATPG run (defaults: 32 rounds, seed 2026,
-    budget 100k conflicts).  Deterministic for fixed arguments; never
-    raises on hard SAT instances. *)
+    budget 100k conflicts per fault, [Incremental] ATPG).  Deterministic
+    for fixed arguments; never raises on hard SAT instances.  [stats],
+    when given, accumulates the SAT effort of the ATPG sweep.
+
+    Both engines agree on every decided verdict (Redundant vs Detected);
+    only counterexample bits and the Unknown frontier under a conflict
+    budget may differ. *)
 
 val summary_line : summary -> string
 val status_name : status -> string

@@ -127,6 +127,11 @@ let last_cache_status : [ `Hit | `Miss ] option Domain.DLS.key =
 let last_cut_stats : Cut.stats option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
+(* And for the SAT-solver counters of the passes that solve ([lint]'s
+   functional fallback, [fault]'s ATPG). *)
+let last_sat_stats : Solver.stats option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 (* ---------------- passes ---------------- *)
 
 let with_aig ctx aig =
@@ -247,10 +252,16 @@ let pass_lint cfg step ctx =
   let ds =
     match ctx.mapped with
     | Some m when not (arg_flag step "aig") ->
-        Map_lint.check
-          ~name:(lint_name step ctx ~mapped:true)
-          ?lib:ctx.lib ?golden:ctx.golden
-          ?conflict_budget:cfg.conflict_budget m
+        let stats = Solver.stats_create () in
+        let ds =
+          Map_lint.check
+            ~name:(lint_name step ctx ~mapped:true)
+            ?lib:ctx.lib ?golden:ctx.golden
+            ?conflict_budget:cfg.conflict_budget ~stats m
+        in
+        if stats.Solver.sat_solves > 0 then
+          Domain.DLS.set last_sat_stats (Some stats);
+        ds
     | _ -> Aig_lint.check ~name:(lint_name step ctx ~mapped:false) ctx.aig
   in
   { ctx with diags = ctx.diags @ ds }
@@ -320,7 +331,18 @@ let pass_fault cfg step ctx =
     | Some b -> b
     | None -> Option.value cfg.conflict_budget ~default:100_000
   in
-  let _, summary = Gate_fault.analyze ~rounds ~seed ~conflict_budget m in
+  let atpg =
+    match arg_value step "atpg" with
+    | None | Some "incremental" -> Gate_fault.Incremental
+    | Some "rebuild" -> Gate_fault.Rebuild
+    | Some a -> fail "fault: unknown atpg %s (incremental|rebuild)" a
+  in
+  let stats = Solver.stats_create () in
+  let _, summary =
+    Gate_fault.analyze ~rounds ~seed ~conflict_budget ~atpg ~stats m
+  in
+  if stats.Solver.sat_solves > 0 then
+    Domain.DLS.set last_sat_stats (Some stats);
   let diags =
     if summary.Gate_fault.g_unknown = 0 then ctx.diags
     else
@@ -411,8 +433,9 @@ let registry : (string * pass_info) list =
     ( "fault",
       { p_doc =
           "stuck-at fault simulation + SAT ATPG of the mapping [rounds=N, \
-           seed=N, budget=N]";
-        p_args = Some [ "rounds"; "seed"; "budget" ]; p_apply = pass_fault } );
+           seed=N, budget=N, atpg=incremental|rebuild]";
+        p_args = Some [ "rounds"; "seed"; "budget"; "atpg" ];
+        p_apply = pass_fault } );
     ( "testability",
       { p_doc =
           "static testability analysis: SCOAP, fault collapsing, redundancy \
@@ -541,6 +564,7 @@ type sample = {
   sm_cut : Cut.stats option;
   sm_fault : Gate_fault.summary option;
   sm_testability : Testability.summary option;
+  sm_sat : Solver.stats option;
   sm_new_diags : int;
 }
 
@@ -554,6 +578,7 @@ let run_step cfg step ctx =
   let info = find_pass step.pass in
   Domain.DLS.set last_cache_status None;
   Domain.DLS.set last_cut_stats None;
+  Domain.DLS.set last_sat_stats None;
   let t0 = Unix.gettimeofday () in
   let ctx' = info.p_apply cfg step ctx in
   let wall = Unix.gettimeofday () -. t0 in
@@ -587,6 +612,7 @@ let run_step cfg step ctx =
       sm_testability =
         (if opt_changed ctx.testability ctx'.testability then ctx'.testability
          else None);
+      sm_sat = Domain.DLS.get last_sat_stats;
       sm_new_diags = List.length ctx'.diags - List.length ctx.diags;
     }
   in
@@ -612,6 +638,7 @@ let crash_sample step wall before after =
     sm_cut = None;
     sm_fault = None;
     sm_testability = None;
+    sm_sat = None;
     sm_new_diags = List.length after.diags - List.length before.diags;
   }
 
@@ -757,12 +784,13 @@ let samples_tsv_header =
    gates\tarea\tnorm_delay\tabs_ps\tsta_ps\tcache\tcuts_built\t\
    cuts_dominated\tsign_rejects\ttt_merges\tmatch_probes\tfaults\t\
    fault_cov\tfault_unknown\ttb_classes\ttb_collapsed\ttb_redundant\t\
+   sat_solves\tsat_conflicts\tsat_props\tsat_restarts\tsat_learned\t\
    new_diags"
 
 let sample_to_tsv s =
   Printf.sprintf
     "%s\t%s\t%s\t%.3f\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\
-     %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d"
+     %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d"
     s.sm_circuit s.sm_family s.sm_pass (1000.0 *. s.sm_wall_s) s.sm_ands_before
     s.sm_ands_after s.sm_depth_before s.sm_depth_after
     (match s.sm_mapped with
@@ -787,6 +815,11 @@ let sample_to_tsv s =
     (iopt (Option.map (fun t -> t.Testability.t_classes) s.sm_testability))
     (iopt (Option.map (fun t -> t.Testability.t_collapsed) s.sm_testability))
     (iopt (Option.map (fun t -> t.Testability.t_redundant) s.sm_testability))
+    (iopt (Option.map (fun st -> st.Solver.sat_solves) s.sm_sat))
+    (iopt (Option.map (fun st -> st.Solver.sat_conflicts) s.sm_sat))
+    (iopt (Option.map (fun st -> st.Solver.sat_propagations) s.sm_sat))
+    (iopt (Option.map (fun st -> st.Solver.sat_restarts) s.sm_sat))
+    (iopt (Option.map (fun st -> st.Solver.sat_learned) s.sm_sat))
     s.sm_new_diags
 
 let json_escape s =
@@ -818,7 +851,7 @@ let samples_to_json samples =
          \"wall_ms\":%.3f,\"ands_in\":%d,\"ands_out\":%d,\"depth_in\":%d,\
          \"depth_out\":%d,\"gates\":%s,\"area\":%s,\"norm_delay\":%s,\
          \"abs_ps\":%s,\"sta_ps\":%s,\"cache\":%s,\"cut\":%s,\
-         \"fault\":%s,\"testability\":%s,\"new_diags\":%d}"
+         \"fault\":%s,\"testability\":%s,\"sat\":%s,\"new_diags\":%d}"
         (json_escape s.sm_circuit) (json_escape s.sm_family)
         (json_escape s.sm_pass) (1000.0 *. s.sm_wall_s) s.sm_ands_before
         s.sm_ands_after s.sm_depth_before s.sm_depth_after
@@ -861,6 +894,15 @@ let samples_to_json samples =
               t.Testability.t_dominated t.Testability.t_collapsed
               t.Testability.t_redundant t.Testability.t_const_lines
               t.Testability.t_score_mean)
+        (match s.sm_sat with
+        | None -> "null"
+        | Some st ->
+            Printf.sprintf
+              "{\"solves\":%d,\"conflicts\":%d,\"decisions\":%d,\
+               \"propagations\":%d,\"restarts\":%d,\"learned\":%d}"
+              st.Solver.sat_solves st.Solver.sat_conflicts
+              st.Solver.sat_decisions st.Solver.sat_propagations
+              st.Solver.sat_restarts st.Solver.sat_learned)
         s.sm_new_diags)
     samples;
   Buffer.add_string b "\n]\n";

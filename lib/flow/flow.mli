@@ -120,6 +120,9 @@ type sample = {
       (** fault-coverage summary when the pass ran fault analysis *)
   sm_testability : Testability.summary option;
       (** static-testability summary when the pass ran the analysis *)
+  sm_sat : Solver.stats option;
+      (** SAT-solver effort when the pass issued solver queries ([lint]
+          cover verification and [fault] ATPG) *)
   sm_new_diags : int;     (** findings added by the pass *)
 }
 

@@ -51,7 +51,7 @@ let aig_of_tt k tt =
    the mapper shrinks cuts to their functional support, so a dropped
    don't-care leaf can leave the cone crossing the leaf boundary while the
    cover is still functionally sound. *)
-let compose_equiv ?conflict_budget golden root_lit leaves inst_tt =
+let compose_equiv ?conflict_budget ?stats golden root_lit leaves inst_tt =
   let outs =
     ("r", root_lit)
     :: Array.to_list
@@ -76,7 +76,7 @@ let compose_equiv ?conflict_budget golden root_lit leaves inst_tt =
     ignore (Aig.add_input g0)
   done;
   Aig.add_output g0 "m" Aig.lit_false;
-  Cec.check ?conflict_budget gm g0
+  Cec.check ?conflict_budget ?stats gm g0
 
 exception Cut_violation
 
@@ -111,7 +111,7 @@ let aig_of_cut golden root_lit leaves =
   g
 
 let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16)
-    ?conflict_budget (m : Mapped.t) =
+    ?conflict_budget ?stats (m : Mapped.t) =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let ninst = Array.length m.Mapped.instances in
@@ -353,7 +353,7 @@ let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16)
                 let g1, _ = Aig.extract golden [ ("o", l1) ] in
                 let g2, _ = Aig.extract golden [ ("o", l2) ] in
                 let v =
-                  match Cec.check ?conflict_budget g1 g2 with
+                  match Cec.check ?conflict_budget ?stats g1 g2 with
                   | Cec.Equivalent -> `Proven
                   | Cec.Inequivalent _ -> `Refuted
                   | Cec.Undecided -> `Unknown
@@ -436,7 +436,7 @@ let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16)
                       with
                       | cone -> (
                           match
-                            Cec.check ?conflict_budget cone
+                            Cec.check ?conflict_budget ?stats cone
                               (aig_of_tt k inst_tt)
                           with
                           | Cec.Equivalent -> Some `Ok
@@ -509,7 +509,7 @@ let check ?(name = "mapped") ?lib ?golden ?(tt_max_leaves = 16)
                            inst.Mapped.cell_name)
                   | None -> (
                       match
-                        compose_equiv ?conflict_budget golden
+                        compose_equiv ?conflict_budget ?stats golden
                           cov.Mapped.root_lit leaves inst_tt
                       with
                       | Cec.Equivalent ->

@@ -54,6 +54,7 @@ val check :
   ?golden:Aig.t ->
   ?tt_max_leaves:int ->
   ?conflict_budget:int ->
+  ?stats:Solver.stats ->
   Mapped.t ->
   Diag.t list
 (** [tt_max_leaves] (default 16, i.e. always) bounds the cut width checked
@@ -61,4 +62,5 @@ val check :
     miter over the cut cone.  Lower it only to exercise the SAT path.
     [conflict_budget] caps every SAT fallback solve; exhaustion degrades
     the affected rule to a Warning ("budget exhausted") instead of an
-    unbounded solve. *)
+    unbounded solve.  [stats], when given, accumulates the SAT effort of
+    every fallback solve. *)

@@ -1,31 +1,133 @@
+type formula = { fm_vars : int; fm_clauses : int list list }
+
 let lit_of vars l =
   let v = vars.(Aig.node_of l) in
   if Aig.is_compl l then Solver.neg v else Solver.pos v
 
-let encode_with s aig mk_input_var =
-  let n = Aig.num_nodes aig in
-  let vars = Array.make n (-1) in
-  (* constant node *)
-  vars.(0) <- Solver.new_var s;
-  Solver.add_clause s [ Solver.neg vars.(0) ];
-  for i = 0 to Aig.num_inputs aig - 1 do
-    vars.(i + 1) <- mk_input_var i
-  done;
-  Aig.iter_ands aig (fun nd ->
-      let v = Solver.new_var s in
-      vars.(nd) <- v;
-      let a = lit_of vars (Aig.fanin0 aig nd) in
-      let b = lit_of vars (Aig.fanin1 aig nd) in
-      let y = Solver.pos v in
-      (* y <-> a & b *)
-      Solver.add_clause s [ Solver.lit_not y; a ];
-      Solver.add_clause s [ Solver.lit_not y; b ];
-      Solver.add_clause s [ y; Solver.lit_not a; Solver.lit_not b ]);
-  vars
+module type S = sig
+  type solver
 
-let encode s aig = encode_with s aig (fun _ -> Solver.new_var s)
+  val lit_of : int array -> Aig.lit -> int
+  val encode : solver -> Aig.t -> int array
+  val encode_shared : solver -> Aig.t -> inputs:int array -> int array
+  val add_formula : solver -> formula -> unit
+end
 
-let encode_shared s aig ~inputs =
-  if Array.length inputs <> Aig.num_inputs aig then
-    invalid_arg "Cnf.encode_shared";
-  encode_with s aig (fun i -> inputs.(i))
+module Make (E : Solver.CORE) = struct
+  type solver = E.t
+
+  let lit_of = lit_of
+
+  let encode_with s aig mk_input_var =
+    let n = Aig.num_nodes aig in
+    let vars = Array.make n (-1) in
+    (* constant node *)
+    vars.(0) <- E.new_var s;
+    E.add_clause s [ Solver.neg vars.(0) ];
+    for i = 0 to Aig.num_inputs aig - 1 do
+      vars.(i + 1) <- mk_input_var i
+    done;
+    Aig.iter_ands aig (fun nd ->
+        let v = E.new_var s in
+        vars.(nd) <- v;
+        let a = lit_of vars (Aig.fanin0 aig nd) in
+        let b = lit_of vars (Aig.fanin1 aig nd) in
+        let y = Solver.pos v in
+        (* y <-> a & b *)
+        E.add_clause s [ Solver.lit_not y; a ];
+        E.add_clause s [ Solver.lit_not y; b ];
+        E.add_clause s [ y; Solver.lit_not a; Solver.lit_not b ]);
+    vars
+
+  let encode s aig = encode_with s aig (fun _ -> E.new_var s)
+
+  let encode_shared s aig ~inputs =
+    if Array.length inputs <> Aig.num_inputs aig then
+      invalid_arg "Cnf.encode_shared";
+    encode_with s aig (fun i -> inputs.(i))
+
+  let add_formula s fm =
+    while E.num_vars s < fm.fm_vars do
+      ignore (E.new_var s)
+    done;
+    List.iter (E.add_clause s) fm.fm_clauses
+end
+
+module Default = Make (Solver)
+
+let encode = Default.encode
+let encode_shared = Default.encode_shared
+let add_formula = Default.add_formula
+
+(* ------------------------------------------------------------------ *)
+(* DIMACS                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let to_dimacs fm =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "p cnf %d %d\n" fm.fm_vars (List.length fm.fm_clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l ->
+          let v = Solver.lit_var l + 1 in
+          Buffer.add_string b
+            (string_of_int (if Solver.lit_sign l then v else -v));
+          Buffer.add_char b ' ')
+        clause;
+      Buffer.add_string b "0\n")
+    fm.fm_clauses;
+  Buffer.contents b
+
+let of_dimacs text =
+  (* Tokenize, dropping [c] comment lines and anything after a lone [%]
+     (the SATLIB benchmark trailer). *)
+  let lines = String.split_on_char '\n' text in
+  let tokens = ref [] in
+  (try
+     List.iter
+       (fun line ->
+         let line = String.trim line in
+         if line = "%" then raise Exit
+         else if line <> "" && line.[0] <> 'c' then
+           String.split_on_char ' ' line
+           |> List.iter (fun tok -> if tok <> "" then tokens := tok :: !tokens))
+       lines
+   with Exit -> ());
+  match List.rev !tokens with
+  | "p" :: "cnf" :: nv :: nc :: rest -> (
+      match (int_of_string_opt nv, int_of_string_opt nc) with
+      | Some nv, Some nc when nv >= 0 && nc >= 0 -> (
+          let err = ref None in
+          let clauses = ref [] in
+          let current = ref [] in
+          List.iter
+            (fun tok ->
+              if !err = None then
+                match int_of_string_opt tok with
+                | None -> err := Some (Printf.sprintf "bad literal %S" tok)
+                | Some 0 ->
+                    clauses := List.rev !current :: !clauses;
+                    current := []
+                | Some d when abs d > nv ->
+                    err := Some (Printf.sprintf "literal %d out of range" d)
+                | Some d ->
+                    let l =
+                      if d > 0 then Solver.pos (d - 1) else Solver.neg (-d - 1)
+                    in
+                    current := l :: !current)
+            rest;
+          match !err with
+          | Some e -> Error e
+          | None ->
+              if !current <> [] then Error "unterminated clause"
+              else
+                let clauses = List.rev !clauses in
+                if List.length clauses <> nc then
+                  Error
+                    (Printf.sprintf "header says %d clauses, found %d" nc
+                       (List.length clauses))
+                else Ok { fm_vars = nv; fm_clauses = clauses })
+      | _ -> Error "bad p-line counts")
+  | _ -> Error "missing 'p cnf' header"

@@ -201,6 +201,49 @@ let test_atpg_bookkeeping () =
   Alcotest.(check bool) "testable coverage >= coverage" true
     (Gate_fault.testable_coverage s >= cov -. 1e-9)
 
+(* The incremental ATPG engine (one miter, assumption queries) must agree
+   with the rebuild engine (a fresh CEC miter per fault) on every decided
+   verdict: a fault detected by one and proved redundant by the other
+   would be a soundness bug.  Unknown is only possible under a conflict
+   budget, which this test doesn't set, so the statuses must classify
+   identically (counterexample bits may differ — the engines search
+   differently). *)
+let test_atpg_engines_agree () =
+  List.iter
+    (fun name ->
+      let m = mapped_of name in
+      let ri, si =
+        Gate_fault.analyze ~rounds:1 ~seed:3L ~atpg:Gate_fault.Incremental m
+      in
+      let rr, sr =
+        Gate_fault.analyze ~rounds:1 ~seed:3L ~atpg:Gate_fault.Rebuild m
+      in
+      Alcotest.(check bool)
+        (name ^ ": atpg stage exercised")
+        true
+        (si.Gate_fault.g_atpg > 0);
+      Alcotest.(check int)
+        (name ^ ": redundant counts equal")
+        sr.Gate_fault.g_redundant si.Gate_fault.g_redundant;
+      Alcotest.(check int) (name ^ ": no unknowns") 0 si.Gate_fault.g_unknown;
+      Array.iteri
+        (fun k (a : Gate_fault.result) ->
+          let b = rr.(k) in
+          let cls (r : Gate_fault.result) =
+            match r.Gate_fault.status with
+            | Gate_fault.Detected_sim -> "sim"
+            | Gate_fault.Detected_atpg _ -> "atpg"
+            | Gate_fault.Redundant -> "redundant"
+            | Gate_fault.Unknown -> "unknown"
+          in
+          if cls a <> cls b then
+            Alcotest.failf "%s: %s classified %s (incremental) vs %s (rebuild)"
+              name
+              (Gate_fault.describe m a.Gate_fault.fault)
+              (cls a) (cls b))
+        ri)
+    [ "t481"; "C1908" ]
+
 (* ---- static testability ---- *)
 
 let mapped_for family name =
@@ -426,6 +469,8 @@ let () =
           Alcotest.test_case "analysis deterministic" `Quick
             test_gate_analysis_deterministic;
           Alcotest.test_case "atpg bookkeeping" `Quick test_atpg_bookkeeping;
+          Alcotest.test_case "atpg engines agree" `Quick
+            test_atpg_engines_agree;
         ] );
       ( "testability",
         [

@@ -171,10 +171,10 @@ let test_samples () =
   Alcotest.(check int) "tsv rows" 4 (List.length tsv_lines);
   List.iter
     (fun l ->
-      Alcotest.(check int) "tsv column count" 26
+      Alcotest.(check int) "tsv column count" 31
         (List.length (String.split_on_char '\t' l)))
     tsv_lines;
-  Alcotest.(check int) "tsv header column count" 26
+  Alcotest.(check int) "tsv header column count" 31
     (List.length (String.split_on_char '\t' Flow.samples_tsv_header));
   let json = Flow.samples_to_json samples in
   Alcotest.(check bool) "json non-trivial" true (String.length json > 100)

@@ -178,6 +178,170 @@ let test_cec_inequivalent () =
       Alcotest.(check bool) "cex distinguishes" true (oa <> ob)
   | _ -> Alcotest.fail "expected inequivalence")
 
+(* ---- Differential tests: CDCL engine vs the seed solver ---- *)
+
+(* Random clause list: [nvars] variables, mixed clause widths so unit
+   propagation, binary implication and full search all get exercised. *)
+let random_clauses nvars nclauses =
+  List.init nclauses (fun _ ->
+      let width = 1 + Rand64.int rng 3 in
+      List.init width (fun _ ->
+          let v = Rand64.int rng nvars in
+          if Rand64.bool rng then Solver.pos v else Solver.neg v))
+
+let run_engine (module E : Solver.CORE) nvars clauses assumptions =
+  let s = E.create () in
+  for _ = 1 to nvars do
+    ignore (E.new_var s)
+  done;
+  List.iter (E.add_clause s) clauses;
+  let r = E.solve ~assumptions s in
+  let model =
+    match r with
+    | Solver.Sat -> Some (Array.init nvars (E.model_value s))
+    | _ -> None
+  in
+  let core = match r with Solver.Unsat -> E.unsat_core s | _ -> [] in
+  (r, model, core)
+
+let model_satisfies model clauses =
+  List.for_all
+    (List.exists (fun l ->
+         model.(Solver.lit_var l) = Solver.lit_sign l))
+    clauses
+
+let prop_differential =
+  QCheck.Test.make ~name:"cdcl vs reference on random cnf" ~count:200
+    (QCheck.make QCheck.Gen.(int_range 4 20))
+    (fun nvars ->
+      let clauses = random_clauses nvars (4 * nvars) in
+      let r1, m1, _ = run_engine (module Solver) nvars clauses [] in
+      let r2, m2, _ = run_engine (module Solver.Reference) nvars clauses [] in
+      r1 = r2
+      && (match m1 with None -> true | Some m -> model_satisfies m clauses)
+      && match m2 with None -> true | Some m -> model_satisfies m clauses)
+
+let prop_assumptions =
+  (* Incremental solving under assumptions must agree with the reference
+     engine, whose [solve ~assumptions] rebuilds a monolithic problem with
+     the assumptions as unit clauses — the definition of correctness for
+     the assumption interface.  On Unsat, the core must be a subset of the
+     assumptions whose units alone already make the problem unsat. *)
+  QCheck.Test.make ~name:"assumptions: incremental = monolithic" ~count:200
+    (QCheck.make QCheck.Gen.(int_range 4 16))
+    (fun nvars ->
+      let clauses = random_clauses nvars (3 * nvars) in
+      let assumptions =
+        List.init
+          (1 + Rand64.int rng (nvars / 2))
+          (fun _ ->
+            let v = Rand64.int rng nvars in
+            if Rand64.bool rng then Solver.pos v else Solver.neg v)
+      in
+      let r1, m1, core = run_engine (module Solver) nvars clauses assumptions in
+      let r2, _, _ =
+        run_engine (module Solver.Reference) nvars clauses assumptions
+      in
+      r1 = r2
+      && (match m1 with
+         | None -> true
+         | Some m ->
+             model_satisfies m clauses
+             && List.for_all
+                  (fun l -> m.(Solver.lit_var l) = Solver.lit_sign l)
+                  assumptions)
+      && (r1 <> Solver.Unsat
+         ||
+         (* core soundness: core ⊆ assumptions, and clauses + core units
+            is unsat on its own (checked with the other engine) *)
+         List.for_all (fun l -> List.mem l assumptions) core
+         &&
+         let r3, _, _ =
+           run_engine
+             (module Solver.Reference)
+             nvars
+             (clauses @ List.map (fun l -> [ l ]) core)
+             []
+         in
+         r3 = Solver.Unsat))
+
+let test_assumptions_reusable () =
+  (* One solver, many assumption queries: later queries must not be
+     polluted by earlier failed ones. *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos a; Solver.pos b ];
+  Alcotest.(check bool) "a=0 b=0 unsat" true
+    (Solver.solve ~assumptions:[ Solver.neg a; Solver.neg b ] s = Solver.Unsat);
+  Alcotest.(check bool) "a=0 sat" true
+    (Solver.solve ~assumptions:[ Solver.neg a ] s = Solver.Sat);
+  Alcotest.(check bool) "b forced" true (Solver.model_value s b);
+  Alcotest.(check bool) "no assumptions sat" true (Solver.solve s = Solver.Sat)
+
+let test_assumption_contradicts_unit () =
+  (* An assumption against a unit clause must fail with that assumption in
+     the core, not corrupt the solver for later solves. *)
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos a ];
+  Alcotest.(check bool) "assume !a unsat" true
+    (Solver.solve ~assumptions:[ Solver.neg a ] s = Solver.Unsat);
+  Alcotest.(check bool) "core = [!a]" true
+    (Solver.unsat_core s = [ Solver.neg a ]);
+  Alcotest.(check bool) "still sat" true (Solver.solve s = Solver.Sat)
+
+(* ---- DIMACS ---- *)
+
+let test_dimacs_roundtrip () =
+  for _ = 1 to 20 do
+    let nvars = 2 + Rand64.int rng 10 in
+    let fm =
+      { Cnf.fm_vars = nvars; Cnf.fm_clauses = random_clauses nvars (2 * nvars) }
+    in
+    match Cnf.of_dimacs (Cnf.to_dimacs fm) with
+    | Ok fm' ->
+        Alcotest.(check bool) "roundtrip" true (fm = fm')
+    | Error e -> Alcotest.fail ("roundtrip parse failed: " ^ e)
+  done
+
+let test_dimacs_errors () =
+  let bad text =
+    match Cnf.of_dimacs text with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "missing header" true (bad "1 -2 0\n");
+  Alcotest.(check bool) "out of range" true (bad "p cnf 2 1\n1 -3 0\n");
+  Alcotest.(check bool) "unterminated" true (bad "p cnf 2 1\n1 -2\n");
+  Alcotest.(check bool) "count mismatch" true (bad "p cnf 2 2\n1 -2 0\n");
+  Alcotest.(check bool) "bad literal" true (bad "p cnf 2 1\n1 x 0\n")
+
+let test_dimacs_comments_and_trailer () =
+  let text = "c a comment\np cnf 3 2\n1 -2 0\nc mid comment\n2 3 0\n%\n0\n" in
+  match Cnf.of_dimacs text with
+  | Ok fm ->
+      Alcotest.(check int) "vars" 3 fm.Cnf.fm_vars;
+      Alcotest.(check int) "clauses" 2 (List.length fm.Cnf.fm_clauses)
+  | Error e -> Alcotest.fail e
+
+let test_cec_engines_agree () =
+  let a = build_adder_variant `Xor 8 in
+  let b = build_adder_variant `Mux 8 in
+  let va = Cec.check ~engine:Cec.Cdcl a b in
+  let vb = Cec.check ~engine:Cec.Reference a b in
+  Alcotest.(check bool) "both equivalent" true
+    (va = Cec.Equivalent && vb = Cec.Equivalent)
+
+let test_cec_budget_exception () =
+  let a = build_adder_variant `Xor 10 in
+  let b = build_adder_variant `Mux 10 in
+  (* sim_rounds can't help on equivalent graphs, and one conflict is never
+     enough for a 10-bit adder miter, so the budget must trip *)
+  (match Cec.check ~conflict_budget:1 a b with
+  | Cec.Undecided -> ()
+  | _ -> Alcotest.fail "expected Undecided");
+  match Cec.equivalent ~conflict_budget:1 a b with
+  | exception Cec.Undecided_budget -> ()
+  | _ -> Alcotest.fail "expected Undecided_budget"
+
 let test_cec_sim_filter () =
   (* constant-0 vs constant-1 single output: found by simulation *)
   let a = Aig.create () in
@@ -207,11 +371,30 @@ let () =
           Alcotest.test_case "incremental" `Quick test_incremental;
           qt prop_random_3cnf;
         ] );
+      ( "differential",
+        [
+          qt prop_differential;
+          qt prop_assumptions;
+          Alcotest.test_case "assumptions reusable" `Quick
+            test_assumptions_reusable;
+          Alcotest.test_case "assumption vs unit" `Quick
+            test_assumption_contradicts_unit;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+          Alcotest.test_case "comments and trailer" `Quick
+            test_dimacs_comments_and_trailer;
+        ] );
       ( "cec",
         [
           Alcotest.test_case "encode" `Quick test_cnf_encode;
           Alcotest.test_case "equivalent adders" `Quick test_cec_equivalent;
           Alcotest.test_case "inequivalent" `Quick test_cec_inequivalent;
+          Alcotest.test_case "engines agree" `Quick test_cec_engines_agree;
+          Alcotest.test_case "budget exception" `Quick
+            test_cec_budget_exception;
           Alcotest.test_case "sim filter" `Quick test_cec_sim_filter;
         ] );
     ]
