@@ -41,6 +41,7 @@ let specs =
 type measurement = {
   ms : float;
   stats : Cut.stats;
+  rss_kb : int;  (** child's peak RSS in kB; -1 where unavailable *)
   digest : string;  (** of the optimized AIG and the mapped netlist *)
 }
 
@@ -102,19 +103,22 @@ let measure lib (e : Bench_suite.entry) engine n =
                   (Blif.to_string opt, mapped)
                   [ Marshal.No_sharing ]))
         in
-        Printf.sprintf "%.6f %d %d %d %d %d %s" (1000.0 *. !best)
+        let rss =
+          match Cli_common.peak_rss_kb () with Some v -> v | None -> -1
+        in
+        Printf.sprintf "%.6f %d %d %d %d %d %d %s" (1000.0 *. !best)
           stats.Cut.built stats.Cut.dominated stats.Cut.sign_rejects
-          stats.Cut.tt_merges stats.Cut.probes digest)
+          stats.Cut.tt_merges stats.Cut.probes rss digest)
   in
-  Scanf.sscanf line "%f %d %d %d %d %d %s"
-    (fun ms built dominated sign_rejects tt_merges probes digest ->
+  Scanf.sscanf line "%f %d %d %d %d %d %d %s"
+    (fun ms built dominated sign_rejects tt_merges probes rss_kb digest ->
       let stats = Cut.stats_create () in
       stats.Cut.built <- built;
       stats.Cut.dominated <- dominated;
       stats.Cut.sign_rejects <- sign_rejects;
       stats.Cut.tt_merges <- tt_merges;
       stats.Cut.probes <- probes;
-      { ms; stats; digest })
+      { ms; stats; rss_kb; digest })
 
 let () =
   Arg.parse (Arg.align specs)
@@ -139,8 +143,17 @@ let () =
         let p = measure lib e Cut.Packed !repeat in
         let ands = Aig.num_ands (e.Bench_suite.build ()) in
         let row = { bench = e.Bench_suite.name; ands; r; p } in
-        Printf.printf "%-10s ands=%-6d ref=%8.2fms packed=%8.2fms x%.2f %s\n%!"
-          row.bench row.ands r.ms p.ms (r.ms /. p.ms)
+        (* sign_rejects per built cut: the large-circuit enumeration-tail
+           indicator (des was the profiled outlier at ~2.6) *)
+        let ratio =
+          if p.stats.Cut.built = 0 then 0.0
+          else
+            float_of_int p.stats.Cut.sign_rejects
+            /. float_of_int p.stats.Cut.built
+        in
+        Printf.printf
+          "%-10s ands=%-6d ref=%8.2fms packed=%8.2fms x%.2f sr/built=%.2f %s\n%!"
+          row.bench row.ands r.ms p.ms (r.ms /. p.ms) ratio
           (if r.digest = p.digest then "identical" else "DIFFERS");
         row)
       entries
@@ -161,16 +174,25 @@ let () =
   List.iteri
     (fun i row ->
       if i > 0 then Buffer.add_string b ",\n";
+      let json_rss v = if v < 0 then "null" else string_of_int v in
+      let ratio =
+        if row.p.stats.Cut.built = 0 then 0.0
+        else
+          float_of_int row.p.stats.Cut.sign_rejects
+          /. float_of_int row.p.stats.Cut.built
+      in
       Printf.bprintf b
         "    {\"bench\": \"%s\", \"ands\": %d, \"ref_ms\": %.3f, \
          \"packed_ms\": %.3f, \"speedup\": %.3f, \"identical\": %b, \
+         \"ref_peak_rss_kb\": %s, \"packed_peak_rss_kb\": %s, \
          \"cut\": {\"built\": %d, \"dominated\": %d, \"sign_rejects\": %d, \
-         \"tt_merges\": %d, \"probes\": %d}}"
+         \"sign_reject_ratio\": %.3f, \"tt_merges\": %d, \"probes\": %d}}"
         row.bench row.ands row.r.ms row.p.ms
         (row.r.ms /. row.p.ms)
         (row.r.digest = row.p.digest)
+        (json_rss row.r.rss_kb) (json_rss row.p.rss_kb)
         row.p.stats.Cut.built row.p.stats.Cut.dominated
-        row.p.stats.Cut.sign_rejects row.p.stats.Cut.tt_merges
+        row.p.stats.Cut.sign_rejects ratio row.p.stats.Cut.tt_merges
         row.p.stats.Cut.probes)
     rows;
   Printf.bprintf b

@@ -51,8 +51,10 @@ let specs =
     );
     ( "--jobs",
       Arg.Set_int jobs,
-      "N fan benchmarks across N domains (default 1; 0 = all cores; output \
-       is identical at any N)" );
+      "N domains (default 1; 0 = all cores; output is identical at any N). \
+       Several (benchmark, family) jobs fan across domains; a single job \
+       instead parallelizes within the circuit (synthesis analysis and \
+       mapper cover selection)" );
     ("--seed", Arg.Set_string seed, "N simulation seed for verify (default 2026)");
     ("--cut-size", Arg.Set_int cut_size, "K mapper cut size (default 6)");
     ( "--cut-engine",
@@ -185,9 +187,19 @@ let main () =
     | Some e -> e
     | None -> Cli_common.usage_die ~prog ("unknown --cut-engine " ^ !cut_engine)
   in
+  (* [--jobs n] with several (benchmark, family) jobs fans whole jobs
+     across domains (the historic behavior); with exactly one job the
+     fan-out is useless, so the domains move inside the circuit instead.
+     Either way output is byte-identical to a sequential run. *)
+  let njobs =
+    if !jobs = 0 then Flow.Runner.recommended_domains () else max 1 !jobs
+  in
+  let single_job = List.length entries * List.length fams <= 1 in
+  let within = if single_job then njobs else 1 in
   let config =
     {
       Flow.default_config with
+      jobs = within;
       cut_size = !cut_size;
       cut_engine = engine;
       timing = !timing_map;
@@ -201,9 +213,7 @@ let main () =
       fault_rounds = !fault_rounds;
     }
   in
-  let domains =
-    if !jobs = 0 then Flow.Runner.recommended_domains () else !jobs
-  in
+  let domains = if single_job then 1 else njobs in
   let has_map = snd (Flow.split_at_map steps) <> [] in
   let run_fresh ?on_result todo =
     try Flow.run_matrix ~domains ~config ?on_result ~script:steps ~families:fams

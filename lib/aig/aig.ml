@@ -2,6 +2,15 @@
 
 type lit = int
 
+(* The strash is an open-addressing table over flat int arrays: each bucket
+   holds a node id whose (fanin0, fanin1) pair is the key, [-1] marks an
+   empty bucket and [-2] a tombstone left by deletion (rollback /
+   unsafe_set_and).  Keys are never stored — they are read back from the
+   fanin arrays — so the table costs one word per bucket and stays cache
+   friendly at millions of nodes.  [hused] counts live entries plus
+   tombstones; empties are kept at >= 25% of capacity so linear probes
+   always terminate. *)
+
 type t = {
   mutable fanin0 : int array;
   mutable fanin1 : int array;
@@ -11,7 +20,10 @@ type t = {
   mutable olits : int array;
   mutable nouts : int;
   mutable inames : string array;
-  strash : (int, int) Hashtbl.t;  (* key = f0 * 2^31 + f1 (f0 <= f1) *)
+  mutable htab : int array;
+  mutable hmask : int;
+  mutable hlive : int;
+  mutable hused : int;
 }
 
 let lit_false = 0
@@ -21,7 +33,15 @@ let node_of l = l lsr 1
 let is_compl l = l land 1 = 1
 let lit_of_node ?(compl = false) n = (n lsl 1) lor (if compl then 1 else 0)
 
+let next_pow2 n =
+  let c = ref 1 in
+  while !c < n do
+    c := !c lsl 1
+  done;
+  !c
+
 let create ?(size_hint = 256) () =
+  let hcap = next_pow2 (max 32 (2 * size_hint)) in
   {
     fanin0 = Array.make (max size_hint 4) (-1);
     fanin1 = Array.make (max size_hint 4) (-1);
@@ -32,7 +52,10 @@ let create ?(size_hint = 256) () =
     olits = Array.make 8 0;
     nouts = 0;
     inames = Array.make 8 "";
-    strash = Hashtbl.create (max size_hint 16);
+    htab = Array.make hcap (-1);
+    hmask = hcap - 1;
+    hlive = 0;
+    hused = 0;
   }
 
 let grow_nodes t =
@@ -63,7 +86,57 @@ let add_input ?(name = "") t =
   t.ninputs <- t.ninputs + 1;
   lit_of_node id
 
-let strash_key f0 f1 = (f0 lsl 31) lor f1
+let hash_pair f0 f1 =
+  let h = (f0 * 0x2545f491) lxor (f1 * 0x9e3779b9) in
+  (h lxor (h lsr 17)) land max_int
+
+(* Rebuild into a table of capacity [cap], dropping tombstones.  Every live
+   bucket's node still has the fanins it was inserted under (both deleters
+   remove the binding before/while mutating), so keys can be re-read from
+   the fanin arrays. *)
+let strash_rehash t cap =
+  let old = t.htab in
+  let nt = Array.make cap (-1) in
+  let mask = cap - 1 in
+  Array.iter
+    (fun id ->
+      if id >= 0 then begin
+        let i = ref (hash_pair t.fanin0.(id) t.fanin1.(id) land mask) in
+        while nt.(!i) >= 0 do
+          i := (!i + 1) land mask
+        done;
+        nt.(!i) <- id
+      end)
+    old;
+  t.htab <- nt;
+  t.hmask <- mask;
+  t.hused <- t.hlive
+
+(* Keep occupancy (live + tombstones) under 75%.  Double only when the live
+   load justifies it; otherwise rebuild at the same size to purge
+   tombstones accumulated by rollback-heavy workloads. *)
+let strash_reserve t =
+  let cap = t.hmask + 1 in
+  if 4 * (t.hused + 1) > 3 * cap then
+    strash_rehash t (if 8 * t.hlive > 3 * cap then 2 * cap else cap)
+
+(* Remove node [id]'s binding under key (f0, f1); no-op when absent. *)
+let strash_remove t f0 f1 id =
+  let mask = t.hmask in
+  let i = ref (hash_pair f0 f1 land mask) in
+  let continue = ref true in
+  while !continue do
+    let v = t.htab.(!i) in
+    if v = -1 then continue := false
+    else begin
+      if v = id then begin
+        t.htab.(!i) <- -2;
+        t.hlive <- t.hlive - 1;
+        continue := false
+      end;
+      i := (!i + 1) land mask
+    end
+  done
 
 let mk_and t a b =
   let a, b = if a <= b then (a, b) else (b, a) in
@@ -72,15 +145,39 @@ let mk_and t a b =
   else if a = b then a
   else if a = lnot b then lit_false
   else begin
-    let key = strash_key a b in
-    match Hashtbl.find_opt t.strash key with
-    | Some id -> lit_of_node id
-    | None ->
-        let id = new_node t in
-        t.fanin0.(id) <- a;
-        t.fanin1.(id) <- b;
-        Hashtbl.add t.strash key id;
-        lit_of_node id
+    strash_reserve t;
+    let mask = t.hmask in
+    let i = ref (hash_pair a b land mask) in
+    let free = ref (-1) in
+    let found = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      let v = t.htab.(!i) in
+      if v = -1 then begin
+        if !free < 0 then free := !i;
+        continue := false
+      end
+      else begin
+        if v = -2 then begin
+          if !free < 0 then free := !i
+        end
+        else if t.fanin0.(v) = a && t.fanin1.(v) = b then begin
+          found := v;
+          continue := false
+        end;
+        i := (!i + 1) land mask
+      end
+    done;
+    if !found >= 0 then lit_of_node !found
+    else begin
+      let id = new_node t in
+      t.fanin0.(id) <- a;
+      t.fanin1.(id) <- b;
+      if t.htab.(!free) = -1 then t.hused <- t.hused + 1;
+      t.htab.(!free) <- id;
+      t.hlive <- t.hlive + 1;
+      lit_of_node id
+    end
   end
 
 let mk_or t a b = lnot (mk_and t (lnot a) (lnot b))
@@ -201,7 +298,7 @@ let mffc_size t refs root =
 
 let unsafe_set_and t n f0 f1 =
   if not (is_and t n) then invalid_arg "Aig.unsafe_set_and";
-  Hashtbl.remove t.strash (strash_key t.fanin0.(n) t.fanin1.(n));
+  strash_remove t t.fanin0.(n) t.fanin1.(n) n;
   t.fanin0.(n) <- f0;
   t.fanin1.(n) <- f1
 
@@ -210,7 +307,7 @@ let checkpoint t = t.num
 let rollback t ckpt =
   if ckpt < t.ninputs + 1 then invalid_arg "Aig.rollback";
   for id = t.num - 1 downto ckpt do
-    Hashtbl.remove t.strash (strash_key t.fanin0.(id) t.fanin1.(id))
+    strash_remove t t.fanin0.(id) t.fanin1.(id) id
   done;
   t.num <- ckpt
 

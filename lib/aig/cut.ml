@@ -188,9 +188,12 @@ let cut_leaves s nd j =
    of a trivial cut. *)
 let var0 = 0xAAAAAAAAAAAAAAAAL
 
-let compute_packed ?stats aig ~k ~limit =
+let compute_packed ?stats ?max_cuts aig ~k ~limit =
   if k < 2 || k > 6 then invalid_arg "Cut.compute_packed";
   if limit < 2 then invalid_arg "Cut.compute_packed: limit";
+  (match max_cuts with
+  | Some m when m < limit -> invalid_arg "Cut.compute_packed: max_cuts < limit"
+  | _ -> ());
   let st = match stats with Some s -> s | None -> stats_create () in
   let n = Aig.num_nodes aig in
   let nslots = n * limit in
@@ -212,13 +215,21 @@ let compute_packed ?stats aig ~k ~limit =
     set_trivial i
   done;
   (* Scratch candidate set, sorted ascending by (leaf count, lex leaves).
-     Capacity [limit * limit] holds every survivor of a node's full
-     cross-product: truncating to [limit - 1] only at commit time is what
-     makes the bounded insertion path exactly equivalent to the reference
-     engine's collect/sort/take (a candidate that evicts several dominated
-     cuts can make room that earlier-rejected cuts of a smaller buffer
-     would have needed). *)
-  let cap = limit * limit in
+     The default capacity [limit * limit] holds every survivor of a node's
+     full cross-product: truncating to [limit - 1] only at commit time is
+     what makes the bounded insertion path exactly equivalent to the
+     reference engine's collect/sort/take (a candidate that evicts several
+     dominated cuts can make room that earlier-rejected cuts of a smaller
+     buffer would have needed).  [?max_cuts] lowers the capacity to bound
+     per-node work and scratch on very large graphs: insertion into a full
+     scratch drops the worst-sorted entry (priority-cut truncation), so
+     results may deviate from the reference engine — never use it on a run
+     that must be byte-identical to the defaults. *)
+  let cap =
+    match max_cuts with
+    | None -> limit * limit
+    | Some m -> min m (limit * limit)
+  in
   let s_len = Array.make cap 0 in
   let s_sign = Array.make cap 0 in
   let s_tt = Array.make cap 0L in
@@ -360,7 +371,10 @@ let compute_packed ?stats aig ~k ~limit =
                 incr e
               end
             done;
-            if not !drop then begin
+            (* A candidate sorting past a full scratch has nothing after it
+               to dominate ([ins = cnt = cap]); dropping it is the
+               truncation [max_cuts] documents. *)
+            if (not !drop) && not (!ins < 0 && !cnt >= cap) then begin
               let ins = if !ins < 0 then !cnt else !ins in
               (* evict entries the candidate dominates *)
               let w = ref ins in
@@ -383,6 +397,8 @@ let compute_packed ?stats aig ~k ~limit =
                 end
               done;
               cnt := !w;
+              (* full after eviction: drop the worst entry to make room *)
+              if !cnt >= cap then cnt := cap - 1;
               (* shift-insert the candidate at [ins] *)
               for r = !cnt downto ins + 1 do
                 copy_entry (r - 1) r

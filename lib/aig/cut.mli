@@ -67,10 +67,18 @@ type set
     count, signature, leaves (sorted) and the truth table of [nd] over
     those leaves as a single replicated word ([k <= 6]). *)
 
-val compute_packed : ?stats:stats -> Aig.t -> k:int -> limit:int -> set
+val compute_packed :
+  ?stats:stats -> ?max_cuts:int -> Aig.t -> k:int -> limit:int -> set
 (** Same cut sets as {!compute} (cut [j] of [compute_packed] equals the
     [j]-th list element from [compute]), with each cut's function computed
-    bottom-up during the merge.  [2 <= k <= 6]. *)
+    bottom-up during the merge.  [2 <= k <= 6].
+
+    [max_cuts] bounds the per-node candidate scratch (default
+    [limit * limit], which is exact).  Lower values truncate priority-cut
+    style — a candidate that sorts past a full scratch is dropped, and an
+    insertion into a full scratch evicts the worst-sorted entry — trading
+    exact reference equivalence for bounded work on very large graphs.
+    Must be at least [limit] when given. *)
 
 val num_cuts : set -> int -> int
 val cut_nleaves : set -> int -> int -> int

@@ -1,0 +1,140 @@
+(* A small fork-join pool for within-circuit parallelism.
+
+   The pool owns [width - 1] worker domains; the caller participates as
+   worker 0, so [width] chunks run concurrently.  [run] is a chunked
+   parallel-for with a barrier: it splits [0, n) into [width] contiguous
+   chunks and hands each to one worker.  Determinism is the caller's
+   contract — bodies must write only worker-private or per-index state —
+   and every use in this codebase is of the two safe shapes:
+
+   - independent per-index analysis (disjoint writes to slot [i]);
+   - level-synchronized sweeps, where iteration [i] reads only results
+     of strictly earlier barriers.
+
+   Under that contract the computed values are identical for every
+   [width], which is what lets [--jobs n] promise byte-identical output
+   to [--jobs 1].  Mutex/condvar hand-offs establish the needed
+   happens-before edges: chunk writes are visible to the caller after
+   [run] returns, and to every worker at the next [run]. *)
+
+type pool = {
+  width : int;
+  mutex : Mutex.t;
+  start : Condition.t;  (* caller -> workers: a new epoch is ready *)
+  finished : Condition.t;  (* workers -> caller: pending reached 0 *)
+  mutable epoch : int;
+  mutable job : (int -> int -> int -> unit) option;  (* w lo hi *)
+  mutable n : int;
+  mutable pending : int;
+  mutable failure : exn option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let width t = t.width
+
+let chunk n width w = (w * n / width, (w + 1) * n / width)
+
+let worker t w =
+  let seen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.epoch = !seen do
+      Condition.wait t.start t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+    else begin
+      seen := t.epoch;
+      let f = Option.get t.job and n = t.n in
+      Mutex.unlock t.mutex;
+      let r =
+        try
+          let lo, hi = chunk n t.width w in
+          f w lo hi;
+          None
+        with e -> Some e
+      in
+      Mutex.lock t.mutex;
+      (match r with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | _ -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.signal t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~jobs =
+  let width = max 1 jobs in
+  let t =
+    {
+      width;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      epoch = 0;
+      job = None;
+      n = 0;
+      pending = 0;
+      failure = None;
+      stop = false;
+      domains = [||];
+    }
+  in
+  t.domains <-
+    Array.init (width - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+(* Below this many iterations the dispatch hand-off costs more than the
+   chunks save; run inline (worker index 0, which every scratch scheme
+   must accept for the full range). *)
+let seq_threshold = 32
+
+let run t ~n f =
+  if n > 0 then
+    if t.width = 1 || n < max seq_threshold (2 * t.width) then f 0 0 n
+    else begin
+      Mutex.lock t.mutex;
+      t.job <- Some f;
+      t.n <- n;
+      t.pending <- t.width - 1;
+      t.failure <- None;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.mutex;
+      let mine =
+        try
+          let lo, hi = chunk n t.width 0 in
+          f 0 lo hi;
+          None
+        with e -> Some e
+      in
+      Mutex.lock t.mutex;
+      while t.pending > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      t.job <- None;
+      let theirs = t.failure in
+      t.failure <- None;
+      Mutex.unlock t.mutex;
+      (match mine with Some e -> raise e | None -> ());
+      match theirs with Some e -> raise e | None -> ()
+    end
+
+let shutdown t =
+  if Array.length t.domains > 0 then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

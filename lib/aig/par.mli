@@ -1,0 +1,28 @@
+(** Fork-join domain pool for within-circuit parallelism.
+
+    A pool of [jobs - 1] worker domains plus the calling domain.  {!run}
+    is a chunked parallel-for with a barrier.  Callers guarantee
+    determinism by writing only worker-private or per-index state (see
+    par.ml); under that contract results are identical for every pool
+    width, including width 1 (fully inline, no domains spawned). *)
+
+type pool
+
+val create : jobs:int -> pool
+(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains. *)
+
+val width : pool -> int
+(** Number of concurrent chunks, including the caller ([>= 1]). *)
+
+val run : pool -> n:int -> (int -> int -> int -> unit) -> unit
+(** [run pool ~n f] splits [0, n) into [width] contiguous chunks and
+    calls [f w lo hi] for each, concurrently; returns when all chunks
+    are done.  [w] is a stable worker index in [0, width) usable to
+    index per-worker scratch.  Small [n] runs inline as [f 0 0 n].
+    An exception in any chunk is re-raised after the barrier. *)
+
+val shutdown : pool -> unit
+(** Joins the worker domains.  The pool must not be used afterwards. *)
+
+val with_pool : jobs:int -> (pool -> 'a) -> 'a
+(** [create]/[shutdown] bracket. *)

@@ -86,12 +86,22 @@ let of_string ?file text =
           defs := (name, line, parse_call ~line (String.trim rhs)) :: !defs)
     lines;
   let inputs = List.rev !inputs and outputs = List.rev !outputs in
-  let g = Aig.create () in
-  let signals = Hashtbl.create 64 in
+  (* Size the graph from the parse: an m-input AND/OR chain is m-1 AND
+     nodes and an m-input XOR/XNOR is 3(m-1), so 3*arity per definition
+     is a safe upper bound.  Large external .bench files then build
+     without repeated reallocation of the node arrays and strash. *)
+  let n_est =
+    List.fold_left
+      (fun acc (_, _, (_, args)) -> acc + (3 * List.length args))
+      (1 + List.length inputs)
+      !defs
+  in
+  let g = Aig.create ~size_hint:n_est () in
+  let signals = Hashtbl.create (max 64 n_est) in
   List.iter
     (fun name -> Hashtbl.replace signals name (Aig.add_input ~name g))
     inputs;
-  let def_of = Hashtbl.create 64 in
+  let def_of = Hashtbl.create (max 64 (List.length !defs)) in
   List.iter (fun (n, line, d) -> Hashtbl.replace def_of n (line, d)) !defs;
   let rec signal ~line name =
     match Hashtbl.find_opt signals name with

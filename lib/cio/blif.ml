@@ -133,13 +133,25 @@ let of_string ?file text =
               | _ -> fail ~line:lnum "bad cube line %S" line)))
     lines;
   push_current ();
-  let g = Aig.create () in
-  let signals = Hashtbl.create 64 in
+  (* Size the graph from the parse: each cube elaborates to about one AND
+     per literal plus the OR chain, so the cube-literal total is a tight
+     upper bound — million-node inputs then build without repeated
+     reallocation of the node arrays and strash. *)
+  let n_est =
+    List.fold_left
+      (fun acc p ->
+        let nin = List.length p.p_inputs in
+        acc + (List.length p.p_cubes * (nin + 1)))
+      (1 + List.length !inputs)
+      !tables
+  in
+  let g = Aig.create ~size_hint:n_est () in
+  let signals = Hashtbl.create (max 64 n_est) in
   List.iter
     (fun name -> Hashtbl.replace signals name (Aig.add_input ~name g))
     !inputs;
   (* topological elaboration of tables by need *)
-  let table_of = Hashtbl.create 64 in
+  let table_of = Hashtbl.create (max 64 (List.length !tables)) in
   List.iter (fun p -> Hashtbl.replace table_of p.p_output p) !tables;
   let rec signal ~line name =
     match Hashtbl.find_opt signals name with

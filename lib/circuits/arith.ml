@@ -14,7 +14,7 @@ let adder n =
 
 (* n x n array multiplier: C6288 is the 16 x 16 instance. *)
 let multiplier n =
-  let g = Aig.create ~size_hint:(64 * n * n) () in
+  let g = Aig.create ~size_hint:(12 * n * n) () in
   let a = Bitvec.inputs g "a" n in
   let b = Bitvec.inputs g "b" n in
   let p = Bitvec.mul g a b in
@@ -38,6 +38,34 @@ let addsub n =
   Aig.add_output g "eq" (Bitvec.equal g a b);
   Aig.add_output g "lt" (Bitvec.ult g a b);
   g
+
+(* Restoring array divider: one row per quotient bit, MSB first.  The
+   partial remainder is shifted left by one (the next dividend bit enters
+   at the LSB), the divisor is trial-subtracted at width n+1, and the
+   no-borrow flag both becomes the quotient bit and selects between the
+   difference and the unsubtracted value.  For d <> 0 the remainder stays
+   < d, so the n low bits always hold it exactly; d = 0 yields q = all-ones
+   and r = a's low bits (the conventional array-divider behavior).
+   ~8 n^2 AND nodes — with the multiplier, the EPFL-style arithmetic
+   workload for the million-node scale benches. *)
+let divider n =
+  let g = Aig.create ~size_hint:(10 * n * n) () in
+  let a = Bitvec.inputs g "a" n in
+  let d = Bitvec.inputs g "d" n in
+  let dext = Array.append d [| Aig.lit_false |] in
+  let q = Array.make n Aig.lit_false in
+  let r = ref (Array.make n Aig.lit_false) in
+  for i = n - 1 downto 0 do
+    let rext = Array.append [| a.(i) |] !r in
+    let diff, no_borrow = Bitvec.sub g rext dext in
+    q.(i) <- no_borrow;
+    r := Array.init n (fun j -> Aig.mk_mux g no_borrow diff.(j) rext.(j))
+  done;
+  Bitvec.outputs g "q" q;
+  Bitvec.outputs g "r" !r;
+  (* the trial subtraction's top difference bit is never consumed (only
+     its borrow is); drop those dead chains so the graph is lint-clean *)
+  Aig.cleanup g
 
 (* Carry-select adder: blocks of [block] bits computed for both carry
    assumptions and selected by the incoming carry — a lower-depth

@@ -8,6 +8,12 @@ val multiplier : int -> Aig.t
 (** [multiplier n]: n x n carry-save array multiplier (C6288 is the 16 x 16
     instance); outputs the [2n] product bits. *)
 
+val divider : int -> Aig.t
+(** [divider n]: n-bit restoring array divider; inputs [a0..] (dividend)
+    and [d0..] (divisor), outputs [q0..] (quotient) and [r0..]
+    (remainder).  For [d = 0] the quotient is all-ones.  ~8 n^2 AND
+    nodes — the scale workload alongside {!multiplier}. *)
+
 val addsub : int -> Aig.t
 (** Adder/subtractor with zero/eq/lt flags (datapath building block). *)
 

@@ -16,4 +16,11 @@ val all : entry list
 (** In the paper's Table 3 order. *)
 
 val find : string -> entry
+(** Resolves a static suite name, or a parameterized scale entry:
+    [add-N] / [addsub-N] (N-bit operands), [mult-N] / [div-N] (N-bit
+    array multiplier / restoring divider, [N <= 1024]), [crypto-N]
+    (N Feistel rounds).  [mult-336] is roughly a million AND nodes.
+    Raises [Not_found] for anything else. *)
+
 val names : string list
+(** Static suite names only (dynamic entries are unbounded). *)

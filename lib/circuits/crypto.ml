@@ -63,7 +63,7 @@ let feistel_round g rng (l, r) key =
    round's right half plus the final state (245-ish outputs for 3 rounds at
    64-bit state like the original des benchmark's profile). *)
 let feistel ~rounds () =
-  let g = Aig.create ~size_hint:65536 () in
+  let g = Aig.create ~size_hint:((2400 * rounds) + 1024) () in
   let rng = Rand64.create 0xDE5L in
   let l0 = Bitvec.inputs g "l" 32 in
   let r0 = Bitvec.inputs g "r" 32 in

@@ -45,3 +45,26 @@ let synth_steps ~prog = function
   | m -> usage_die ~prog ("unknown synth mode " ^ m)
 
 let fast_subset = [ "C1908"; "t481"; "C1355"; "add-16"; "add-32"; "add-64" ]
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line ->
+                if String.length line > 6 && String.sub line 0 6 = "VmHWM:"
+                then
+                  try
+                    Scanf.sscanf
+                      (String.sub line 6 (String.length line - 6))
+                      " %d kB"
+                      (fun v -> Some v)
+                  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+                else go ()
+          in
+          go ())

@@ -35,3 +35,8 @@ val synth_steps : prog:string -> string -> string
 
 val fast_subset : string list
 (** The small-benchmark subset the harnesses use for quick runs. *)
+
+val peak_rss_kb : unit -> int option
+(** Peak resident-set size of this process in kB ([VmHWM] from
+    [/proc/self/status]); [None] on platforms without procfs.  Used by the
+    bench harnesses to record memory alongside wall time. *)

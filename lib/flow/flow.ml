@@ -17,6 +17,7 @@ type config = {
   isolate : bool;
   pass_budget_s : float option;
   fault_rounds : int;
+  jobs : int;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     isolate = false;
     pass_budget_s = None;
     fault_rounds = 32;
+    jobs = 1;
   }
 
 type ctx = {
@@ -151,24 +153,28 @@ let pass_rewrite cfg step ctx =
   let engine = arg_engine cfg step in
   with_aig ctx
     (with_cut_stats (fun stats ->
-         Synth.rewrite ~zero_gain:(arg_flag step "z") ~engine ~stats ctx.aig))
+         Synth.rewrite ~zero_gain:(arg_flag step "z") ~engine ~stats
+           ~jobs:cfg.jobs ctx.aig))
 
 let pass_refactor cfg step ctx =
   let engine = arg_engine cfg step in
   with_aig ctx
     (with_cut_stats (fun stats ->
          Synth.refactor ~zero_gain:(arg_flag step "z")
-           ?cut_size:(arg_int step "cut") ~engine ~stats ctx.aig))
+           ?cut_size:(arg_int step "cut") ~engine ~stats ~jobs:cfg.jobs
+           ctx.aig))
 
 let pass_resyn2rs cfg step ctx =
   let engine = arg_engine cfg step in
   with_aig ctx
-    (with_cut_stats (fun stats -> Synth.resyn2rs ~engine ~stats ctx.aig))
+    (with_cut_stats (fun stats ->
+         Synth.resyn2rs ~engine ~stats ~jobs:cfg.jobs ctx.aig))
 
 let pass_light cfg step ctx =
   let engine = arg_engine cfg step in
   with_aig ctx
-    (with_cut_stats (fun stats -> Synth.light ~engine ~stats ctx.aig))
+    (with_cut_stats (fun stats ->
+         Synth.light ~engine ~stats ~jobs:cfg.jobs ctx.aig))
 
 let pass_synth cfg step ctx =
   let engine = arg_engine cfg step in
@@ -182,10 +188,12 @@ let pass_synth cfg step ctx =
   | "none" -> ctx
   | "light" ->
       with_aig ctx
-        (with_cut_stats (fun stats -> Synth.light ~engine ~stats ctx.aig))
+        (with_cut_stats (fun stats ->
+             Synth.light ~engine ~stats ~jobs:cfg.jobs ctx.aig))
   | "full" ->
       with_aig ctx
-        (with_cut_stats (fun stats -> Synth.resyn2rs ~engine ~stats ctx.aig))
+        (with_cut_stats (fun stats ->
+             Synth.resyn2rs ~engine ~stats ~jobs:cfg.jobs ctx.aig))
   | m -> fail "synth: unknown mode %s (none|light|full)" m
 
 let pass_map cfg step ctx =
@@ -206,7 +214,14 @@ let pass_map cfg step ctx =
   let lib, status = Cell_lib.cached_with_status family in
   Domain.DLS.set last_cache_status (Some status);
   let params =
-    { Mapper.default_params with Mapper.cut_size; timing; engine; cost }
+    {
+      Mapper.default_params with
+      Mapper.cut_size;
+      timing;
+      engine;
+      cost;
+      jobs = cfg.jobs;
+    }
   in
   let mapped, stats = Mapper.map_with_stats ~params lib ctx.aig in
   Domain.DLS.set last_cut_stats (Some stats);

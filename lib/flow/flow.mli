@@ -45,6 +45,12 @@ type config = {
       (** wall-clock budget per pass; overruns add a [flow-pass-budget]
           Warning (the pass still completes — there is no preemption) *)
   fault_rounds : int;            (** default [fault] random rounds (32) *)
+  jobs : int;
+      (** within-circuit domains for the cut-based synthesis passes and
+          the mapper's cover selection (default 1).  Output is
+          byte-identical for every value; see {!Par}.  Distinct from
+          {!Runner.map_jobs}'s across-circuit fan-out — a driver should
+          use one or the other, not both. *)
 }
 
 val default_config : config

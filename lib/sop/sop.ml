@@ -14,8 +14,15 @@ let to_tt s =
     (fun acc c -> Tt.bor acc (Cube.to_tt s.n c))
     (Tt.const0 s.n) s.cubes
 
-(* Minato–Morreale: returns the cover together with its truth table. *)
-let rec isop_rec n lower upper =
+(* Minato–Morreale: returns the cover together with its truth table.
+   [hint] bounds the support from above: both bounds are known independent
+   of variables >= hint (cofactoring on the split variable removes it, and
+   all combinations preserve independence), so the top-variable scan starts
+   at [hint - 1] instead of [n - 1].  The result is identical to scanning
+   from the top — the skipped variables test false — but deep recursion on
+   wide tables no longer pays a full-table scan per already-removed
+   variable. *)
+let rec isop_rec n hint lower upper =
   if Tt.is_const0 lower then ([], Tt.const0 n)
   else begin
     (* Split on the largest variable in the support of either bound. *)
@@ -25,7 +32,7 @@ let rec isop_rec n lower upper =
         else if Tt.depends_on lower i || Tt.depends_on upper i then i
         else go (i - 1)
       in
-      go (n - 1)
+      go (hint - 1)
     in
     if top_var < 0 then
       (* lower is constant true here (non-zero and support-free). *)
@@ -34,10 +41,10 @@ let rec isop_rec n lower upper =
       let x = top_var in
       let l0 = Tt.cofactor0 lower x and l1 = Tt.cofactor1 lower x in
       let u0 = Tt.cofactor0 upper x and u1 = Tt.cofactor1 upper x in
-      let c0, t0 = isop_rec n (Tt.bandn l0 u1) u0 in
-      let c1, t1 = isop_rec n (Tt.bandn l1 u0) u1 in
+      let c0, t0 = isop_rec n x (Tt.bandn l0 u1) u0 in
+      let c1, t1 = isop_rec n x (Tt.bandn l1 u0) u1 in
       let lnew = Tt.bor (Tt.bandn l0 t0) (Tt.bandn l1 t1) in
-      let cd, td = isop_rec n lnew (Tt.band u0 u1) in
+      let cd, td = isop_rec n x lnew (Tt.band u0 u1) in
       let add_lit sign c =
         match Cube.and_lit c x sign with
         | Some c -> c
@@ -61,7 +68,7 @@ let isop_lu lower upper =
   if n <> Tt.nvars upper then invalid_arg "Sop.isop_lu";
   if not (Tt.is_const0 (Tt.bandn lower upper)) then
     invalid_arg "Sop.isop_lu: lower not contained in upper";
-  let cover, tt = isop_rec n lower upper in
+  let cover, tt = isop_rec n n lower upper in
   (* The cover must lie between the bounds. *)
   assert (Tt.is_const0 (Tt.bandn lower tt));
   assert (Tt.is_const0 (Tt.bandn tt upper));

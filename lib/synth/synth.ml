@@ -166,7 +166,7 @@ let max_isop_cubes = 96
    packed engine memoizes the result per domain; the reference engine
    keeps the legacy always-recompute path.  The cache changes nothing but
    wall time: identical inputs map to the identical factored form. *)
-let form_cache_bound = 1 lsl 14
+let form_cache_bound = 1 lsl 15
 
 (* Keyed on {!Tt.hash}, which mixes every word of the table; the generic
    [Hashtbl.hash] samples only a prefix of the boxed int64s, and wide
@@ -178,8 +178,21 @@ module Form_tbl = Hashtbl.Make (struct
   let hash = Tt.hash
 end)
 
-let form_cache : (Factored.t * int) option Form_tbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Form_tbl.create 1024)
+(* Two generations instead of a single table with a full reset: a large
+   circuit's refactor sweep holds more distinct cone functions than one
+   generation, and wiping everything mid-pass made even the warm repeat
+   passes pay full ISOP cost.  On overflow the current generation is
+   demoted to fallback (and fallback hits are promoted back), so the hot
+   working set survives while memory stays capped at ~2x the bound per
+   domain. *)
+type form_caches = {
+  mutable cur : (Factored.t * int) option Form_tbl.t;
+  mutable prev : (Factored.t * int) option Form_tbl.t;
+}
+
+let form_cache : form_caches Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { cur = Form_tbl.create 1024; prev = Form_tbl.create 16 })
 
 let pick_form_raw t =
   let sop = Sop.isop t in
@@ -189,13 +202,22 @@ let pick_form_raw t =
     Some (f, Factored.num_and2 f)
 
 let pick_form_cached t =
-  let tbl = Domain.DLS.get form_cache in
-  match Form_tbl.find_opt tbl t with
+  let c = Domain.DLS.get form_cache in
+  match Form_tbl.find_opt c.cur t with
   | Some r -> r
   | None ->
-      let r = pick_form_raw t in
-      if Form_tbl.length tbl >= form_cache_bound then Form_tbl.reset tbl;
-      Form_tbl.add tbl t r;
+      let r =
+        match Form_tbl.find_opt c.prev t with
+        | Some r -> r
+        | None -> pick_form_raw t
+      in
+      if Form_tbl.length c.cur >= form_cache_bound then begin
+        let o = c.prev in
+        c.prev <- c.cur;
+        Form_tbl.reset o;
+        c.cur <- o
+      end;
+      Form_tbl.add c.cur t r;
       r
 
 (* Number of AND nodes that stop being referenced when the cone of [nd]
@@ -223,8 +245,23 @@ let deaths_in_cone aig refs nd cut =
   go nd;
   !count
 
+(* Per-worker scratch of the refactor sweep's packed-engine helpers:
+   timestamped marks (a stamp bump invalidates all marks at once, so no
+   per-call table is ever built or cleared) plus the greedy-cut leaf
+   arrays.  One instance per pool worker — every helper's result is a
+   pure function of the source graph, so which worker analyzes which
+   node cannot change any value. *)
+type ts_scratch = {
+  ts_mark : int array;
+  ts_dec : int array;
+  ts_dec_stamp : int array;
+  mutable ts_stamp : int;
+  ts_glv : int array;
+  ts_gseq : int array;
+}
+
 let refactor_impl ?(zero_gain = false) ?(cut_size = 10)
-    ?(engine = Cut.Packed) ?stats aig =
+    ?(engine = Cut.Packed) ?stats ?(jobs = 1) aig =
   let st = match stats with Some s -> s | None -> Cut.stats_create () in
   let cut_size = min cut_size Tt.max_vars in
   let fresh = Aig.create ~size_hint:(Aig.num_nodes aig) () in
@@ -235,32 +272,36 @@ let refactor_impl ?(zero_gain = false) ?(cut_size = 10)
   done;
   let n = Aig.num_nodes aig in
   let refs = Aig.fanout_counts aig in
-  (* Timestamp-stamped scratch for the packed engine's per-node
-     bookkeeping: a stamp bump invalidates all marks at once, so no
-     per-call table is ever built or cleared. *)
-  let mark = Array.make n 0 in
-  let dec = Array.make n 0 in
-  let dec_stamp = Array.make n 0 in
-  let stamp = ref 0 in
-  let deref s m =
-    if dec_stamp.(m) <> s then begin
-      dec_stamp.(m) <- s;
-      dec.(m) <- 0
+  let gcap = cut_size + 4 in
+  let mk_scratch () =
+    {
+      ts_mark = Array.make n 0;
+      ts_dec = Array.make n 0;
+      ts_dec_stamp = Array.make n 0;
+      ts_stamp = 0;
+      ts_glv = Array.make gcap 0;
+      ts_gseq = Array.make gcap 0;
+    }
+  in
+  let deref sc s m =
+    if sc.ts_dec_stamp.(m) <> s then begin
+      sc.ts_dec_stamp.(m) <- s;
+      sc.ts_dec.(m) <- 0
     end;
-    dec.(m) <- dec.(m) + 1;
-    refs.(m) - dec.(m) = 0
+    sc.ts_dec.(m) <- sc.ts_dec.(m) + 1;
+    refs.(m) - sc.ts_dec.(m) = 0
   in
   (* [deaths_in_cone], timestamp edition: same traversal, same count. *)
-  let deaths_in_cone_ts nd cut =
-    incr stamp;
-    let s = !stamp in
-    Array.iter (fun l -> mark.(l) <- s) cut;
+  let deaths_in_cone_ts sc nd cut =
+    sc.ts_stamp <- sc.ts_stamp + 1;
+    let s = sc.ts_stamp in
+    Array.iter (fun l -> sc.ts_mark.(l) <- s) cut;
     let count = ref 0 in
     let rec go nd' =
       incr count;
       let visit f =
         let m = Aig.node_of f in
-        if Aig.is_and aig m && mark.(m) <> s && deref s m then go m
+        if Aig.is_and aig m && sc.ts_mark.(m) <> s && deref sc s m then go m
       in
       visit (Aig.fanin0 aig nd');
       visit (Aig.fanin1 aig nd')
@@ -269,17 +310,17 @@ let refactor_impl ?(zero_gain = false) ?(cut_size = 10)
     !count
   in
   (* [Aig.mffc_size], timestamp edition. *)
-  let mffc_size_ts root =
+  let mffc_size_ts sc root =
     if not (Aig.is_and aig root) then 0
     else begin
-      incr stamp;
-      let s = !stamp in
+      sc.ts_stamp <- sc.ts_stamp + 1;
+      let s = sc.ts_stamp in
       let count = ref 0 in
       let rec go nd' =
         incr count;
         let visit f =
           let m = Aig.node_of f in
-          if Aig.is_and aig m && deref s m then go m
+          if Aig.is_and aig m && deref sc s m then go m
         in
         visit (Aig.fanin0 aig nd');
         visit (Aig.fanin1 aig nd')
@@ -295,10 +336,8 @@ let refactor_impl ?(zero_gain = false) ?(cut_size = 10)
      ([Hashtbl.hash leaf land 15] — 16 buckets, seed 0, and the table never
      grows past the 32-binding resize threshold here), then
      most-recently-inserted first within a bucket. *)
-  let gcap = cut_size + 4 in
-  let glv = Array.make gcap 0 in
-  let gseq = Array.make gcap 0 in
-  let greedy_cut_ts nd k =
+  let greedy_cut_ts sc nd k =
+    let glv = sc.ts_glv and gseq = sc.ts_gseq in
     let gcnt = ref 0 and seqc = ref 0 in
     let mem x =
       let r = ref false in
@@ -373,19 +412,19 @@ let refactor_impl ?(zero_gain = false) ?(cut_size = 10)
     Array.sort compare arr;
     arr
   in
-  let greedy =
+  let greedy sc =
     match engine with
-    | Cut.Packed -> greedy_cut_ts
+    | Cut.Packed -> greedy_cut_ts sc
     | Cut.Reference -> greedy_cut aig
   in
-  let deaths =
+  let deaths sc =
     match engine with
-    | Cut.Packed -> deaths_in_cone_ts
+    | Cut.Packed -> deaths_in_cone_ts sc
     | Cut.Reference -> deaths_in_cone aig refs
   in
-  let mffc_of =
+  let mffc_of sc =
     match engine with
-    | Cut.Packed -> mffc_size_ts
+    | Cut.Packed -> mffc_size_ts sc
     | Cut.Reference -> Aig.mffc_size aig refs
   in
   (* Small cuts: use the priority-cut enumeration (several candidate cones
@@ -393,12 +432,12 @@ let refactor_impl ?(zero_gain = false) ?(cut_size = 10)
      cut per node (like ABC's refactor).  Each cut is paired with its
      function when the engine already knows it (packed priority cuts);
      [None] falls back to the cone walk. *)
-  let enum_cuts : int -> (int array * Tt.t option) list =
+  let enum_cuts : ts_scratch -> int -> (int array * Tt.t option) list =
     if cut_size <= 6 then begin
       match engine with
       | Cut.Packed ->
           let cs = Cut.compute_packed ~stats:st aig ~k:cut_size ~limit:8 in
-          fun nd ->
+          fun sc nd ->
             let prio = ref [] in
             for j = Cut.num_cuts cs nd - 1 downto 0 do
               let m = Cut.cut_nleaves cs nd j in
@@ -409,7 +448,7 @@ let refactor_impl ?(zero_gain = false) ?(cut_size = 10)
                   :: !prio
             done;
             let prio = !prio in
-            let g = greedy nd cut_size in
+            let g = greedy sc nd cut_size in
             if
               Array.length g >= 2
               && not (List.exists (fun (l, _) -> l = g) prio)
@@ -417,7 +456,7 @@ let refactor_impl ?(zero_gain = false) ?(cut_size = 10)
             else prio
       | Cut.Reference ->
           let cuts = Cut.compute aig ~k:cut_size ~limit:8 in
-          fun nd ->
+          fun sc nd ->
             (* priority cuts plus the greedy reconvergent cut (the
                enumeration favors small cuts and can crowd out the
                reconvergent one) *)
@@ -428,94 +467,149 @@ let refactor_impl ?(zero_gain = false) ?(cut_size = 10)
                   if Array.length l < 2 then None else Some (l, None))
                 cuts.(nd)
             in
-            let g = greedy nd cut_size in
+            let g = greedy sc nd cut_size in
             if
               Array.length g >= 2
               && not (List.exists (fun (l, _) -> l = g) prio)
             then (g, None) :: prio
             else prio
     end
-    else fun nd ->
-      let c = greedy nd cut_size in
+    else fun sc nd ->
+      let c = greedy sc nd cut_size in
       if Array.length c >= 2 then [ (c, None) ] else []
   in
-  Aig.iter_ands aig (fun nd ->
-      let mffc = mffc_of nd in
-      let replaced = ref false in
-      if refs.(nd) > 0 then begin
-        let pick_form =
-          match engine with
-          | Cut.Packed -> pick_form_cached
-          | Cut.Reference -> pick_form_raw
-        in
-        (* Candidates over all cuts and both output polarities.  The value
-           of a candidate is (nodes that die) - (strash-aware rebuild
-           cost); the plain copy scores 0, so any positive score is a
-           strict improvement. *)
-        let candidates =
-          List.concat_map
-            (fun (cut, tt_opt) ->
-              let deaths = deaths nd cut in
-              let tt =
-                match tt_opt with
-                | Some t -> t
-                | None -> Aig.tt_of_cut aig (Aig.lit_of_node nd) cut
-              in
-              List.filter_map
-                (fun (t, neg) ->
-                  match pick_form t with
-                  | Some (f, est) -> Some (cut, f, neg, deaths, deaths - est)
-                  | None -> None)
-                [ (tt, false); (Tt.bnot tt, true) ])
-            (enum_cuts nd)
-        in
-        let candidates =
-          List.sort
-            (fun (_, _, _, _, a) (_, _, _, _, b) -> compare b a)
-            candidates
-        in
-        (* Dry-run candidates (strash-aware cost), keep the best score. *)
-        let best = ref None in
-        List.iteri
-          (fun i (cut, form, neg, deaths, _) ->
-            if i < 12 then begin
-              let leaf_lits =
-                Array.map (fun nd' -> lit_map_get map (Aig.lit_of_node nd')) cut
-              in
-              let ckpt = Aig.checkpoint fresh in
-              ignore (build_form fresh leaf_lits form);
-              let cost = Aig.checkpoint fresh - ckpt in
-              Aig.rollback fresh ckpt;
-              (* Optimistic score (full MFFC as savings) with the real
-                 deaths as tie-breaker, preferring larger cuts: enables
-                 cross-node sharing that per-node accounting cannot see;
-                 the pass-level guard bounds the risk. *)
-              let score = (mffc - cost, deaths - cost, Array.length cut) in
-              let ok =
-                if zero_gain then mffc - cost >= 0 && deaths - cost >= -1
-                else mffc - cost > 0 && deaths - cost >= 0
-              in
-              if ok then
-                match !best with
-                | Some (sc, _, _, _) when sc >= score -> ()
-                | _ -> best := Some (score, cut, form, neg)
-            end)
-          candidates;
-        (match !best with
-        | Some (_, cut, form, neg) ->
-            let leaf_lits =
-              Array.map (fun nd' -> lit_map_get map (Aig.lit_of_node nd')) cut
+  let pick_form =
+    match engine with
+    | Cut.Packed -> pick_form_cached
+    | Cut.Reference -> pick_form_raw
+  in
+  (* The sweep runs in two phases per window of node ids.
+
+     Phase A (parallel): per-node candidate analysis — cut enumeration,
+     cone functions, ISOP factoring, MFFC/death counts.  All of it reads
+     only the immutable source graph and [refs], so nodes are
+     independent: a Domain pool chews a window with disjoint writes into
+     the [analysis] slots, and the values are identical whatever the
+     pool width (the DLS form cache only memoizes a pure function).
+
+     Phase B (sequential): the dry-run strash-aware costing and the
+     commit into [fresh] — inherently ordered, because cost and
+     replacement depend on everything committed so far.  Keeping phase B
+     byte-for-byte the old loop is what makes [--jobs n] output
+     identical to [--jobs 1].
+
+     Candidates are scored and sorted in phase A; only the first 12
+     (the dry-run budget below) are kept, bounding a window's analysis
+     memory at a few thousand small tuples. *)
+  let analyze sc nd =
+    if (not (Aig.is_and aig nd)) || refs.(nd) = 0 then (0, [])
+    else begin
+      let mffc = mffc_of sc nd in
+      (* Candidates over all cuts and both output polarities.  The value
+         of a candidate is (nodes that die) - (strash-aware rebuild
+         cost); the plain copy scores 0, so any positive score is a
+         strict improvement. *)
+      let candidates =
+        List.concat_map
+          (fun (cut, tt_opt) ->
+            let deaths = deaths sc nd cut in
+            let tt =
+              match tt_opt with
+              | Some t -> t
+              | None -> Aig.tt_of_cut aig (Aig.lit_of_node nd) cut
             in
-            let l = build_form fresh leaf_lits form in
-            Hashtbl.replace map nd (if neg then Aig.lnot l else l);
-            replaced := true
-        | None -> ())
-      end;
-      if not !replaced then begin
-        let a = lit_map_get map (Aig.fanin0 aig nd) in
-        let b = lit_map_get map (Aig.fanin1 aig nd) in
-        Hashtbl.replace map nd (Aig.mk_and fresh a b)
-      end);
+            List.filter_map
+              (fun (t, neg) ->
+                match pick_form t with
+                | Some (f, est) -> Some (cut, f, neg, deaths, deaths - est)
+                | None -> None)
+              [ (tt, false); (Tt.bnot tt, true) ])
+          (enum_cuts sc nd)
+      in
+      let candidates =
+        List.sort
+          (fun (_, _, _, _, a) (_, _, _, _, b) -> compare b a)
+          candidates
+      in
+      let rec take i = function
+        | (cut, form, neg, deaths, _) :: tl when i < 12 ->
+            (cut, form, neg, deaths) :: take (i + 1) tl
+        | _ -> []
+      in
+      (mffc, take 0 candidates)
+    end
+  in
+  let commit nd (mffc, cands) =
+    let replaced = ref false in
+    if refs.(nd) > 0 then begin
+      (* Dry-run candidates (strash-aware cost), keep the best score. *)
+      let best = ref None in
+      List.iter
+        (fun (cut, form, neg, deaths) ->
+          let leaf_lits =
+            Array.map (fun nd' -> lit_map_get map (Aig.lit_of_node nd')) cut
+          in
+          let ckpt = Aig.checkpoint fresh in
+          ignore (build_form fresh leaf_lits form);
+          let cost = Aig.checkpoint fresh - ckpt in
+          Aig.rollback fresh ckpt;
+          (* Optimistic score (full MFFC as savings) with the real
+             deaths as tie-breaker, preferring larger cuts: enables
+             cross-node sharing that per-node accounting cannot see;
+             the pass-level guard bounds the risk. *)
+          let score = (mffc - cost, deaths - cost, Array.length cut) in
+          let ok =
+            if zero_gain then mffc - cost >= 0 && deaths - cost >= -1
+            else mffc - cost > 0 && deaths - cost >= 0
+          in
+          if ok then
+            match !best with
+            | Some (sc, _, _, _) when sc >= score -> ()
+            | _ -> best := Some (score, cut, form, neg))
+        cands;
+      match !best with
+      | Some (_, cut, form, neg) ->
+          let leaf_lits =
+            Array.map (fun nd' -> lit_map_get map (Aig.lit_of_node nd')) cut
+          in
+          let l = build_form fresh leaf_lits form in
+          Hashtbl.replace map nd (if neg then Aig.lnot l else l);
+          replaced := true
+      | None -> ()
+    end;
+    if not !replaced then begin
+      let a = lit_map_get map (Aig.fanin0 aig nd) in
+      let b = lit_map_get map (Aig.fanin1 aig nd) in
+      Hashtbl.replace map nd (Aig.mk_and fresh a b)
+    end
+  in
+  let window = 1 lsl 15 in
+  let analysis = Array.make (min window (max 1 (n - 1))) (0, []) in
+  Par.with_pool ~jobs (fun pool ->
+      let scratches = Array.make (Par.width pool) None in
+      let scratch w =
+        match scratches.(w) with
+        | Some sc -> sc
+        | None ->
+            let sc = mk_scratch () in
+            scratches.(w) <- Some sc;
+            sc
+      in
+      let w0 = ref 1 in
+      while !w0 < n do
+        let w1 = min n (!w0 + window) in
+        let base = !w0 in
+        Par.run pool ~n:(w1 - base) (fun w lo hi ->
+            let sc = scratch w in
+            for i = lo to hi - 1 do
+              analysis.(i) <- analyze sc (base + i)
+            done);
+        for i = 0 to w1 - base - 1 do
+          let nd = base + i in
+          if Aig.is_and aig nd then commit nd analysis.(i)
+        done;
+        w0 := w1
+      done);
   Array.iter
     (fun (name, l) -> Aig.add_output fresh name (lit_map_get map l))
     (Aig.outputs aig);
@@ -531,17 +625,17 @@ let guard pass aig =
        (Aig.num_ands out));
   if Aig.num_ands out <= Aig.num_ands aig then out else aig
 
-let refactor ?zero_gain ?cut_size ?engine ?stats aig =
-  guard (refactor_impl ?zero_gain ?cut_size ?engine ?stats) aig
+let refactor ?zero_gain ?cut_size ?engine ?stats ?jobs aig =
+  guard (refactor_impl ?zero_gain ?cut_size ?engine ?stats ?jobs) aig
 
-let rewrite ?(zero_gain = false) ?engine ?stats aig =
-  refactor ~zero_gain ~cut_size:4 ?engine ?stats aig
+let rewrite ?(zero_gain = false) ?engine ?stats ?jobs aig =
+  refactor ~zero_gain ~cut_size:4 ?engine ?stats ?jobs aig
 
-let resyn2rs ?engine ?stats aig =
-  let rewrite ?zero_gain a = rewrite ?zero_gain ?engine ?stats a in
-  let refactor ?zero_gain a = refactor ?zero_gain ?engine ?stats a in
+let resyn2rs ?engine ?stats ?jobs aig =
+  let rewrite ?zero_gain a = rewrite ?zero_gain ?engine ?stats ?jobs a in
+  let refactor ?zero_gain a = refactor ?zero_gain ?engine ?stats ?jobs a in
   aig |> rewrite |> refactor |> balance |> rewrite
   |> rewrite ~zero_gain:true |> balance |> refactor ~zero_gain:true
   |> rewrite ~zero_gain:true |> balance
 
-let light ?engine ?stats aig = aig |> rewrite ?engine ?stats |> balance
+let light ?engine ?stats ?jobs aig = aig |> rewrite ?engine ?stats ?jobs |> balance

@@ -21,10 +21,22 @@ val balance : Aig.t -> Aig.t
     per-cut cone-walk path kept for differential testing — both produce
     identical results), and an optional [stats] record that accumulates the
     engine's hot-path counters across the pass (and across every sub-pass
-    of the composed scripts). *)
+    of the composed scripts).
+
+    [jobs] (default 1) runs each pass's per-node candidate analysis — cut
+    enumeration, cone functions, ISOP factoring, MFFC accounting — across
+    a {!Par} pool of that many domains, window by window; the commit into
+    the rebuilt graph stays sequential.  Because the analysis is a pure
+    function of the immutable source graph, the output is byte-identical
+    for every [jobs] value. *)
 
 val rewrite :
-  ?zero_gain:bool -> ?engine:Cut.engine -> ?stats:Cut.stats -> Aig.t -> Aig.t
+  ?zero_gain:bool ->
+  ?engine:Cut.engine ->
+  ?stats:Cut.stats ->
+  ?jobs:int ->
+  Aig.t ->
+  Aig.t
 (** Cut size 4; replaces a cone when the factored rebuild uses fewer nodes
     than the cone's MFFC ([zero_gain] accepts equal size, useful as a
     perturbation between other passes). *)
@@ -34,14 +46,17 @@ val refactor :
   ?cut_size:int ->
   ?engine:Cut.engine ->
   ?stats:Cut.stats ->
+  ?jobs:int ->
   Aig.t ->
   Aig.t
 (** Default cut size 10 (at most {!Tt.max_vars}); cut sizes above 6 use a
     single greedy reconvergent cut per node, where the packed engine's
     incremental tables do not apply. *)
 
-val resyn2rs : ?engine:Cut.engine -> ?stats:Cut.stats -> Aig.t -> Aig.t
+val resyn2rs :
+  ?engine:Cut.engine -> ?stats:Cut.stats -> ?jobs:int -> Aig.t -> Aig.t
 (** b; rw; rf; b; rw; rw -z; b; rf -z; rw -z; b. *)
 
-val light : ?engine:Cut.engine -> ?stats:Cut.stats -> Aig.t -> Aig.t
+val light :
+  ?engine:Cut.engine -> ?stats:Cut.stats -> ?jobs:int -> Aig.t -> Aig.t
 (** b; rw; b — a cheap script for quick runs. *)

@@ -5,6 +5,7 @@ type params = {
   timing : bool;
   engine : Cut.engine;
   cost : (Cell_lib.cell -> float) option;
+  jobs : int;
 }
 
 let default_params =
@@ -15,6 +16,7 @@ let default_params =
     timing = false;
     engine = Cut.Packed;
     cost = None;
+    jobs = 1;
   }
 
 (* A mapping choice for (node, phase): how the value [node ^ phase] is
@@ -149,70 +151,141 @@ let map_with_stats ?(params = default_params) lib aig =
     done
   in
   init_leaf_slots ();
+  (* ---- within-circuit parallelism ----
+     One pool serves cut-info precomputation (independent per node) and
+     the level-synchronized matching passes.  Worker-visible writes are
+     limited to disjoint per-node slots plus per-worker scratch, so the
+     chosen cover is byte-identical for every pool width.  On the
+     exception paths the pool leaks its parked workers; that is benign
+     (the runtime exits with parked domains) and keeps the passes
+     uncluttered. *)
+  let pool = Par.create ~jobs:(max 1 params.jobs) in
+  let pw = Par.width pool in
+  let probe_ctr = Array.make pw 0 in
+  (* Per-worker result cells of [eval_match] (float refs are unboxed). *)
+  let em_arr = Array.init pw (fun _ -> ref 0.0) in
+  let em_fl = Array.init pw (fun _ -> ref 0.0) in
+  (* Nodes bucketed by logic level: every leaf of a cut of [nd] lies in
+     [nd]'s strict fan-in, hence strictly below [nd]'s level, so the
+     nodes of one level match independently once lower levels are
+     final — the matching passes sweep level by level with a barrier
+     in between, computing exactly the sequential pass's values. *)
+  let level = Array.make n 0 in
+  let nlevels = ref 1 in
+  Aig.iter_ands aig (fun nd ->
+      let l0 = level.(Aig.node_of (Aig.fanin0 aig nd))
+      and l1 = level.(Aig.node_of (Aig.fanin1 aig nd)) in
+      let l = 1 + if l0 > l1 then l0 else l1 in
+      level.(nd) <- l;
+      if l >= !nlevels then nlevels := l + 1);
+  let lcount = Array.make !nlevels 0 in
+  Aig.iter_ands aig (fun nd -> lcount.(level.(nd)) <- lcount.(level.(nd)) + 1);
+  let levels = Array.map (fun c -> Array.make c 0) lcount in
+  let lfill = Array.make !nlevels 0 in
+  Aig.iter_ands aig (fun nd ->
+      let l = level.(nd) in
+      levels.(l).(lfill.(l)) <- nd;
+      lfill.(l) <- lfill.(l) + 1);
+  let for_ands_leveled f =
+    Array.iter
+      (fun lvl ->
+        Par.run pool ~n:(Array.length lvl) (fun w lo hi ->
+            for i = lo to hi - 1 do
+              f w lvl.(i)
+            done))
+      levels
+  in
   (* Precompute, per AND node, the list of usable (leaves, key) pairs:
      cut function shrunk to its support.  The packed engine hands us each
      cut's function straight out of the enumeration; the reference engine
-     re-walks the cone per cut.  Both produce the same info lists. *)
+     re-walks the cone per cut.  Both produce the same info lists.  The
+     library match lists for both output phases are resolved here, once —
+     every matching pass (1 delay + area_passes + the timing refinement)
+     used to repeat the same [Cell_lib.matches] lookups per node. *)
   let node_cutinfo = Array.make n [] in
+  let mk_info real_leaves leaves s key =
+    let ents_pos = if s >= 2 then Cell_lib.matches lib s key else [] in
+    let ents_neg =
+      if s >= 2 then Cell_lib.matches lib s (Int64.lognot key) else []
+    in
+    (real_leaves, leaves, s, key, ents_pos, ents_neg)
+  in
+  (* Enumeration itself is sequential (the packed slab grows front to
+     back); support shrinking and the library lookups fan out over nodes
+     with disjoint writes into [node_cutinfo]. *)
   (match params.engine with
   | Cut.Packed ->
       let cs = Cut.compute_packed ~stats aig ~k ~limit:params.cut_limit in
-      Aig.iter_ands aig (fun nd ->
-          let infos = ref [] in
-          for j = Cut.num_cuts cs nd - 1 downto 0 do
-            let m = Cut.cut_nleaves cs nd j in
-            if not (m = 1 && Cut.cut_leaf cs nd j 0 = nd) then begin
-              let key, sup = Npn.shrink (Cut.cut_tt cs nd j) m in
-              let real_leaves = Array.map (Cut.cut_leaf cs nd j) sup in
-              infos :=
-                (real_leaves, Cut.cut_leaves cs nd j, Array.length sup, key)
-                :: !infos
+      Par.run pool ~n (fun _ lo hi ->
+          for nd = lo to hi - 1 do
+            if Aig.is_and aig nd then begin
+              let infos = ref [] in
+              for j = Cut.num_cuts cs nd - 1 downto 0 do
+                let m = Cut.cut_nleaves cs nd j in
+                if not (m = 1 && Cut.cut_leaf cs nd j 0 = nd) then begin
+                  let key, sup = Npn.shrink (Cut.cut_tt cs nd j) m in
+                  let real_leaves = Array.map (Cut.cut_leaf cs nd j) sup in
+                  infos :=
+                    mk_info real_leaves (Cut.cut_leaves cs nd j)
+                      (Array.length sup) key
+                    :: !infos
+                end
+              done;
+              node_cutinfo.(nd) <- !infos
             end
-          done;
-          node_cutinfo.(nd) <- !infos)
+          done)
   | Cut.Reference ->
       let cuts = Cut.compute aig ~k ~limit:params.cut_limit in
-      Aig.iter_ands aig (fun nd ->
-          let infos =
-            List.filter_map
-              (fun cut ->
-                let leaves = cut.Cut.leaves in
-                if Array.length leaves = 1 && leaves.(0) = nd then None
-                else begin
-                  let tt = Aig.tt_of_cut aig (Aig.lit_of_node nd) leaves in
-                  let small, sup = Tt.shrink_to_support tt in
-                  let s = Tt.nvars small in
-                  if s > 6 then None
-                  else
-                    let real_leaves = Array.map (fun i -> leaves.(i)) sup in
-                    let key = (Tt.words small).(0) in
-                    Some (real_leaves, leaves, s, key)
-                end)
-              cuts.(nd)
-          in
-          node_cutinfo.(nd) <- infos));
+      Par.run pool ~n (fun _ lo hi ->
+          for nd = lo to hi - 1 do
+            if Aig.is_and aig nd then begin
+              let infos =
+                List.filter_map
+                  (fun cut ->
+                    let leaves = cut.Cut.leaves in
+                    if Array.length leaves = 1 && leaves.(0) = nd then None
+                    else begin
+                      let tt = Aig.tt_of_cut aig (Aig.lit_of_node nd) leaves in
+                      let small, sup = Tt.shrink_to_support tt in
+                      let s = Tt.nvars small in
+                      if s > 6 then None
+                      else
+                        let real_leaves = Array.map (fun i -> leaves.(i)) sup in
+                        let key = (Tt.words small).(0) in
+                        Some (mk_info real_leaves leaves s key)
+                    end)
+                  cuts.(nd)
+              in
+              node_cutinfo.(nd) <- infos
+            end
+          done));
   (* arrival/flow of consuming (leaf ^ want_ph) where want_ph already
      accounts for the entry phase bit and the AIG edge complement *)
   let leaf_cost leaf want_ph =
     let s = slot leaf want_ph in
     (s.arrival, s.flow /. refs_f.(leaf))
   in
-  let eval_match nd p leaves entry =
+  (* Hot loop of every matching pass: results via the worker's
+     [em_arr]/[em_fl] cells so evaluating an entry allocates nothing. *)
+  let eval_match em_a em_f nd p leaves entry =
     let cell = entry.Cell_lib.cell in
     let arr = ref 0.0 and fl = ref (cell_cost cell) in
-    Array.iteri
-      (fun i leaf ->
-        let want = (entry.Cell_lib.phase lsr i) land 1 = 1 in
-        let a, f = leaf_cost leaf (if want then 1 else 0) in
-        if a > !arr then arr := a;
-        fl := !fl +. f)
-      leaves;
-    (!arr +. cell_delay_at nd p cell, !fl)
+    let np = Array.length leaves in
+    let phase = entry.Cell_lib.phase in
+    for i = 0 to np - 1 do
+      let leaf = leaves.(i) in
+      let s = slot leaf ((phase lsr i) land 1) in
+      if s.arrival > !arr then arr := s.arrival;
+      fl := !fl +. (s.flow /. refs_f.(leaf))
+    done;
+    em_a := !arr +. cell_delay_at nd p cell;
+    em_f := !fl
   in
   (* One matching pass.  [mode] selects the objective:
      `Delay: lexicographic (arrival, flow);
      `Area reqs: minimize flow subject to arrival <= reqs(ph). *)
-  let match_node mode nd =
+  let match_node w mode nd =
+    let em_a = em_arr.(w) and em_f = em_fl.(w) in
     for ph = 0 to nph - 1 do
       let s = slot nd ph in
       let mode =
@@ -244,7 +317,7 @@ let map_with_stats ?(params = default_params) lib aig =
         end
       in
       List.iter
-        (fun (leaves, orig_leaves, s_arity, key) ->
+        (fun (leaves, orig_leaves, s_arity, key, ents_pos, ents_neg) ->
           let want_key = if ph = 0 then key else Int64.lognot key in
           if s_arity = 0 then begin
             (* constant function: should not happen in a strashed AIG *)
@@ -267,14 +340,14 @@ let map_with_stats ?(params = default_params) lib aig =
             end
           end
           else begin
-            stats.Cut.probes <- stats.Cut.probes + 1;
+            probe_ctr.(w) <- probe_ctr.(w) + 1;
             List.iter
               (fun entry ->
-                let arr, fl =
-                  eval_match nd (if free then 0 else ph) leaves entry
-                in
-                consider (Match (entry, leaves, orig_leaves, want_key)) arr fl)
-              (Cell_lib.matches lib s_arity want_key)
+                eval_match em_a em_f nd (if free then 0 else ph) leaves entry;
+                consider
+                  (Match (entry, leaves, orig_leaves, want_key))
+                  !em_a !em_f)
+              (if ph = 0 then ents_pos else ents_neg)
           end)
         node_cutinfo.(nd);
       s.choice <- !best_choice;
@@ -297,7 +370,7 @@ let map_with_stats ?(params = default_params) lib aig =
     end
   in
   (* delay-oriented pass *)
-  Aig.iter_ands aig (fun nd -> match_node `Delay nd);
+  for_ands_leveled (fun w nd -> match_node w `Delay nd);
   (* verify every node got mapped *)
   Aig.iter_ands aig (fun nd ->
       for ph = 0 to nph - 1 do
@@ -491,12 +564,12 @@ let map_with_stats ?(params = default_params) lib aig =
      too, so refinement below starts from exactly the default-mode cover *)
   let area_pass () =
     let req, t = compute_required () in
-    Aig.iter_ands aig (fun nd ->
+    for_ands_leveled (fun w nd ->
         let reqs ph =
           let r = req.(nd).(if free then 0 else ph) in
           if r = infinity_f then t else r
         in
-        match_node (`Area reqs) nd)
+        match_node w (`Area reqs) nd)
   in
   for _ = 1 to params.area_passes do
     area_pass ()
@@ -514,7 +587,7 @@ let map_with_stats ?(params = default_params) lib aig =
     for _ = 1 to 2 do
       loads_cur := Some (measure_loads ());
       init_leaf_slots ();
-      Aig.iter_ands aig (fun nd -> match_node `Delay nd);
+      for_ands_leveled (fun w nd -> match_node w `Delay nd);
       let c = eval_cover () in
       if c < !best_crit -. 1e-9 then begin
         best_crit := c;
@@ -540,6 +613,10 @@ let map_with_stats ?(params = default_params) lib aig =
       end
     done
   end;
+  (* Probe totals are a sum of per-node counts, so merging the workers'
+     counters reproduces the sequential tally exactly. *)
+  stats.Cut.probes <- stats.Cut.probes + Array.fold_left ( + ) 0 probe_ctr;
+  Par.shutdown pool;
   (* ---- extraction ---- *)
   let insts = ref [] in
   let ninsts = ref 0 in

@@ -36,6 +36,14 @@ type params = {
           [Testability.cell_cost] charges cells with poorly-sensitizable
           pins.  [None] (the default) is exact area flow; reported netlist
           area is always real cell area either way. *)
+  jobs : int;
+      (** Domains for within-circuit parallel cover selection (default 1).
+          Cut-info precomputation fans out over nodes, and every matching
+          pass runs level-synchronized across a {!Par} pool: a cut's
+          support lies strictly below its root's level, so the nodes of
+          one level match independently from finished lower levels.  The
+          chosen cover — and hence the netlist — is byte-identical for
+          every [jobs] value. *)
 }
 
 val default_params : params

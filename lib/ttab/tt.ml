@@ -87,7 +87,13 @@ let bxor a b = lift2 "Tt.bxor" Int64.logxor a b
 let bandn a b = lift2 "Tt.bandn" (fun x y -> Int64.(logand x (lognot y))) a b
 let mux s a b = bor (band s a) (bandn b s)
 
-let equal a b = a.n = b.n && a.w = b.w
+let equal a b =
+  a.n = b.n
+  &&
+  let w1 = a.w and w2 = b.w in
+  let len = Array.length w1 in
+  let rec go i = i >= len || (Int64.equal w1.(i) w2.(i) && go (i + 1)) in
+  go 0
 let compare a b = Stdlib.compare (a.n, a.w) (b.n, b.w)
 
 let hash a =
@@ -156,7 +162,33 @@ let cofactor1 t i =
     { t with w }
   end
 
-let depends_on t i = not (equal (cofactor0 t i) (cofactor1 t i))
+(* Allocation-free: a table depends on [i] iff some position with var_i = 0
+   differs from its var_i = 1 partner.  This is the inner loop of the ISOP
+   top-variable scan, so it early-exits on the first differing word instead
+   of materializing both cofactors. *)
+let depends_on t i =
+  if i < 0 || i >= t.n then invalid_arg "Tt.depends_on";
+  let w = t.w in
+  let len = Array.length w in
+  if i < 6 then begin
+    let d = 1 lsl i in
+    let m = mask0.(i) in
+    let rec go k =
+      k < len
+      && (Int64.logand (Int64.logxor w.(k) (Int64.shift_right_logical w.(k) d)) m
+          <> 0L
+         || go (k + 1))
+    in
+    go 0
+  end
+  else begin
+    let stride = 1 lsl (i - 6) in
+    let rec go k =
+      k < len
+      && ((k land stride = 0 && w.(k) <> w.(k lor stride)) || go (k + 1))
+    in
+    go 0
+  end
 
 let support t =
   let rec go i = if i >= t.n then [] else

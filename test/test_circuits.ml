@@ -49,6 +49,84 @@ let test_carry_select_adder () =
           (Aig.depth g < Aig.depth (Arith.adder n)))
     [ 2; 4; 5 ]
 
+let test_divider () =
+  let n = 9 in
+  let g = Arith.divider n in
+  for _ = 1 to 200 do
+    let a = Rand64.int rng (1 lsl n) in
+    let d = 1 + Rand64.int rng ((1 lsl n) - 1) in
+    let out = Aig.eval g (Array.append (to_bits n a) (to_bits n d)) in
+    Alcotest.(check int) "quotient" (a / d) (of_bits (Array.sub out 0 n));
+    Alcotest.(check int) "remainder" (a mod d) (of_bits (Array.sub out n n))
+  done;
+  (* the documented d = 0 convention: all-ones quotient *)
+  let a = Rand64.int rng (1 lsl n) in
+  let out = Aig.eval g (Array.append (to_bits n a) (to_bits n 0)) in
+  Alcotest.(check int) "q on d=0" ((1 lsl n) - 1) (of_bits (Array.sub out 0 n))
+
+let test_wide_growth_boundaries () =
+  (* Widths chosen so construction crosses several node-array/strash
+     doublings from the default capacity; the regrown graphs must stay
+     structurally lint-clean and keep exact integer semantics. *)
+  let lint_clean name g =
+    match Aig_lint.check ~name g with
+    | [] -> ()
+    | ds -> Alcotest.failf "%s: %d lint findings" name (List.length ds)
+  in
+  let na = 58 in
+  let add = Arith.adder na in
+  lint_clean "adder-58" add;
+  for _ = 1 to 40 do
+    let a = Rand64.int rng (1 lsl na) and b = Rand64.int rng (1 lsl na) in
+    let cin = Rand64.bool rng in
+    let out = Aig.eval add (Array.concat [ to_bits na a; to_bits na b; [| cin |] ]) in
+    Alcotest.(check int) "wide sum" (a + b + if cin then 1 else 0) (of_bits out)
+  done;
+  let nm = 29 in
+  let mul = Arith.multiplier nm in
+  lint_clean "mult-29" mul;
+  for _ = 1 to 40 do
+    let a = Rand64.int rng (1 lsl nm) and b = Rand64.int rng (1 lsl nm) in
+    let out = Aig.eval mul (Array.append (to_bits nm a) (to_bits nm b)) in
+    Alcotest.(check int) "wide product" (a * b) (of_bits out)
+  done;
+  let nd = 16 in
+  let div = Arith.divider nd in
+  lint_clean "div-16" div;
+  for _ = 1 to 40 do
+    let a = Rand64.int rng (1 lsl nd) in
+    let d = 1 + Rand64.int rng ((1 lsl nd) - 1) in
+    let out = Aig.eval div (Array.append (to_bits nd a) (to_bits nd d)) in
+    Alcotest.(check int) "wide quotient" (a / d) (of_bits (Array.sub out 0 nd));
+    Alcotest.(check int) "wide remainder" (a mod d)
+      (of_bits (Array.sub out nd nd))
+  done
+
+let test_dynamic_entries () =
+  (* parameterized names resolve and build the advertised interface *)
+  List.iter
+    (fun (name, ins, outs) ->
+      match Bench_suite.find name with
+      | exception Not_found -> Alcotest.failf "%s not found" name
+      | e ->
+          let g = e.Bench_suite.build () in
+          Alcotest.(check int) (name ^ " inputs") ins (Aig.num_inputs g);
+          Alcotest.(check int) (name ^ " outputs") outs (Aig.num_outputs g))
+    [
+      ("add-24", 49, 25);
+      ("addsub-12", 25, 16);
+      ("mult-20", 40, 40);
+      ("div-10", 20, 20);
+      (* 64-bit state, one 48-bit key per round, all round outputs *)
+      ("crypto-4", 256, 192);
+    ];
+  List.iter
+    (fun bad ->
+      match Bench_suite.find bad with
+      | exception Not_found -> ()
+      | _ -> Alcotest.failf "%s should be rejected" bad)
+    [ "mult-0"; "mult-9999"; "frob-8"; "mult-x" ]
+
 let test_addsub () =
   let n = 8 in
   let g = Arith.addsub n in
@@ -208,7 +286,10 @@ let () =
         [
           Alcotest.test_case "adder" `Quick test_adder;
           Alcotest.test_case "multiplier" `Quick test_multiplier;
+          Alcotest.test_case "divider" `Quick test_divider;
           Alcotest.test_case "addsub+flags" `Quick test_addsub;
+          Alcotest.test_case "growth boundaries" `Quick
+            test_wide_growth_boundaries;
           Alcotest.test_case "carry-select adder" `Quick test_carry_select_adder;
         ] );
       ( "ecc",
@@ -225,6 +306,7 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_suite_determinism;
           Alcotest.test_case "profiles" `Quick test_suite_profiles;
+          Alcotest.test_case "dynamic entries" `Quick test_dynamic_entries;
         ] );
       ( "bitvec",
         [

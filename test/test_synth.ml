@@ -138,6 +138,35 @@ let test_passes_keep_io () =
         (Aig.outputs aig))
     passes
 
+let test_jobs_byte_identical () =
+  (* Within-circuit Domain parallelism must not change a single literal:
+     the analysis phase is distributed, the commit phase replays the
+     sequential order (see Par and the synth .mli contract). *)
+  let circuits =
+    [
+      ("addsub-12", fun () -> Arith.addsub 12);
+      ("div-10", fun () -> Arith.divider 10);
+      ("random", fun () -> random_aig 10 160 4242);
+    ]
+  in
+  List.iter
+    (fun (name, build) ->
+      let blif jobs =
+        Blif.to_string (Synth.resyn2rs ~jobs (build ()))
+      in
+      let seq = blif 1 in
+      List.iter
+        (fun jobs ->
+          if blif jobs <> seq then
+            Alcotest.failf "%s: resyn2rs jobs=%d diverges" name jobs)
+        [ 2; 3; 5 ])
+    circuits;
+  (* the light script too, which exercises rewrite and refactor *)
+  let g = Arith.addsub 10 in
+  Alcotest.(check string) "light jobs=4"
+    (Blif.to_string (Synth.light (Arith.addsub 10)))
+    (Blif.to_string (Synth.light ~jobs:4 g))
+
 let test_idempotent_enough () =
   (* running resyn2rs twice must not grow the graph *)
   let aig = random_aig 8 70 (Rand64.int rng 1000) in
@@ -160,6 +189,8 @@ let () =
             test_rewrite_removes_redundancy;
           Alcotest.test_case "adder improves" `Quick test_resyn_improves_adder;
           Alcotest.test_case "io preserved" `Quick test_passes_keep_io;
+          Alcotest.test_case "jobs byte-identical" `Quick
+            test_jobs_byte_identical;
           Alcotest.test_case "idempotent" `Quick test_idempotent_enough;
         ] );
     ]

@@ -187,6 +187,42 @@ let test_area_recovery_never_hurts_delay () =
   Alcotest.(check bool) "delay within tolerance" true
     (s3.Mapped.norm_delay <= s0.Mapped.norm_delay +. 1e-6)
 
+let test_mapper_jobs_byte_identical () =
+  (* The level-synchronized matching sweeps must pick the same cover at
+     every domain count (every cut leaf sits strictly below its root's
+     level, so per-level matches are order-independent). *)
+  let circuits =
+    [
+      ("addsub-12", Arith.addsub 12);
+      ("div-12", Arith.divider 12);
+      ("csa-16", Arith.carry_select_adder 16 ~block:4);
+    ]
+  in
+  List.iter
+    (fun (name, aig) ->
+      List.iter
+        (fun (lname, lib, timing) ->
+          let image jobs =
+            let params =
+              { Mapper.default_params with Mapper.jobs; timing }
+            in
+            Marshal.to_string (Mapper.map ~params lib aig)
+              [ Marshal.No_sharing ]
+          in
+          let seq = image 1 in
+          List.iter
+            (fun jobs ->
+              if image jobs <> seq then
+                Alcotest.failf "%s/%s: mapping jobs=%d diverges" name lname
+                  jobs)
+            [ 2; 3 ])
+        [
+          ("static", lib_static, false);
+          ("cmos", lib_cmos, false);
+          ("static-timing", lib_static, true);
+        ])
+    circuits
+
 let test_genlib_roundtrip_library () =
   (* write the static library to genlib, parse it back, map with it:
      stats must be identical *)
@@ -223,5 +259,7 @@ let () =
           Alcotest.test_case "stats consistency" `Quick test_stats_consistency;
           Alcotest.test_case "cmos inverters" `Quick test_cmos_inverter_accounting;
           Alcotest.test_case "area recovery" `Quick test_area_recovery_never_hurts_delay;
+          Alcotest.test_case "jobs byte-identical" `Quick
+            test_mapper_jobs_byte_identical;
         ] );
     ]
