@@ -2,7 +2,8 @@
    (wide array multipliers/dividers, deep Feistel rounds), runs the
    [b; rw; map] pipeline at several within-circuit domain counts, and
    writes BENCH_scale.json — construction throughput (nodes/sec), wall
-   time per phase, peak RSS, and the parallel speedup curve with a
+   time per phase, the mapper's internal phase breakdown and re-eval
+   skip ratio, peak RSS, and the parallel speedup curve with a
    byte-identical-output check across all domain counts.
 
    Each (circuit, jobs) measurement runs in a forked child so peak RSS
@@ -10,12 +11,14 @@
 
      dune exec bench/scale_bench.exe
      dune exec bench/scale_bench.exe -- --circuits mult-336 --jobs-list 1
-     dune exec bench/scale_bench.exe -- --jobs-list 1,2,4 --out scale.json *)
+     dune exec bench/scale_bench.exe -- --jobs-list 1,2,4 --out scale.json
+     dune exec bench/scale_bench.exe -- --tsv mapper-phases.tsv *)
 
 let prog = "scale_bench"
 let circuits = ref "mult-128,div-96,crypto-512"
 let jobs_list = ref "1,2,4"
 let out = ref "BENCH_scale.json"
+let tsv = ref ""
 let family = ref "static"
 
 let specs =
@@ -30,6 +33,10 @@ let specs =
     ( "--out",
       Arg.Set_string out,
       "FILE output JSON path (default BENCH_scale.json)" );
+    ( "--tsv",
+      Arg.Set_string tsv,
+      "FILE also write the mapper-phase breakdown as TSV (one row per \
+       circuit x jobs)" );
     ( "--family",
       Arg.Set_string family,
       "F mapping target family (default static)" );
@@ -42,11 +49,38 @@ type measurement = {
   bal_ms : float;
   rw_ms : float;
   map_ms : float;
+  (* the mapper's internal wall-clock breakdown (Mapper.phase_ms) *)
+  cuts_ms : float;
+  match_ms : float;
+  required_ms : float;
+  recover_ms : float;
+  extract_ms : float;
+  reevals : int;   (** (node, pass) matching evaluations actually run *)
+  skips : int;     (** evaluations proven redundant and skipped *)
   rss_kb : int;  (** child's peak RSS in kB; -1 where unavailable *)
   digest : string;  (** of the optimized AIG and the mapped netlist *)
 }
 
 let total m = m.bal_ms +. m.rw_ms +. m.map_ms
+
+let skip_ratio m =
+  let d = m.reevals + m.skips in
+  if d = 0 then 0.0 else float_of_int m.skips /. float_of_int d
+
+(* The host's online CPU count from nproc — what the kernel will actually
+   schedule on, as opposed to [Domain.recommended_domain_count] which can
+   be clamped by the runtime. *)
+let nproc_cpus () =
+  match Unix.open_process_in "nproc 2>/dev/null" with
+  | exception _ -> Domain.recommended_domain_count ()
+  | ic -> (
+      let line = try Some (input_line ic) with End_of_file -> None in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, Some l -> (
+          match int_of_string_opt (String.trim l) with
+          | Some n when n >= 1 -> n
+          | _ -> Domain.recommended_domain_count ())
+      | _ -> Domain.recommended_domain_count ())
 
 (* Runs [f] in a forked child; the child prints one line to a pipe and
    exits, the parent returns the line. *)
@@ -87,7 +121,8 @@ let measure lib (e : Bench_suite.entry) jobs =
         let opt = Synth.rewrite ~jobs bal in
         let t3 = Unix.gettimeofday () in
         let params = { Mapper.default_params with Mapper.jobs } in
-        let mapped = Mapper.map ~params lib opt in
+        let phase = Mapper.phase_ms_create () in
+        let mapped, stats = Mapper.map_with_stats ~params ~phase lib opt in
         let t4 = Unix.gettimeofday () in
         (* [No_sharing] expands aliasing, so structurally equal results
            serialize identically regardless of how they were built *)
@@ -101,17 +136,25 @@ let measure lib (e : Bench_suite.entry) jobs =
         let rss =
           match Cli_common.peak_rss_kb () with Some v -> v | None -> -1
         in
-        Printf.sprintf "%.6f %d %.6f %.6f %.6f %d %s"
+        Printf.sprintf
+          "%.6f %d %.6f %.6f %.6f %.6f %.6f %.6f %.6f %.6f %d %d %d %s"
           (1000.0 *. (t1 -. t0))
           ands
           (1000.0 *. (t2 -. t1))
           (1000.0 *. (t3 -. t2))
           (1000.0 *. (t4 -. t3))
+          phase.Mapper.pm_cuts_ms phase.Mapper.pm_match_ms
+          phase.Mapper.pm_required_ms phase.Mapper.pm_recover_ms
+          phase.Mapper.pm_extract_ms stats.Cut.reevals stats.Cut.reeval_skips
           rss digest)
   in
-  Scanf.sscanf line "%f %d %f %f %f %d %s"
-    (fun build_ms ands bal_ms rw_ms map_ms rss_kb digest ->
-      { jobs; build_ms; ands; bal_ms; rw_ms; map_ms; rss_kb; digest })
+  Scanf.sscanf line "%f %d %f %f %f %f %f %f %f %f %d %d %d %s"
+    (fun build_ms ands bal_ms rw_ms map_ms cuts_ms match_ms required_ms
+         recover_ms extract_ms reevals skips rss_kb digest ->
+      {
+        jobs; build_ms; ands; bal_ms; rw_ms; map_ms; cuts_ms; match_ms;
+        required_ms; recover_ms; extract_ms; reevals; skips; rss_kb; digest;
+      })
 
 let parse_ints ~what s =
   String.split_on_char ',' s
@@ -144,7 +187,14 @@ let () =
   let entries =
     List.concat_map (fun n -> Cli_common.bench_entries ~prog [ n ]) names
   in
-  let cpus = Domain.recommended_domain_count () in
+  let cpus = nproc_cpus () in
+  if cpus = 1 && List.exists (fun j -> j > 1) jl then
+    prerr_endline
+      ("\n" ^ prog
+     ^ ": *** WARNING: this host has 1 online cpu (nproc) — every jobs>1 \
+        run time-slices its domains on one core, so the recorded speedup \
+        curve measures parallel OVERHEAD, not parallel speedup. Do not \
+        read these numbers as scaling results. ***\n");
   let rows =
     List.map
       (fun (e : Bench_suite.entry) ->
@@ -158,9 +208,14 @@ let () =
           (fun m ->
             Printf.printf
               "%-12s ands=%-8d jobs=%d build=%8.1fms (%.0f nodes/s) \
-               b=%8.1fms rw=%8.1fms map=%8.1fms rss=%dkB x%.2f %s\n%!"
+               b=%8.1fms rw=%8.1fms map=%8.1fms (cuts=%.0f match=%.0f \
+               req=%.0f recover=%.0f extract=%.0f skip=%.0f%%) rss=%dkB \
+               x%.2f %s\n%!"
               e.Bench_suite.name m.ands m.jobs m.build_ms nps m.bal_ms
-              m.rw_ms m.map_ms m.rss_kb
+              m.rw_ms m.map_ms m.cuts_ms m.match_ms m.required_ms
+              m.recover_ms m.extract_ms
+              (100.0 *. skip_ratio m)
+              m.rss_kb
               (total base /. total m)
               (if m.digest = base.digest then "identical" else "DIFFERS"))
           ms;
@@ -172,8 +227,10 @@ let () =
   Printf.bprintf b
     "{\n  \"script\": \"b; rw; map\",\n  \"family\": \"%s\",\n  \
      \"cpus\": %d,\n  \"note\": \"speedups are wall-clock vs the first \
-     jobs entry on a host with the listed cpu count; byte-identical \
-     output is asserted across all jobs values\",\n  \"rows\": [\n"
+     jobs entry; every run row repeats the recording host's online cpu \
+     count (nproc) — on cpus=1 hosts the jobs>1 rows measure parallel \
+     overhead, not speedup; byte-identical output is asserted across all \
+     jobs values\",\n  \"rows\": [\n"
     (Cli_common.family_arg_name fam)
     cpus;
   List.iteri
@@ -189,10 +246,16 @@ let () =
           if j > 0 then Buffer.add_string b ",\n";
           let json_rss v = if v < 0 then "null" else string_of_int v in
           Printf.bprintf b
-            "      {\"jobs\": %d, \"balance_ms\": %.3f, \"rewrite_ms\": \
-             %.3f, \"map_ms\": %.3f, \"total_ms\": %.3f, \"speedup\": \
-             %.3f, \"peak_rss_kb\": %s}"
-            m.jobs m.bal_ms m.rw_ms m.map_ms (total m)
+            "      {\"jobs\": %d, \"cpus\": %d, \"balance_ms\": %.3f, \
+             \"rewrite_ms\": %.3f, \"map_ms\": %.3f, \"map_cuts_ms\": \
+             %.3f, \"map_match_ms\": %.3f, \"map_required_ms\": %.3f, \
+             \"map_recover_ms\": %.3f, \"map_extract_ms\": %.3f, \
+             \"match_reevals\": %d, \"match_skips\": %d, \"skip_ratio\": \
+             %.4f, \"total_ms\": %.3f, \"speedup\": %.3f, \
+             \"peak_rss_kb\": %s}"
+            m.jobs cpus m.bal_ms m.rw_ms m.map_ms m.cuts_ms m.match_ms
+            m.required_ms m.recover_ms m.extract_ms m.reevals m.skips
+            (skip_ratio m) (total m)
             (total base /. total m)
             (json_rss m.rss_kb))
         ms;
@@ -204,4 +267,27 @@ let () =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Buffer.contents b));
   Printf.printf "wrote %s\n" !out;
+  if !tsv <> "" then begin
+    let oc = open_out !tsv in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc
+          "#bench\tands\tjobs\tcpus\tmap_ms\tcuts_ms\tmatch_ms\t\
+           required_ms\trecover_ms\textract_ms\tmatch_reevals\t\
+           match_skips\tskip_ratio\n";
+        List.iter
+          (fun (name, ms, _, _) ->
+            List.iter
+              (fun m ->
+                Printf.fprintf oc
+                  "%s\t%d\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t\
+                   %d\t%d\t%.4f\n"
+                  name m.ands m.jobs cpus m.map_ms m.cuts_ms m.match_ms
+                  m.required_ms m.recover_ms m.extract_ms m.reevals
+                  m.skips (skip_ratio m))
+              ms)
+          rows);
+    Printf.printf "wrote %s\n" !tsv
+  end;
   exit (if all_identical then 0 else 1)

@@ -17,6 +17,7 @@ let jobs = ref 1
 let seed = ref "2026"
 let cut_size = ref 6
 let cut_engine = ref "packed"
+let max_cuts = ref 0
 let timing_map = ref false
 let po_fanout = ref 4.0
 let unit_loads = ref false
@@ -61,6 +62,11 @@ let specs =
       Arg.Set_string cut_engine,
       "E cut engine for map and the synthesis passes: packed or reference \
        (default packed)" );
+    ( "--max-cuts",
+      Arg.Set_int max_cuts,
+      "N mapper per-node candidate-cut bound, at least the priority-cut \
+       limit of 12 (0 = exact cut-limit², the default); lower values trade \
+       match quality for time on pathological fanin cones" );
     ( "--timing-map",
       Arg.Set timing_map,
       " map with the STA-backed load-aware delay cost" );
@@ -202,6 +208,7 @@ let main () =
       jobs = within;
       cut_size = !cut_size;
       cut_engine = engine;
+      max_cuts = (if !max_cuts > 0 then Some !max_cuts else None);
       timing = !timing_map;
       po_fanout = !po_fanout;
       unit_loads = !unit_loads;

@@ -28,6 +28,18 @@ let sign_of_node n = 1 lsl (n mod 62)
 let signature leaves =
   Array.fold_left (fun s n -> s lor sign_of_node n) 0 leaves
 
+(* SWAR popcount for 62-bit signatures (OCaml ints are 63-bit, so the
+   64-bit masks are clipped to their in-range 62-bit prefixes).  Each leaf
+   sets exactly one signature bit, so collisions only lower the count:
+   [popcount (sign a lor sign b)] is a lower bound on the distinct-leaf
+   count of the union, and a value above [k] proves the merge infeasible
+   before walking either leaf array. *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
 (* ---------------- reference engine ---------------- *)
 
 type t = { leaves : int array; sign : int }
@@ -149,17 +161,29 @@ type stats = {
   mutable sign_rejects : int;
   mutable tt_merges : int;
   mutable probes : int;
+  mutable reevals : int;
+  mutable reeval_skips : int;
 }
 
 let stats_create () =
-  { built = 0; dominated = 0; sign_rejects = 0; tt_merges = 0; probes = 0 }
+  {
+    built = 0;
+    dominated = 0;
+    sign_rejects = 0;
+    tt_merges = 0;
+    probes = 0;
+    reevals = 0;
+    reeval_skips = 0;
+  }
 
 let stats_add acc s =
   acc.built <- acc.built + s.built;
   acc.dominated <- acc.dominated + s.dominated;
   acc.sign_rejects <- acc.sign_rejects + s.sign_rejects;
   acc.tt_merges <- acc.tt_merges + s.tt_merges;
-  acc.probes <- acc.probes + s.probes
+  acc.probes <- acc.probes + s.probes;
+  acc.reevals <- acc.reevals + s.reevals;
+  acc.reeval_skips <- acc.reeval_skips + s.reeval_skips
 
 (* ---------------- packed engine ---------------- *)
 
@@ -169,15 +193,26 @@ type set = {
   cnum : int array;   (* per node: number of cuts *)
   clen : int array;   (* per slot [nd * limit + j]: leaf count *)
   csign : int array;  (* per slot: signature *)
-  ctt : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
-      (* per slot: function of the node over the cut leaves (single
-         replicated word, k <= 6) *)
+  ctt_lo : int array; (* per slot: bits 0..31 of the function of the node
+                         over the cut leaves (replicated word, k <= 6) *)
+  ctt_hi : int array; (* per slot: bits 32..63 *)
   cleaves : int array;  (* per slot, stride k: sorted leaf ids *)
 }
+(* Truth tables are carried as two native-int 32-bit halves rather than
+   int64: without flambda every int64 read, store and operator in the
+   merge kernel boxes (an [Int64.t] heap block per operation), which put
+   ~46 minor-heap words per built candidate on the allocator — native
+   ints keep the whole kernel allocation-free. *)
 
 let num_cuts s nd = s.cnum.(nd)
 let cut_nleaves s nd j = s.clen.((nd * s.limit) + j)
-let cut_tt s nd j = Bigarray.Array1.get s.ctt ((nd * s.limit) + j)
+
+let cut_tt s nd j =
+  let slot = (nd * s.limit) + j in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int s.ctt_hi.(slot)) 32)
+    (Int64.of_int s.ctt_lo.(slot))
+
 let cut_leaf s nd j i = s.cleaves.((((nd * s.limit) + j) * s.k) + i)
 
 let cut_leaves s nd j =
@@ -185,8 +220,28 @@ let cut_leaves s nd j =
   Array.sub s.cleaves o s.clen.((nd * s.limit) + j)
 
 (* The word for "variable 0" in the replicated convention — the truth table
-   of a trivial cut. *)
-let var0 = 0xAAAAAAAAAAAAAAAAL
+   of a trivial cut — as 32-bit halves (both halves equal for var 0). *)
+let var0_half = 0xAAAAAAAA
+
+(* Adjacent-variable swap on a 32-bit truth-table half (the half-width
+   counterpart of [Npn.swap_adjacent]).  For [q <= 3] the swap permutes
+   within aligned 2^(q+2)-bit blocks (<= 32), so each half transforms
+   independently; the masks below are the 32-bit periods of the Npn
+   variable masks.  [q = 4] exchanges the two middle 16-bit quarters of
+   the 64-bit word, crossing the halves — handled inline in [expand]. *)
+let h_lohi = Array.make 4 0
+let h_hilo = Array.make 4 0
+let h_keep = Array.make 4 0
+
+let () =
+  let m1 = [| 0xAAAAAAAA; 0xCCCCCCCC; 0xF0F0F0F0; 0xFF00FF00; 0xFFFF0000 |] in
+  for q = 0 to 3 do
+    let lo_hi = lnot m1.(q + 1) land m1.(q) land 0xFFFFFFFF in
+    let hi_lo = m1.(q + 1) land lnot m1.(q) land 0xFFFFFFFF in
+    h_lohi.(q) <- lo_hi;
+    h_hilo.(q) <- hi_lo;
+    h_keep.(q) <- lnot (lo_hi lor hi_lo) land 0xFFFFFFFF
+  done
 
 let compute_packed ?stats ?max_cuts aig ~k ~limit =
   if k < 2 || k > 6 then invalid_arg "Cut.compute_packed";
@@ -200,13 +255,15 @@ let compute_packed ?stats ?max_cuts aig ~k ~limit =
   let cnum = Array.make n 0 in
   let clen = Array.make nslots 0 in
   let csign = Array.make nslots 0 in
-  let ctt = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout nslots in
+  let ctt_lo = Array.make nslots 0 in
+  let ctt_hi = Array.make nslots 0 in
   let cleaves = Array.make (nslots * k) 0 in
   let set_trivial nd =
     let slot = (nd * limit) + cnum.(nd) in
     clen.(slot) <- 1;
     csign.(slot) <- sign_of_node nd;
-    Bigarray.Array1.set ctt slot var0;
+    ctt_lo.(slot) <- var0_half;
+    ctt_hi.(slot) <- var0_half;
     cleaves.(slot * k) <- nd;
     cnum.(nd) <- cnum.(nd) + 1
   in
@@ -232,7 +289,8 @@ let compute_packed ?stats ?max_cuts aig ~k ~limit =
   in
   let s_len = Array.make cap 0 in
   let s_sign = Array.make cap 0 in
-  let s_tt = Array.make cap 0L in
+  let s_tt_lo = Array.make cap 0 in
+  let s_tt_hi = Array.make cap 0 in
   let s_leaves = Array.make (cap * k) 0 in
   let m_leaves = Array.make k 0 in
   (* positions of each fanin-cut leaf inside the merged leaf order *)
@@ -288,7 +346,8 @@ let compute_packed ?stats ?max_cuts aig ~k ~limit =
     if src <> dst then begin
       s_len.(dst) <- s_len.(src);
       s_sign.(dst) <- s_sign.(src);
-      s_tt.(dst) <- s_tt.(src);
+      s_tt_lo.(dst) <- s_tt_lo.(src);
+      s_tt_hi.(dst) <- s_tt_hi.(src);
       Array.blit s_leaves (src * k) s_leaves (dst * k) k
     end
   in
@@ -296,26 +355,56 @@ let compute_packed ?stats ?max_cuts aig ~k ~limit =
      fanin edge is complemented, then bubble each variable up to its merged
      position (highest first, so the bubbling only crosses dead
      variables).  Identity when the fanin cut already equals the merged
-     cut (the inner loop body never runs). *)
-  let expand w cmask len pos =
-    let t = ref (Int64.logxor w cmask) in
+     cut (the inner loop body never runs).  Works on the 32-bit halves —
+     native ints, no boxing — and leaves the result in [e_lo]/[e_hi]. *)
+  let e_lo = ref 0 and e_hi = ref 0 in
+  let expand wlo whi cmask len pos =
+    let lo = ref (wlo lxor cmask) and hi = ref (whi lxor cmask) in
     for i = len - 1 downto 0 do
       for q = i to pos.(i) - 1 do
-        t := Npn.swap_adjacent !t q
+        if q < 4 then begin
+          let keep = h_keep.(q)
+          and lo_hi = h_lohi.(q)
+          and hi_lo = h_hilo.(q)
+          and d = 1 lsl q in
+          lo :=
+            (!lo land keep)
+            lor ((!lo land lo_hi) lsl d)
+            lor ((!lo land hi_lo) lsr d);
+          hi :=
+            (!hi land keep)
+            lor ((!hi land lo_hi) lsl d)
+            lor ((!hi land hi_lo) lsr d)
+        end
+        else begin
+          (* swap vars 4 and 5: exchange the middle 16-bit quarters *)
+          let nl = (!lo land 0xFFFF) lor ((!hi land 0xFFFF) lsl 16) in
+          let nh = (!lo lsr 16) lor (!hi land 0xFFFF0000) in
+          lo := nl;
+          hi := nh
+        end
       done
     done;
-    !t
+    e_lo := !lo;
+    e_hi := !hi
   in
   Aig.iter_ands aig (fun nd ->
       let f0 = Aig.fanin0 aig nd and f1 = Aig.fanin1 aig nd in
       let n0 = Aig.node_of f0 and n1 = Aig.node_of f1 in
-      let x0 = if Aig.is_compl f0 then -1L else 0L in
-      let x1 = if Aig.is_compl f1 then -1L else 0L in
+      let x0 = if Aig.is_compl f0 then 0xFFFFFFFF else 0 in
+      let x1 = if Aig.is_compl f1 then 0xFFFFFFFF else 0 in
       cnt := 0;
       for ja = 0 to cnum.(n0) - 1 do
         for jb = 0 to cnum.(n1) - 1 do
           let sa = (n0 * limit) + ja and sb = (n1 * limit) + jb in
           let la = clen.(sa) and lb = clen.(sb) in
+          let sgn = csign.(sa) lor csign.(sb) in
+          if la + lb > k && popcount sgn > k then
+            (* provably more than [k] distinct leaves: the walk below could
+               only fail, and failed walks touch neither stats nor scratch,
+               so skipping is invisible *)
+            ()
+          else begin
           let oa = sa * k and ob = sb * k in
           (* sorted-union walk, tracking each side's leaf positions *)
           let i = ref 0 and j = ref 0 and m = ref 0 in
@@ -345,7 +434,6 @@ let compute_packed ?stats ?max_cuts aig ~k ~limit =
           done;
           if !ok then begin
             mlen := !m;
-            let sgn = csign.(sa) lor csign.(sb) in
             (* Sorted scan: entries before the insertion point are the only
                possible dominators of the candidate (a strict subset is
                strictly smaller, hence sorts strictly earlier; an equal set
@@ -399,22 +487,32 @@ let compute_packed ?stats ?max_cuts aig ~k ~limit =
               cnt := !w;
               (* full after eviction: drop the worst entry to make room *)
               if !cnt >= cap then cnt := cap - 1;
-              (* shift-insert the candidate at [ins] *)
-              for r = !cnt downto ins + 1 do
-                copy_entry (r - 1) r
-              done;
+              (* shift-insert the candidate at [ins]: one overlapping blit
+                 per column (memmove) instead of an entry-at-a-time loop *)
+              let nshift = !cnt - ins in
+              if nshift > 0 then begin
+                Array.blit s_len ins s_len (ins + 1) nshift;
+                Array.blit s_sign ins s_sign (ins + 1) nshift;
+                Array.blit s_tt_lo ins s_tt_lo (ins + 1) nshift;
+                Array.blit s_tt_hi ins s_tt_hi (ins + 1) nshift;
+                Array.blit s_leaves (ins * k) s_leaves ((ins + 1) * k)
+                  (nshift * k)
+              end;
               s_len.(ins) <- !mlen;
               s_sign.(ins) <- sgn;
               Array.blit m_leaves 0 s_leaves (ins * k) !mlen;
               (* incremental truth table: expand both fanin-cut tables to
                  the merged leaf order and conjoin *)
-              let ta = expand (Bigarray.Array1.get ctt sa) x0 la pos_a in
-              let tb = expand (Bigarray.Array1.get ctt sb) x1 lb pos_b in
-              s_tt.(ins) <- Int64.logand ta tb;
+              expand ctt_lo.(sa) ctt_hi.(sa) x0 la pos_a;
+              let alo = !e_lo and ahi = !e_hi in
+              expand ctt_lo.(sb) ctt_hi.(sb) x1 lb pos_b;
+              s_tt_lo.(ins) <- alo land !e_lo;
+              s_tt_hi.(ins) <- ahi land !e_hi;
               incr cnt;
               st.built <- st.built + 1;
               st.tt_merges <- st.tt_merges + 1
             end
+          end
           end
         done
       done;
@@ -425,9 +523,10 @@ let compute_packed ?stats ?max_cuts aig ~k ~limit =
         let slot = base + j in
         clen.(slot) <- s_len.(j);
         csign.(slot) <- s_sign.(j);
-        Bigarray.Array1.set ctt slot s_tt.(j);
+        ctt_lo.(slot) <- s_tt_lo.(j);
+        ctt_hi.(slot) <- s_tt_hi.(j);
         Array.blit s_leaves (j * k) cleaves (slot * k) s_len.(j)
       done;
       cnum.(nd) <- ncommit;
       set_trivial nd);
-  { k; limit; cnum; clen; csign; ctt; cleaves }
+  { k; limit; cnum; clen; csign; ctt_lo; ctt_hi; cleaves }

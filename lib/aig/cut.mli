@@ -47,13 +47,18 @@ val engine_of_string : string -> engine option
     counts candidates dropped — or evicted — by the dominance filter,
     [sign_rejects] counts subset walks skipped by the signature pre-filter,
     [tt_merges] counts incremental truth-table merges, and [probes] counts
-    match-table lookups (filled in by the mapper). *)
+    match-table lookups (filled in by the mapper).  [reevals] /
+    [reeval_skips] count (node, pass) matching evaluations performed
+    vs. skipped by the mapper's exact dirty-propagation (also filled in
+    by the mapper; both are deterministic for every [jobs] value). *)
 type stats = {
   mutable built : int;
   mutable dominated : int;
   mutable sign_rejects : int;
   mutable tt_merges : int;
   mutable probes : int;
+  mutable reevals : int;
+  mutable reeval_skips : int;
 }
 
 val stats_create : unit -> stats

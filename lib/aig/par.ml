@@ -28,6 +28,7 @@ type pool = {
   mutable pending : int;
   mutable failure : exn option;
   mutable stop : bool;
+  mutable active : bool;  (* a run/run_phases is in flight (caller-side) *)
   mutable domains : unit Domain.t array;
 }
 
@@ -82,6 +83,7 @@ let create ~jobs =
       pending = 0;
       failure = None;
       stop = false;
+      active = false;
       domains = [||];
     }
   in
@@ -94,36 +96,122 @@ let create ~jobs =
    must accept for the full range). *)
 let seq_threshold = 32
 
+(* A pool body calling back into its own pool would deadlock (the caller
+   is worker 0 of the outer epoch and cannot also drive a new one), so
+   re-entry is rejected eagerly instead of hanging.  Only the calling
+   domain touches [active]: workers never enter [enter]/[leave]. *)
+let enter t ctx =
+  if t.active then
+    invalid_arg (ctx ^ ": nested use of a Par pool (pool already running)");
+  t.active <- true
+
+let leave t = t.active <- false
+
+(* One epoch hand-off: publish [f]/[n], wake the workers, run chunk 0 in
+   the calling domain, wait for the others, re-raise the first failure.
+   Shared by [run] (one chunked job) and [run_phases] (a phase loop
+   where each worker synchronizes via its own barrier). *)
+let dispatch t ~n f =
+  Mutex.lock t.mutex;
+  t.job <- Some f;
+  t.n <- n;
+  t.pending <- t.width - 1;
+  t.failure <- None;
+  t.epoch <- t.epoch + 1;
+  Condition.broadcast t.start;
+  Mutex.unlock t.mutex;
+  let mine =
+    try
+      let lo, hi = chunk n t.width 0 in
+      f 0 lo hi;
+      None
+    with e -> Some e
+  in
+  Mutex.lock t.mutex;
+  while t.pending > 0 do
+    Condition.wait t.finished t.mutex
+  done;
+  t.job <- None;
+  let theirs = t.failure in
+  t.failure <- None;
+  Mutex.unlock t.mutex;
+  (match mine with Some e -> raise e | None -> ());
+  match theirs with Some e -> raise e | None -> ()
+
 let run t ~n f =
-  if n > 0 then
-    if t.width = 1 || n < max seq_threshold (2 * t.width) then f 0 0 n
-    else begin
-      Mutex.lock t.mutex;
-      t.job <- Some f;
-      t.n <- n;
-      t.pending <- t.width - 1;
-      t.failure <- None;
-      t.epoch <- t.epoch + 1;
-      Condition.broadcast t.start;
-      Mutex.unlock t.mutex;
-      let mine =
-        try
-          let lo, hi = chunk n t.width 0 in
-          f 0 lo hi;
-          None
-        with e -> Some e
-      in
-      Mutex.lock t.mutex;
-      while t.pending > 0 do
-        Condition.wait t.finished t.mutex
-      done;
-      t.job <- None;
-      let theirs = t.failure in
-      t.failure <- None;
-      Mutex.unlock t.mutex;
-      (match mine with Some e -> raise e | None -> ());
-      match theirs with Some e -> raise e | None -> ()
-    end
+  if n > 0 then begin
+    enter t "Par.run";
+    Fun.protect
+      ~finally:(fun () -> leave t)
+      (fun () ->
+        if t.width = 1 || n < max seq_threshold (2 * t.width) then f 0 0 n
+        else dispatch t ~n f)
+  end
+
+(* Multi-phase sweep under a single dispatch.  [run] pays one
+   mutex/condvar hand-off per call, which a level-synchronized sweep
+   turns into O(depth) hand-offs; here the workers stay resident for the
+   whole phase list and meet at a lock-free sense-reversing barrier
+   between phases, so the hand-off cost is paid once per sweep.
+
+   Phase [p] covers indices [0, counts.(p)).  A phase marked parallel is
+   chunked across the pool exactly like [run]; a sequential phase runs
+   entirely on worker 0 (in index order) while the other workers wait at
+   the barrier — this is how callers keep merged small levels in
+   topological order.  The barrier's atomic operations establish the
+   happens-before edges: every write of phase [p] (including worker 0's
+   sequential writes) is visible to every worker in phase [p+1].
+
+   A phase body that raises must not desert the barrier (the others
+   would spin forever), so failures are parked and re-raised after the
+   last phase; the worker keeps arriving at every remaining barrier but
+   executes nothing. *)
+let run_phases t ~counts ~parallel f =
+  let np = Array.length counts in
+  if Array.length parallel <> np then
+    invalid_arg "Par.run_phases: counts/parallel length mismatch";
+  if np > 0 then begin
+    enter t "Par.run_phases";
+    Fun.protect
+      ~finally:(fun () -> leave t)
+      (fun () ->
+        if t.width = 1 then
+          for p = 0 to np - 1 do
+            if counts.(p) > 0 then f 0 p 0 counts.(p)
+          done
+        else begin
+          let arrived = Atomic.make 0 and round = Atomic.make 0 in
+          let barrier () =
+            let r = Atomic.get round in
+            if Atomic.fetch_and_add arrived 1 = t.width - 1 then begin
+              Atomic.set arrived 0;
+              Atomic.incr round
+            end
+            else
+              while Atomic.get round = r do
+                Domain.cpu_relax ()
+              done
+          in
+          let body w =
+            let err = ref None in
+            for p = 0 to np - 1 do
+              (if !err = None then
+                 try
+                   let n = counts.(p) in
+                   if n > 0 then
+                     if parallel.(p) then begin
+                       let lo, hi = chunk n t.width w in
+                       if lo < hi then f w p lo hi
+                     end
+                     else if w = 0 then f 0 p 0 n
+                 with e -> err := Some e);
+              barrier ()
+            done;
+            match !err with Some e -> raise e | None -> ()
+          in
+          dispatch t ~n:t.width (fun w _ _ -> body w)
+        end)
+  end
 
 let shutdown t =
   if Array.length t.domains > 0 then begin

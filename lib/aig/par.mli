@@ -19,7 +19,26 @@ val run : pool -> n:int -> (int -> int -> int -> unit) -> unit
     calls [f w lo hi] for each, concurrently; returns when all chunks
     are done.  [w] is a stable worker index in [0, width) usable to
     index per-worker scratch.  Small [n] runs inline as [f 0 0 n].
-    An exception in any chunk is re-raised after the barrier. *)
+    An exception in any chunk is re-raised after the barrier.
+
+    Pools are not reentrant: calling {!run} or {!run_phases} from inside
+    a body running on the same pool raises [Invalid_argument] instead of
+    deadlocking. *)
+
+val run_phases :
+  pool -> counts:int array -> parallel:bool array -> (int -> int -> int -> int -> unit) -> unit
+(** [run_phases pool ~counts ~parallel f] executes a multi-phase sweep
+    under a {e single} pool dispatch: phase [p] covers indices
+    [0, counts.(p)), and consecutive phases are separated by a lock-free
+    barrier instead of a fresh mutex/condvar hand-off — one hand-off per
+    sweep rather than one per phase.  [f w p lo hi] processes indices
+    [lo, hi) of phase [p] on worker [w].  A phase with [parallel.(p)] is
+    chunked across the pool like {!run}; a sequential phase runs whole on
+    worker 0 (as [f 0 p 0 counts.(p)]) while the other workers wait at
+    the barrier.  Writes of phase [p] are visible to every worker in
+    phase [p + 1].  The first exception is re-raised after the sweep
+    (the raising worker keeps the remaining barriers balanced).
+    [counts] and [parallel] must have equal length. *)
 
 val shutdown : pool -> unit
 (** Joins the worker domains.  The pool must not be used afterwards. *)

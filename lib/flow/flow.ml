@@ -8,6 +8,7 @@ type config = {
   family : Cell_netlist.family;
   cut_size : int;
   cut_engine : Cut.engine;
+  max_cuts : int option;
   timing : bool;
   po_fanout : float;
   unit_loads : bool;
@@ -25,6 +26,7 @@ let default_config =
     family = Cell_netlist.Tg_static;
     cut_size = 6;
     cut_engine = Cut.Packed;
+    max_cuts = None;
     timing = false;
     po_fanout = 4.0;
     unit_loads = false;
@@ -199,6 +201,12 @@ let pass_synth cfg step ctx =
 let pass_map cfg step ctx =
   let family = Option.value (arg_family step "family") ~default:ctx.family in
   let cut_size = Option.value (arg_int step "cut") ~default:cfg.cut_size in
+  let max_cuts =
+    match arg_int step "max-cuts" with
+    | Some n when n > 0 -> Some n
+    | Some _ -> fail "map: max-cuts expects a positive integer"
+    | None -> cfg.max_cuts
+  in
   let timing =
     if arg_flag step "timing" then true
     else if arg_flag step "no-timing" then false
@@ -220,6 +228,7 @@ let pass_map cfg step ctx =
       timing;
       engine;
       cost;
+      max_cuts;
       jobs = cfg.jobs;
     }
   in
@@ -428,10 +437,12 @@ let registry : (string * pass_info) list =
         p_args = None; p_apply = pass_synth } );
     ( "map",
       { p_doc =
-          "technology mapping [family=F, cut=K, timing, no-timing, engine=E, \
-           cost=area|testability]";
+          "technology mapping [family=F, cut=K, max-cuts=N, timing, \
+           no-timing, engine=E, cost=area|testability]";
         p_args =
-          Some [ "family"; "cut"; "timing"; "no-timing"; "engine"; "cost" ];
+          Some
+            [ "family"; "cut"; "max-cuts"; "timing"; "no-timing"; "engine";
+              "cost" ];
         p_apply = pass_map } );
     ( "sta",
       { p_doc = "static timing analysis of the mapping [po=N, unit]";
@@ -564,6 +575,12 @@ let split_at_map steps =
 
 (* ---------------- metrics ---------------- *)
 
+type gc_delta = {
+  gd_minor_words : float;
+  gd_major_words : float;
+  gd_compactions : int;
+}
+
 type sample = {
   sm_circuit : string;
   sm_family : string;
@@ -580,6 +597,7 @@ type sample = {
   sm_fault : Gate_fault.summary option;
   sm_testability : Testability.summary option;
   sm_sat : Solver.stats option;
+  sm_gc : gc_delta option;
   sm_new_diags : int;
 }
 
@@ -594,9 +612,18 @@ let run_step cfg step ctx =
   Domain.DLS.set last_cache_status None;
   Domain.DLS.set last_cut_stats None;
   Domain.DLS.set last_sat_stats None;
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let ctx' = info.p_apply cfg step ctx in
   let wall = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let gc =
+    {
+      gd_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      gd_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      gd_compactions = g1.Gc.compactions - g0.Gc.compactions;
+    }
+  in
   let mapped_stats =
     if opt_changed ctx.mapped ctx'.mapped then
       Option.map Mapped.stats ctx'.mapped
@@ -628,6 +655,7 @@ let run_step cfg step ctx =
         (if opt_changed ctx.testability ctx'.testability then ctx'.testability
          else None);
       sm_sat = Domain.DLS.get last_sat_stats;
+      sm_gc = Some gc;
       sm_new_diags = List.length ctx'.diags - List.length ctx.diags;
     }
   in
@@ -654,6 +682,7 @@ let crash_sample step wall before after =
     sm_fault = None;
     sm_testability = None;
     sm_sat = None;
+    sm_gc = None;
     sm_new_diags = List.length after.diags - List.length before.diags;
   }
 
@@ -754,6 +783,14 @@ let cut_dominated s = cut_counter (fun c -> c.Cut.dominated) s
 let cut_sign_rejects s = cut_counter (fun c -> c.Cut.sign_rejects) s
 let cut_tt_merges s = cut_counter (fun c -> c.Cut.tt_merges) s
 let cut_probes s = cut_counter (fun c -> c.Cut.probes) s
+let cut_reevals s = cut_counter (fun c -> c.Cut.reevals) s
+let cut_reeval_skips s = cut_counter (fun c -> c.Cut.reeval_skips) s
+
+(* GC words as integers: the float counters are exact below 2^53 *)
+let gc_words_str f s =
+  match s.sm_gc with
+  | None -> "-"
+  | Some g -> Printf.sprintf "%.0f" (f g)
 
 let fault_cov_str s =
   match s.sm_fault with
@@ -797,15 +834,16 @@ let render_samples samples =
 let samples_tsv_header =
   "#circuit\tfamily\tpass\twall_ms\tands_in\tands_out\tdepth_in\tdepth_out\t\
    gates\tarea\tnorm_delay\tabs_ps\tsta_ps\tcache\tcuts_built\t\
-   cuts_dominated\tsign_rejects\ttt_merges\tmatch_probes\tfaults\t\
+   cuts_dominated\tsign_rejects\ttt_merges\tmatch_probes\tmatch_reevals\t\
+   match_skips\tfaults\t\
    fault_cov\tfault_unknown\ttb_classes\ttb_collapsed\ttb_redundant\t\
    sat_solves\tsat_conflicts\tsat_props\tsat_restarts\tsat_learned\t\
-   new_diags"
+   gc_minor_words\tgc_major_words\tgc_compactions\tnew_diags"
 
 let sample_to_tsv s =
   Printf.sprintf
     "%s\t%s\t%s\t%.3f\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\
-     %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d"
+     %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d"
     s.sm_circuit s.sm_family s.sm_pass (1000.0 *. s.sm_wall_s) s.sm_ands_before
     s.sm_ands_after s.sm_depth_before s.sm_depth_after
     (match s.sm_mapped with
@@ -824,6 +862,8 @@ let sample_to_tsv s =
     (iopt (cut_sign_rejects s))
     (iopt (cut_tt_merges s))
     (iopt (cut_probes s))
+    (iopt (cut_reevals s))
+    (iopt (cut_reeval_skips s))
     (iopt (Option.map (fun f -> f.Gate_fault.g_total) s.sm_fault))
     (fault_cov_str s)
     (iopt (Option.map (fun f -> f.Gate_fault.g_unknown) s.sm_fault))
@@ -835,6 +875,9 @@ let sample_to_tsv s =
     (iopt (Option.map (fun st -> st.Solver.sat_propagations) s.sm_sat))
     (iopt (Option.map (fun st -> st.Solver.sat_restarts) s.sm_sat))
     (iopt (Option.map (fun st -> st.Solver.sat_learned) s.sm_sat))
+    (gc_words_str (fun g -> g.gd_minor_words) s)
+    (gc_words_str (fun g -> g.gd_major_words) s)
+    (iopt (Option.map (fun g -> g.gd_compactions) s.sm_gc))
     s.sm_new_diags
 
 let json_escape s =
@@ -866,7 +909,8 @@ let samples_to_json samples =
          \"wall_ms\":%.3f,\"ands_in\":%d,\"ands_out\":%d,\"depth_in\":%d,\
          \"depth_out\":%d,\"gates\":%s,\"area\":%s,\"norm_delay\":%s,\
          \"abs_ps\":%s,\"sta_ps\":%s,\"cache\":%s,\"cut\":%s,\
-         \"fault\":%s,\"testability\":%s,\"sat\":%s,\"new_diags\":%d}"
+         \"fault\":%s,\"testability\":%s,\"sat\":%s,\"gc\":%s,\
+         \"new_diags\":%d}"
         (json_escape s.sm_circuit) (json_escape s.sm_family)
         (json_escape s.sm_pass) (1000.0 *. s.sm_wall_s) s.sm_ands_before
         s.sm_ands_after s.sm_depth_before s.sm_depth_after
@@ -886,9 +930,10 @@ let samples_to_json samples =
         | Some c ->
             Printf.sprintf
               "{\"built\":%d,\"dominated\":%d,\"sign_rejects\":%d,\
-               \"tt_merges\":%d,\"probes\":%d}"
+               \"tt_merges\":%d,\"probes\":%d,\"reevals\":%d,\
+               \"reeval_skips\":%d}"
               c.Cut.built c.Cut.dominated c.Cut.sign_rejects c.Cut.tt_merges
-              c.Cut.probes)
+              c.Cut.probes c.Cut.reevals c.Cut.reeval_skips)
         (match s.sm_fault with
         | None -> "null"
         | Some f ->
@@ -918,6 +963,13 @@ let samples_to_json samples =
               st.Solver.sat_solves st.Solver.sat_conflicts
               st.Solver.sat_decisions st.Solver.sat_propagations
               st.Solver.sat_restarts st.Solver.sat_learned)
+        (match s.sm_gc with
+        | None -> "null"
+        | Some g ->
+            Printf.sprintf
+              "{\"minor_words\":%.0f,\"major_words\":%.0f,\
+               \"compactions\":%d}"
+              g.gd_minor_words g.gd_major_words g.gd_compactions)
         s.sm_new_diags)
     samples;
   Buffer.add_string b "\n]\n";

@@ -28,6 +28,10 @@ type config = {
   family : Cell_netlist.family;  (** default target of [map] *)
   cut_size : int;                (** default mapper cut size (6) *)
   cut_engine : Cut.engine;       (** default cut engine ({!Cut.Packed}) *)
+  max_cuts : int option;
+      (** default mapper per-node candidate-cut scratch bound
+          ({!Mapper.params.max_cuts}; [None] = exact [cut_limit²]).
+          Overridable per step with [map(max-cuts=N)]. *)
   timing : bool;                 (** default STA-backed timing mapping *)
   po_fanout : float;             (** default STA primary-output load (4.0) *)
   unit_loads : bool;             (** default fixed-FO4 STA convention *)
@@ -106,6 +110,16 @@ val passes : (string * string) list
 
 (** {1 Per-pass metrics} *)
 
+type gc_delta = {
+  gd_minor_words : float;   (** words allocated in the minor heap *)
+  gd_major_words : float;   (** words allocated in / promoted to the major heap *)
+  gd_compactions : int;
+}
+(** Allocation pressure of one pass: {!Gc.quick_stat} deltas taken around
+    the pass body in the domain that ran it (with [config.jobs] > 1 the
+    mapper's worker-domain allocations are not included — compare runs at
+    like [jobs]). *)
+
 type sample = {
   sm_circuit : string;
   sm_family : string;     (** short family name, ["-"] while unmapped *)
@@ -129,6 +143,9 @@ type sample = {
   sm_sat : Solver.stats option;
       (** SAT-solver effort when the pass issued solver queries ([lint]
           cover verification and [fault] ATPG) *)
+  sm_gc : gc_delta option;
+      (** allocation deltas of the pass ([None] only for the crash sample
+          of an isolated failing pass) *)
   sm_new_diags : int;     (** findings added by the pass *)
 }
 

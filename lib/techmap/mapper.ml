@@ -6,6 +6,8 @@ type params = {
   engine : Cut.engine;
   cost : (Cell_lib.cell -> float) option;
   jobs : int;
+  max_cuts : int option;
+  incremental : bool;
 }
 
 let default_params =
@@ -17,33 +19,49 @@ let default_params =
     engine = Cut.Packed;
     cost = None;
     jobs = 1;
+    max_cuts = None;
+    incremental = true;
   }
 
-(* A mapping choice for (node, phase): how the value [node ^ phase] is
-   produced. *)
-type choice =
-  | Unmapped
-  | Wire of int * bool
-    (** [Wire (leaf, ph)]: the value equals [leaf ^ ph] (support-1 cut) *)
-  | Match of Cell_lib.match_entry * int array * int array * int64
-    (** entry, cut leaves (support only), original structural cut leaves
-        (pre-shrink), implemented function over the support leaves (the
-        lookup key) *)
-  | Bridge  (** inverter from the opposite phase (non-free libraries) *)
-
-type slot = {
-  mutable choice : choice;
-  mutable arrival : float;
-  mutable flow : float;  (** area flow estimate *)
+type phase_ms = {
+  mutable pm_cuts_ms : float;
+  mutable pm_match_ms : float;
+  mutable pm_required_ms : float;
+  mutable pm_recover_ms : float;
+  mutable pm_extract_ms : float;
 }
+
+let phase_ms_create () =
+  {
+    pm_cuts_ms = 0.0;
+    pm_match_ms = 0.0;
+    pm_required_ms = 0.0;
+    pm_recover_ms = 0.0;
+    pm_extract_ms = 0.0;
+  }
 
 let infinity_f = infinity
 
-let map_with_stats ?(params = default_params) lib aig =
+(* Mapping choices are stored per (node, phase) slot as two plain ints
+   (see the arena comment below): [ch1] is a small negative code for the
+   structural choices, or a candidate index for a library match. *)
+let code_unmapped = -1
+let code_bridge = -2
+let code_wire = -3
+
+let tt_var0 = 0xAAAAAAAAAAAAAAAAL
+let tt_nvar0 = Npn.flip tt_var0 0
+
+let now () = Unix.gettimeofday ()
+
+let map_with_stats ?(params = default_params) ?phase lib aig =
   let stats = Cut.stats_create () in
   let k = min 6 params.cut_size in
   let free = Cell_lib.free_phases lib in
   let nph = if free then 1 else 2 in
+  (* phase mask: slot index of (node, ph) is [node * nph + (ph land phm)],
+     so free-phase libraries alias both phases onto one slot *)
+  let phm = nph - 1 in
   let inv = Cell_lib.inverter lib in
   (* Covering cost of a cell.  The flow/"area" currency of the matcher is
      pluggable (ROADMAP: cost-generic mapping): [params.cost] replaces raw
@@ -120,34 +138,40 @@ let map_with_stats ?(params = default_params) lib aig =
     | Some { Cell_lib.timing = Some tm; _ } -> tm.Charlib.pin_caps.(0)
     | _ -> avg_cin
   in
-  let slots =
-    Array.init n (fun _ ->
-        Array.init nph (fun _ ->
-            { choice = Unmapped; arrival = infinity_f; flow = infinity_f }))
-  in
-  let slot node ph = slots.(node).(if free then 0 else ph) in
+  (* ---- slots, struct-of-arrays ----
+     (arrival, flow, choice) per (node, phase), flattened into plain
+     float/int arrays.  The seed kept a record per slot; records mixing
+     float and non-float fields box every float, so each matching pass
+     allocated and chased a boxed float per read/write.  Flat float
+     arrays store unboxed and index arithmetic replaces two pointer
+     hops. *)
+  let nslots = n * nph in
+  let arrival = Array.make nslots infinity_f in
+  let flow = Array.make nslots infinity_f in
+  let ch1 = Array.make nslots code_unmapped in
+  let ch2 = Array.make nslots 0 in
   (* primary inputs and the constant node (re-run when loads change) *)
   let init_leaf_slots () =
     for i = 0 to Aig.num_inputs aig do
       (* node 0 is the constant; inputs are 1..num_inputs *)
-      let s0 = slots.(i).(0) in
-      s0.choice <- Wire (i, false);
-      s0.arrival <- 0.0;
-      s0.flow <- 0.0;
-      if nph = 2 then begin
-        let s1 = slots.(i).(1) in
+      let b = i * nph in
+      ch1.(b) <- code_wire;
+      ch2.(b) <- i lsl 1;
+      arrival.(b) <- 0.0;
+      flow.(b) <- 0.0;
+      if nph = 2 then
         if i = 0 then begin
           (* complemented constant is still a constant *)
-          s1.choice <- Wire (0, true);
-          s1.arrival <- 0.0;
-          s1.flow <- 0.0
+          ch1.(b + 1) <- code_wire;
+          ch2.(b + 1) <- 1;
+          arrival.(b + 1) <- 0.0;
+          flow.(b + 1) <- 0.0
         end
         else begin
-          s1.choice <- Bridge;
-          s1.arrival <- inv_delay_at i 1;
-          s1.flow <- inv_area
+          ch1.(b + 1) <- code_bridge;
+          arrival.(b + 1) <- inv_delay_at i 1;
+          flow.(b + 1) <- inv_area
         end
-      end
     done
   in
   init_leaf_slots ();
@@ -162,14 +186,19 @@ let map_with_stats ?(params = default_params) lib aig =
   let pool = Par.create ~jobs:(max 1 params.jobs) in
   let pw = Par.width pool in
   let probe_ctr = Array.make pw 0 in
-  (* Per-worker result cells of [eval_match] (float refs are unboxed). *)
-  let em_arr = Array.init pw (fun _ -> ref 0.0) in
-  let em_fl = Array.init pw (fun _ -> ref 0.0) in
+  let reeval_ctr = Array.make pw 0 in
+  let skip_ctr = Array.make pw 0 in
+  (* Per-worker float/int scratch, so the hot loops allocate nothing:
+     fa.(0,1) best (arrival, flow); fa.(2,3) candidate (arrival, flow);
+     fa.(4..7) the node's slot values before re-evaluation (change
+     detection); fi.(0,1) best (ch1, ch2). *)
+  let wa = Array.init pw (fun _ -> Array.make 8 0.0) in
+  let wi = Array.init pw (fun _ -> Array.make 2 0) in
   (* Nodes bucketed by logic level: every leaf of a cut of [nd] lies in
      [nd]'s strict fan-in, hence strictly below [nd]'s level, so the
      nodes of one level match independently once lower levels are
-     final — the matching passes sweep level by level with a barrier
-     in between, computing exactly the sequential pass's values. *)
+     final — the matching passes sweep level by level, computing exactly
+     the sequential pass's values. *)
   let level = Array.make n 0 in
   let nlevels = ref 1 in
   Aig.iter_ands aig (fun nd ->
@@ -186,195 +215,445 @@ let map_with_stats ?(params = default_params) lib aig =
       let l = level.(nd) in
       levels.(l).(lfill.(l)) <- nd;
       lfill.(l) <- lfill.(l) + 1);
-  let for_ands_leveled f =
+  (* ---- wavefront schedule ----
+     The seed dispatched one pool hand-off per level — O(depth)
+     mutex/condvar round-trips per matching pass.  Here each pass is a
+     single {!Par.run_phases} dispatch over a precomputed schedule: a
+     level with at least [par_grain] nodes is a chunked parallel phase
+     (the same threshold below which {!Par.run} would have run it inline
+     anyway), and every maximal run of consecutive smaller levels is
+     merged into one sequential phase executed in topological order by
+     worker 0.  Barriers separate phases, so deep circuits with thin
+     levels cross O(depth / merged-run length) barriers instead of
+     O(depth) hand-offs, and the barriers themselves are lock-free. *)
+  let par_grain = max 32 (2 * pw) in
+  let ph_nodes, ph_par =
+    let phases = ref [] and pending = ref [] in
+    let flush () =
+      if !pending <> [] then begin
+        phases := (Array.concat (List.rev !pending), false) :: !phases;
+        pending := []
+      end
+    in
     Array.iter
       (fun lvl ->
-        Par.run pool ~n:(Array.length lvl) (fun w lo hi ->
-            for i = lo to hi - 1 do
-              f w lvl.(i)
-            done))
-      levels
-  in
-  (* Precompute, per AND node, the list of usable (leaves, key) pairs:
-     cut function shrunk to its support.  The packed engine hands us each
-     cut's function straight out of the enumeration; the reference engine
-     re-walks the cone per cut.  Both produce the same info lists.  The
-     library match lists for both output phases are resolved here, once —
-     every matching pass (1 delay + area_passes + the timing refinement)
-     used to repeat the same [Cell_lib.matches] lookups per node. *)
-  let node_cutinfo = Array.make n [] in
-  let mk_info real_leaves leaves s key =
-    let ents_pos = if s >= 2 then Cell_lib.matches lib s key else [] in
-    let ents_neg =
-      if s >= 2 then Cell_lib.matches lib s (Int64.lognot key) else []
-    in
-    (real_leaves, leaves, s, key, ents_pos, ents_neg)
-  in
-  (* Enumeration itself is sequential (the packed slab grows front to
-     back); support shrinking and the library lookups fan out over nodes
-     with disjoint writes into [node_cutinfo]. *)
-  (match params.engine with
-  | Cut.Packed ->
-      let cs = Cut.compute_packed ~stats aig ~k ~limit:params.cut_limit in
-      Par.run pool ~n (fun _ lo hi ->
-          for nd = lo to hi - 1 do
-            if Aig.is_and aig nd then begin
-              let infos = ref [] in
-              for j = Cut.num_cuts cs nd - 1 downto 0 do
-                let m = Cut.cut_nleaves cs nd j in
-                if not (m = 1 && Cut.cut_leaf cs nd j 0 = nd) then begin
-                  let key, sup = Npn.shrink (Cut.cut_tt cs nd j) m in
-                  let real_leaves = Array.map (Cut.cut_leaf cs nd j) sup in
-                  infos :=
-                    mk_info real_leaves (Cut.cut_leaves cs nd j)
-                      (Array.length sup) key
-                    :: !infos
-                end
-              done;
-              node_cutinfo.(nd) <- !infos
-            end
-          done)
-  | Cut.Reference ->
-      let cuts = Cut.compute aig ~k ~limit:params.cut_limit in
-      Par.run pool ~n (fun _ lo hi ->
-          for nd = lo to hi - 1 do
-            if Aig.is_and aig nd then begin
-              let infos =
-                List.filter_map
-                  (fun cut ->
-                    let leaves = cut.Cut.leaves in
-                    if Array.length leaves = 1 && leaves.(0) = nd then None
-                    else begin
-                      let tt = Aig.tt_of_cut aig (Aig.lit_of_node nd) leaves in
-                      let small, sup = Tt.shrink_to_support tt in
-                      let s = Tt.nvars small in
-                      if s > 6 then None
-                      else
-                        let real_leaves = Array.map (fun i -> leaves.(i)) sup in
-                        let key = (Tt.words small).(0) in
-                        Some (mk_info real_leaves leaves s key)
-                    end)
-                  cuts.(nd)
-              in
-              node_cutinfo.(nd) <- infos
-            end
-          done));
-  (* arrival/flow of consuming (leaf ^ want_ph) where want_ph already
-     accounts for the entry phase bit and the AIG edge complement *)
-  let leaf_cost leaf want_ph =
-    let s = slot leaf want_ph in
-    (s.arrival, s.flow /. refs_f.(leaf))
-  in
-  (* Hot loop of every matching pass: results via the worker's
-     [em_arr]/[em_fl] cells so evaluating an entry allocates nothing. *)
-  let eval_match em_a em_f nd p leaves entry =
-    let cell = entry.Cell_lib.cell in
-    let arr = ref 0.0 and fl = ref (cell_cost cell) in
-    let np = Array.length leaves in
-    let phase = entry.Cell_lib.phase in
-    for i = 0 to np - 1 do
-      let leaf = leaves.(i) in
-      let s = slot leaf ((phase lsr i) land 1) in
-      if s.arrival > !arr then arr := s.arrival;
-      fl := !fl +. (s.flow /. refs_f.(leaf))
-    done;
-    em_a := !arr +. cell_delay_at nd p cell;
-    em_f := !fl
-  in
-  (* One matching pass.  [mode] selects the objective:
-     `Delay: lexicographic (arrival, flow);
-     `Area reqs: minimize flow subject to arrival <= reqs(ph). *)
-  let match_node w mode nd =
-    let em_a = em_arr.(w) and em_f = em_fl.(w) in
-    for ph = 0 to nph - 1 do
-      let s = slot nd ph in
-      let mode =
-        match mode with
-        | `Delay -> `Delay
-        | `Area reqs -> `Area (reqs ph)
-      in
-      let best_choice = ref Unmapped
-      and best_arr = ref infinity_f
-      and best_flow = ref infinity_f in
-      let consider choice arr flow =
-        let better =
-          match mode with
-          | `Delay ->
-              arr < !best_arr -. 1e-9
-              || (arr < !best_arr +. 1e-9 && flow < !best_flow -. 1e-9)
-          | `Area req ->
-              let feasible x = x <= req +. 1e-6 in
-              if feasible arr && not (feasible !best_arr) then true
-              else if feasible arr = feasible !best_arr then
-                flow < !best_flow -. 1e-9
-                || (flow < !best_flow +. 1e-9 && arr < !best_arr -. 1e-9)
-              else false
-        in
-        if better then begin
-          best_choice := choice;
-          best_arr := arr;
-          best_flow := flow
+        let c = Array.length lvl in
+        if c = 0 then ()
+        else if c >= par_grain then begin
+          flush ();
+          phases := (lvl, true) :: !phases
         end
-      in
-      List.iter
-        (fun (leaves, orig_leaves, s_arity, key, ents_pos, ents_neg) ->
-          let want_key = if ph = 0 then key else Int64.lognot key in
-          if s_arity = 0 then begin
-            (* constant function: should not happen in a strashed AIG *)
-            ()
-          end
-          else if s_arity = 1 then begin
-            (* wire or complement of a single leaf *)
-            let neg_leaf = want_key = Npn.flip 0xAAAAAAAAAAAAAAAAL 0 in
-            let pos_leaf = want_key = 0xAAAAAAAAAAAAAAAAL in
-            if pos_leaf || neg_leaf then begin
-              let lph = if neg_leaf then 1 else 0 in
-              if free then begin
-                let a, f = leaf_cost leaves.(0) 0 in
-                consider (Wire (leaves.(0), neg_leaf)) a f
-              end
-              else begin
-                let a, f = leaf_cost leaves.(0) lph in
-                consider (Wire (leaves.(0), neg_leaf)) a f
-              end
+        else pending := lvl :: !pending)
+      levels;
+    flush ();
+    let a = Array.of_list (List.rev !phases) in
+    (Array.map fst a, Array.map snd a)
+  in
+  let ph_counts = Array.map Array.length ph_nodes in
+  let sweep f =
+    Par.run_phases pool ~counts:ph_counts ~parallel:ph_par (fun w p lo hi ->
+        let nodes = ph_nodes.(p) in
+        for i = lo to hi - 1 do
+          f w nodes.(i)
+        done)
+  in
+  (* ---- candidate match arena ----
+     Per AND node, the usable (cut, key) candidates: cut function shrunk
+     to its support, plus the library match lists for both output
+     phases, resolved once — every matching pass (1 delay + area_passes
+     + the timing refinement) used to repeat the same [Cell_lib.matches]
+     lookups per node.  The seed stored one heap tuple + two leaf arrays
+     + two entry lists per candidate; at 10^6 nodes that is tens of
+     millions of long-lived blocks the GC re-traces on every major
+     cycle.  The arena packs the same data into flat parallel arrays:
+
+       cand_off  : per node, candidate range [cand_off.(nd),
+                   cand_off.(nd+1)) in canonical (ascending cut) order
+       cand_arity: support size s (0..6), one byte each
+       cand_key  : support-shrunk function, int64 bigarray (unboxed)
+       cand_slo  : offset of the s support leaves in leaf_buf
+       cand_olo/olen : offset/length of the original structural cut
+                   leaves in leaf_buf (shared with the support run when
+                   no shrink occurred — s = olen implies identity)
+       cand_gid  : entry-group id (s >= 2 only)
+
+     Distinct candidates overwhelmingly share the same (arity, key) —
+     a library has thousands of distinct match keys, a million-node
+     graph tens of millions of candidates — so the match-entry lists are
+     deduplicated into groups: group g's positive/negative entries are
+     the ranges [gpos_off.(g), +gpos_len.(g)) / [gneg_off.(g),
+     +gneg_len.(g)) of the flat entry arrays, with the per-entry phase,
+     fixed delay and covering cost mirrored into scalar arrays so the
+     hot loop touches no heap records.
+
+     dleaf_off/dleaf_buf hold each node's deduplicated union of
+     candidate support leaves — the exact read set of a re-evaluation,
+     used by the incremental pass-skipping dirty check. *)
+  let climit = params.cut_limit in
+  let t0 = now () in
+  (* Engine-generic candidate iterator, canonical order; [kf m s key sup
+     leaf_at]: m structural leaves ([leaf_at i]), support [sup] into
+     them, function [key] over the support. *)
+  let iter_cands =
+    match params.engine with
+    | Cut.Packed ->
+        let cs =
+          Cut.compute_packed ~stats ?max_cuts:params.max_cuts aig ~k
+            ~limit:climit
+        in
+        fun nd kf ->
+          for j = 0 to Cut.num_cuts cs nd - 1 do
+            let m = Cut.cut_nleaves cs nd j in
+            if not (m = 1 && Cut.cut_leaf cs nd j 0 = nd) then begin
+              let key, sup = Npn.shrink (Cut.cut_tt cs nd j) m in
+              kf m (Array.length sup) key sup (Cut.cut_leaf cs nd j)
             end
-          end
-          else begin
-            probe_ctr.(w) <- probe_ctr.(w) + 1;
-            List.iter
-              (fun entry ->
-                eval_match em_a em_f nd (if free then 0 else ph) leaves entry;
-                consider
-                  (Match (entry, leaves, orig_leaves, want_key))
-                  !em_a !em_f)
-              (if ph = 0 then ents_pos else ents_neg)
-          end)
-        node_cutinfo.(nd);
-      s.choice <- !best_choice;
-      s.arrival <- !best_arr;
-      s.flow <- !best_flow
-    done;
-    (* inverter bridging between phases *)
-    if nph = 2 then begin
-      let s0 = slot nd 0 and s1 = slot nd 1 in
-      if s1.arrival +. inv_delay_at nd 0 < s0.arrival then begin
-        s0.choice <- Bridge;
-        s0.arrival <- s1.arrival +. inv_delay_at nd 0;
-        s0.flow <- s1.flow +. inv_area
-      end;
-      if s0.arrival +. inv_delay_at nd 1 < s1.arrival then begin
-        s1.choice <- Bridge;
-        s1.arrival <- s0.arrival +. inv_delay_at nd 1;
-        s1.flow <- s0.flow +. inv_area
+          done
+    | Cut.Reference ->
+        let cuts = Cut.compute aig ~k ~limit:climit in
+        fun nd kf ->
+          List.iter
+            (fun cut ->
+              let leaves = cut.Cut.leaves in
+              let m = Array.length leaves in
+              if not (m = 1 && leaves.(0) = nd) then begin
+                let tt = Aig.tt_of_cut aig (Aig.lit_of_node nd) leaves in
+                let small, sup = Tt.shrink_to_support tt in
+                let s = Tt.nvars small in
+                if s <= 6 then
+                  kf m s (Tt.words small).(0) sup (fun i -> leaves.(i))
+              end)
+            cuts.(nd)
+  in
+  (* Pass A (parallel): count candidates, leaf words and deduped support
+     union per node; pass B (parallel) re-enumerates and fills the
+     disjoint per-node ranges.  Counting twice avoids materializing the
+     seed's transient per-node lists next to the arena. *)
+  let c_cnt = Array.make n 0 in
+  let l_cnt = Array.make n 0 in
+  let d_cnt = Array.make n 0 in
+  let uscratch = Array.init pw (fun _ -> Array.make ((6 * climit) + 8) 0) in
+  Par.run pool ~n (fun w lo hi ->
+      let us = uscratch.(w) in
+      for nd = lo to hi - 1 do
+        if Aig.is_and aig nd then begin
+          let nc = ref 0 and nl = ref 0 and nu = ref 0 in
+          iter_cands nd (fun m s _key sup leaf_at ->
+              incr nc;
+              nl := !nl + m + (if s < m then s else 0);
+              for i = 0 to s - 1 do
+                let lf = leaf_at sup.(i) in
+                let j = ref 0 in
+                while !j < !nu && us.(!j) <> lf do
+                  incr j
+                done;
+                if !j = !nu then begin
+                  us.(!nu) <- lf;
+                  incr nu
+                end
+              done);
+          c_cnt.(nd) <- !nc;
+          l_cnt.(nd) <- !nl;
+          d_cnt.(nd) <- !nu
+        end
+      done);
+  let cand_off = Array.make (n + 1) 0 in
+  let l_off = Array.make (n + 1) 0 in
+  let dleaf_off = Array.make (n + 1) 0 in
+  for nd = 0 to n - 1 do
+    cand_off.(nd + 1) <- cand_off.(nd) + c_cnt.(nd);
+    l_off.(nd + 1) <- l_off.(nd) + l_cnt.(nd);
+    dleaf_off.(nd + 1) <- dleaf_off.(nd) + d_cnt.(nd)
+  done;
+  let ncand = cand_off.(n) in
+  let cand_arity = Bytes.make (max 1 ncand) '\000' in
+  let cand_key =
+    Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (max 1 ncand)
+  in
+  let cand_gid = Array.make (max 1 ncand) (-1) in
+  let cand_slo = Array.make (max 1 ncand) 0 in
+  let cand_olo = Array.make (max 1 ncand) 0 in
+  let cand_olen = Array.make (max 1 ncand) 0 in
+  let leaf_buf = Array.make (max 1 l_off.(n)) 0 in
+  let dleaf_buf = Array.make (max 1 dleaf_off.(n)) 0 in
+  Par.run pool ~n (fun w lo hi ->
+      let us = uscratch.(w) in
+      for nd = lo to hi - 1 do
+        if Aig.is_and aig nd then begin
+          let c = ref cand_off.(nd) and lp = ref l_off.(nd) and nu = ref 0 in
+          iter_cands nd (fun m s key sup leaf_at ->
+              let ci = !c in
+              incr c;
+              Bytes.set cand_arity ci (Char.chr s);
+              Bigarray.Array1.set cand_key ci key;
+              cand_olo.(ci) <- !lp;
+              cand_olen.(ci) <- m;
+              for i = 0 to m - 1 do
+                leaf_buf.(!lp + i) <- leaf_at i
+              done;
+              if s = m then cand_slo.(ci) <- !lp
+              else begin
+                cand_slo.(ci) <- !lp + m;
+                for i = 0 to s - 1 do
+                  leaf_buf.(!lp + m + i) <- leaf_at sup.(i)
+                done
+              end;
+              lp := !lp + m + (if s < m then s else 0);
+              for i = 0 to s - 1 do
+                let lf = leaf_at sup.(i) in
+                let j = ref 0 in
+                while !j < !nu && us.(!j) <> lf do
+                  incr j
+                done;
+                if !j = !nu then begin
+                  us.(!nu) <- lf;
+                  incr nu
+                end
+              done);
+          for i = 0 to !nu - 1 do
+            dleaf_buf.(dleaf_off.(nd) + i) <- us.(i)
+          done
+        end
+      done);
+  (* Pass C (sequential): assign entry groups and resolve the library
+     match lists, once per distinct (arity, key). *)
+  let gtbl : (int * int64, int) Hashtbl.t = Hashtbl.create 4096 in
+  let groups = ref [] and ngroups = ref 0 in
+  for c = 0 to ncand - 1 do
+    let s = Bytes.get_uint8 cand_arity c in
+    if s >= 2 then begin
+      let key = Bigarray.Array1.get cand_key c in
+      match Hashtbl.find_opt gtbl (s, key) with
+      | Some g -> cand_gid.(c) <- g
+      | None ->
+          let g = !ngroups in
+          incr ngroups;
+          Hashtbl.add gtbl (s, key) g;
+          let ep = Cell_lib.matches lib s key in
+          let en =
+            (* free-phase libraries map a single phase; the negative
+               lists would never be read *)
+            if free then [] else Cell_lib.matches lib s (Int64.lognot key)
+          in
+          groups := (ep, en) :: !groups;
+          cand_gid.(c) <- g
+    end
+  done;
+  let garr = Array.of_list (List.rev !groups) in
+  let ng = Array.length garr in
+  let gpos_off = Array.make (max 1 ng) 0 in
+  let gpos_len = Array.make (max 1 ng) 0 in
+  let gneg_off = Array.make (max 1 ng) 0 in
+  let gneg_len = Array.make (max 1 ng) 0 in
+  let ents_rev = ref [] and epos = ref 0 in
+  Array.iteri
+    (fun g (ep, en) ->
+      gpos_off.(g) <- !epos;
+      List.iter
+        (fun e ->
+          ents_rev := e :: !ents_rev;
+          incr epos)
+        ep;
+      gpos_len.(g) <- !epos - gpos_off.(g);
+      gneg_off.(g) <- !epos;
+      List.iter
+        (fun e ->
+          ents_rev := e :: !ents_rev;
+          incr epos)
+        en;
+      gneg_len.(g) <- !epos - gneg_off.(g))
+    garr;
+  let ent = Array.of_list (List.rev !ents_rev) in
+  let ent_phase = Array.map (fun e -> e.Cell_lib.phase) ent in
+  let ent_delay =
+    Array.map (fun e -> e.Cell_lib.cell.Cell_lib.delay) ent
+  in
+  let ent_cost = Array.map (fun e -> cell_cost e.Cell_lib.cell) ent in
+  let t_cuts = now () -. t0 in
+  (* ---- incremental pass re-evaluation ----
+     A matching pass recomputes each slot from its candidate leaves'
+     current (arrival, flow) plus, in area mode, the node's effective
+     required time.  If none of those inputs changed since the previous
+     pass, recomputation is the identity, so the node is skipped — an
+     exact criterion, hence bit-identical covers (asserted by the
+     differential test).  [changed] marks nodes whose slot values
+     actually changed in the current sweep; leaves are processed before
+     consumers, so dirtiness propagates transitively within one sweep.
+     [req_seen] holds last area pass's effective required times
+     (neg_infinity sentinel: the first area pass is fully dirty).
+     Delay-objective sweeps always evaluate (they follow an objective or
+     load change), and timing mode disables skipping entirely: its load
+     fixed-point rewrites the cost model between sweeps. *)
+  let force_full = (not params.incremental) || timing_on in
+  let changed = Bytes.make n '\000' in
+  let req_seen = Array.make nslots neg_infinity in
+  let rec req_changed ra t base p =
+    if p >= nph then false
+    else
+      let r = ra.(base + p) in
+      let e = if r = infinity_f then t else r in
+      e <> req_seen.(base + p) || req_changed ra t base (p + 1)
+  in
+  let rec leaves_changed i hi =
+    if i >= hi then false
+    else
+      Bytes.get changed dleaf_buf.(i) <> '\000' || leaves_changed (i + 1) hi
+  in
+  (* Candidate-vs-best comparison; epsilons as in the seed.  `Delay:
+     lexicographic (arrival, flow); `Area: minimize flow subject to
+     arrival <= req. *)
+  let consider fa fi area req c1 c2 arr fl =
+    let better =
+      if not area then
+        arr < fa.(0) -. 1e-9 || (arr < fa.(0) +. 1e-9 && fl < fa.(1) -. 1e-9)
+      else begin
+        let fx = arr <= req +. 1e-6 and fb = fa.(0) <= req +. 1e-6 in
+        if fx && not fb then true
+        else if fx = fb then
+          fl < fa.(1) -. 1e-9 || (fl < fa.(1) +. 1e-9 && arr < fa.(0) -. 1e-9)
+        else false
       end
+    in
+    if better then begin
+      fa.(0) <- arr;
+      fa.(1) <- fl;
+      fi.(0) <- c1;
+      fi.(1) <- c2
     end
   in
+  (* One matching evaluation of a node: both phases plus inverter
+     bridging.  [reqm] is [None] for a delay-objective sweep or
+     [Some (required-times, t)] for area recovery. *)
+  let process w reqm nd =
+    let base = nd * nph in
+    let must =
+      force_full
+      ||
+      match reqm with
+      | None -> true
+      | Some (ra, t) ->
+          req_changed ra t base 0
+          || leaves_changed dleaf_off.(nd) dleaf_off.(nd + 1)
+    in
+    if not must then skip_ctr.(w) <- skip_ctr.(w) + 1
+    else begin
+      reeval_ctr.(w) <- reeval_ctr.(w) + 1;
+      let fa = wa.(w) and fi = wi.(w) in
+      fa.(4) <- arrival.(base);
+      fa.(5) <- flow.(base);
+      if nph = 2 then begin
+        fa.(6) <- arrival.(base + 1);
+        fa.(7) <- flow.(base + 1)
+      end;
+      for ph = 0 to nph - 1 do
+        let area, rq =
+          match reqm with
+          | None -> (false, 0.0)
+          | Some (ra, t) ->
+              let r = ra.(base + ph) in
+              let e = if r = infinity_f then t else r in
+              req_seen.(base + ph) <- e;
+              (true, e)
+        in
+        fa.(0) <- infinity_f;
+        fa.(1) <- infinity_f;
+        fi.(0) <- code_unmapped;
+        fi.(1) <- 0;
+        for c = cand_off.(nd) to cand_off.(nd + 1) - 1 do
+          let s = Bytes.get_uint8 cand_arity c in
+          if s = 1 then begin
+            (* wire or complement of a single leaf *)
+            let key = Bigarray.Array1.get cand_key c in
+            let want_key = if ph = 0 then key else Int64.lognot key in
+            let neg_leaf = want_key = tt_nvar0 in
+            if want_key = tt_var0 || neg_leaf then begin
+              let leaf = leaf_buf.(cand_slo.(c)) in
+              let lph = if neg_leaf then 1 else 0 in
+              let sx = (leaf * nph) + (lph land phm) in
+              consider fa fi area rq code_wire
+                ((leaf lsl 1) lor lph)
+                arrival.(sx)
+                (flow.(sx) /. refs_f.(leaf))
+            end
+          end
+          else if s >= 2 then begin
+            probe_ctr.(w) <- probe_ctr.(w) + 1;
+            let g = cand_gid.(c) in
+            let off = if ph = 0 then gpos_off.(g) else gneg_off.(g) in
+            let len = if ph = 0 then gpos_len.(g) else gneg_len.(g) in
+            let slo = cand_slo.(c) in
+            for ei = off to off + len - 1 do
+              (* hot loop of every matching pass: flat loads/stores
+                 only, no allocation *)
+              let ephase = ent_phase.(ei) in
+              fa.(2) <- 0.0;
+              fa.(3) <- ent_cost.(ei);
+              for i = 0 to s - 1 do
+                let leaf = leaf_buf.(slo + i) in
+                let sx = (leaf * nph) + ((ephase lsr i) land phm) in
+                let a = arrival.(sx) in
+                if a > fa.(2) then fa.(2) <- a;
+                fa.(3) <- fa.(3) +. (flow.(sx) /. refs_f.(leaf))
+              done;
+              let d =
+                if timing_on && !use_loads then
+                  cell_delay_loaded ent.(ei).Cell_lib.cell (node_load nd ph)
+                else ent_delay.(ei)
+              in
+              consider fa fi area rq c ei (fa.(2) +. d) fa.(3)
+            done
+          end
+        done;
+        let six = base + ph in
+        ch1.(six) <- fi.(0);
+        ch2.(six) <- fi.(1);
+        arrival.(six) <- fa.(0);
+        flow.(six) <- fa.(1)
+      done;
+      (* inverter bridging between phases *)
+      if nph = 2 then begin
+        let i0 = base and i1 = base + 1 in
+        if arrival.(i1) +. inv_delay_at nd 0 < arrival.(i0) then begin
+          ch1.(i0) <- code_bridge;
+          arrival.(i0) <- arrival.(i1) +. inv_delay_at nd 0;
+          flow.(i0) <- flow.(i1) +. inv_area
+        end;
+        if arrival.(i0) +. inv_delay_at nd 1 < arrival.(i1) then begin
+          ch1.(i1) <- code_bridge;
+          arrival.(i1) <- arrival.(i0) +. inv_delay_at nd 1;
+          flow.(i1) <- flow.(i0) +. inv_area
+        end
+      end;
+      if
+        arrival.(base) <> fa.(4)
+        || flow.(base) <> fa.(5)
+        || (nph = 2
+           && (arrival.(base + 1) <> fa.(6) || flow.(base + 1) <> fa.(7)))
+      then Bytes.set changed nd '\001'
+    end
+  in
+  let delay_sweep () =
+    Bytes.fill changed 0 n '\000';
+    sweep (fun w nd -> process w None nd)
+  in
+  let area_sweep reqm =
+    Bytes.fill changed 0 n '\000';
+    let rm = Some reqm in
+    sweep (fun w nd -> process w rm nd)
+  in
+  (* phase timing (wall clock; [Sys.time] is CPU time and lies at
+     jobs > 1) *)
+  let t_match = ref 0.0
+  and t_required = ref 0.0
+  and t_recover = ref 0.0 in
   (* delay-oriented pass *)
-  for_ands_leveled (fun w nd -> match_node w `Delay nd);
+  let t1 = now () in
+  delay_sweep ();
+  t_match := !t_match +. (now () -. t1);
   (* verify every node got mapped *)
   Aig.iter_ands aig (fun nd ->
       for ph = 0 to nph - 1 do
-        if (slot nd ph).choice = Unmapped then
+        if ch1.((nd * nph) + ph) = code_unmapped then
           failwith
             (Printf.sprintf "Mapper: node %d phase %d has no match" nd ph)
       done);
@@ -389,42 +668,49 @@ let map_with_stats ?(params = default_params) lib aig =
   in
   let global_arrival () =
     List.fold_left
-      (fun acc (nd, ph) -> max acc (slot nd ph).arrival)
+      (fun acc (nd, ph) -> max acc arrival.((nd * nph) + ph))
       0.0 (output_slots ())
   in
   (* required-time computation over the current cover *)
   let compute_required () =
-    let req = Array.init n (fun _ -> Array.make nph infinity_f) in
+    let req = Array.make nslots infinity_f in
     let t = global_arrival () in
     List.iter
       (fun (nd, ph) ->
-        let p = if free then 0 else ph in
-        if t < req.(nd).(p) then req.(nd).(p) <- t)
+        let ix = (nd * nph) + ph in
+        if t < req.(ix) then req.(ix) <- t)
       (output_slots ());
     for nd = n - 1 downto 1 do
       if Aig.is_and aig nd then
         for p = 0 to nph - 1 do
-          let r = req.(nd).(p) in
+          let ix = (nd * nph) + p in
+          let r = req.(ix) in
           if r < infinity_f then begin
-            match (slot nd p).choice with
-            | Unmapped -> ()
-            | Wire (leaf, lph) ->
-                let lp = if free || not lph then 0 else 1 in
-                if r < req.(leaf).(lp) then req.(leaf).(lp) <- r
-            | Bridge ->
-                let other = 1 - p in
-                let r' = r -. inv_delay_at nd p in
-                if r' < req.(nd).(other) then req.(nd).(other) <- r'
-            | Match (entry, leaves, _, _) ->
-                let r' = r -. cell_delay_at nd p entry.Cell_lib.cell in
-                Array.iteri
-                  (fun i leaf ->
-                    let want =
-                      if free then 0
-                      else (entry.Cell_lib.phase lsr i) land 1
-                    in
-                    if r' < req.(leaf).(want) then req.(leaf).(want) <- r')
-                  leaves
+            let c1 = ch1.(ix) in
+            if c1 = code_wire then begin
+              let v = ch2.(ix) in
+              let leaf = v lsr 1 in
+              let lp = if free || v land 1 = 0 then 0 else 1 in
+              let lix = (leaf * nph) + lp in
+              if r < req.(lix) then req.(lix) <- r
+            end
+            else if c1 = code_bridge then begin
+              let r' = r -. inv_delay_at nd p in
+              let oix = (nd * nph) + (1 - p) in
+              if r' < req.(oix) then req.(oix) <- r'
+            end
+            else if c1 >= 0 then begin
+              let ei = ch2.(ix) in
+              let r' = r -. cell_delay_at nd p ent.(ei).Cell_lib.cell in
+              let s = Bytes.get_uint8 cand_arity c1 in
+              let slo = cand_slo.(c1) and ephase = ent_phase.(ei) in
+              for i = 0 to s - 1 do
+                let leaf = leaf_buf.(slo + i) in
+                let want = if free then 0 else (ephase lsr i) land 1 in
+                let lix = (leaf * nph) + want in
+                if r' < req.(lix) then req.(lix) <- r'
+              done
+            end
           end
         done
     done;
@@ -441,46 +727,51 @@ let map_with_stats ?(params = default_params) lib aig =
     let used = Array.init n (fun _ -> Array.make nph false) in
     List.iter
       (fun (nd, ph) ->
-        let p = if free then 0 else ph in
-        used.(nd).(p) <- true;
-        loads.(nd).(p) <- loads.(nd).(p) +. (4.0 *. cref))
+        used.(nd).(ph) <- true;
+        loads.(nd).(ph) <- loads.(nd).(ph) +. (4.0 *. cref))
       (output_slots ());
     for nd = n - 1 downto 1 do
       if Aig.is_and aig nd then begin
         (* a Bridge loads the same node's other phase: resolve it first so
            that phase's own propagation below sees the inverter's pin *)
         for p = 0 to nph - 1 do
-          if used.(nd).(p) then
-            match (slot nd p).choice with
-            | Bridge ->
-                let other = 1 - p in
-                used.(nd).(other) <- true;
-                loads.(nd).(other) <- loads.(nd).(other) +. inv_pin_cap
-            | _ -> ()
+          if used.(nd).(p) && ch1.((nd * nph) + p) = code_bridge then begin
+            let other = 1 - p in
+            used.(nd).(other) <- true;
+            loads.(nd).(other) <- loads.(nd).(other) +. inv_pin_cap
+          end
         done;
         for p = 0 to nph - 1 do
-          if used.(nd).(p) then
-            match (slot nd p).choice with
-            | Unmapped | Bridge -> ()
-            | Wire (leaf, lph) ->
-                let lp = if free || not lph then 0 else 1 in
-                used.(leaf).(lp) <- true;
-                loads.(leaf).(lp) <- loads.(leaf).(lp) +. loads.(nd).(p)
-            | Match (entry, leaves, _, _) ->
-                Array.iteri
-                  (fun i leaf ->
-                    let want =
-                      if free then 0 else (entry.Cell_lib.phase lsr i) land 1
-                    in
-                    used.(leaf).(want) <- true;
-                    let pc =
-                      match entry.Cell_lib.cell.Cell_lib.timing with
-                      | Some tm ->
-                          tm.Charlib.pin_caps.(entry.Cell_lib.perm.(i))
-                      | None -> avg_cin
-                    in
-                    loads.(leaf).(want) <- loads.(leaf).(want) +. pc)
-                  leaves
+          if used.(nd).(p) then begin
+            let ix = (nd * nph) + p in
+            let c1 = ch1.(ix) in
+            if c1 = code_wire then begin
+              let v = ch2.(ix) in
+              let leaf = v lsr 1 in
+              let lp = if free || v land 1 = 0 then 0 else 1 in
+              used.(leaf).(lp) <- true;
+              loads.(leaf).(lp) <- loads.(leaf).(lp) +. loads.(nd).(p)
+            end
+            else if c1 >= 0 then begin
+              let ei = ch2.(ix) in
+              let entry = ent.(ei) in
+              let s = Bytes.get_uint8 cand_arity c1 in
+              let slo = cand_slo.(c1) in
+              for i = 0 to s - 1 do
+                let leaf = leaf_buf.(slo + i) in
+                let want =
+                  if free then 0 else (entry.Cell_lib.phase lsr i) land 1
+                in
+                used.(leaf).(want) <- true;
+                let pc =
+                  match entry.Cell_lib.cell.Cell_lib.timing with
+                  | Some tm -> tm.Charlib.pin_caps.(entry.Cell_lib.perm.(i))
+                  | None -> avg_cin
+                in
+                loads.(leaf).(want) <- loads.(leaf).(want) +. pc
+              done
+            end
+          end
         done
       end
     done;
@@ -494,22 +785,13 @@ let map_with_stats ?(params = default_params) lib aig =
   (* Snapshot/restore the cover (timing mode keeps the best one seen:
      the load fixed-point iteration is not monotone). *)
   let snapshot () =
-    Array.map
-      (Array.map (fun s ->
-           { choice = s.choice; arrival = s.arrival; flow = s.flow }))
-      slots
+    (Array.copy arrival, Array.copy flow, Array.copy ch1, Array.copy ch2)
   in
-  let restore snap =
-    Array.iteri
-      (fun nd row ->
-        Array.iteri
-          (fun p (s : slot) ->
-            let d = slots.(nd).(p) in
-            d.choice <- s.choice;
-            d.arrival <- s.arrival;
-            d.flow <- s.flow)
-          row)
-      snap
+  let restore (a, f, c1, c2) =
+    Array.blit a 0 arrival 0 nslots;
+    Array.blit f 0 flow 0 nslots;
+    Array.blit c1 0 ch1 0 nslots;
+    Array.blit c2 0 ch2 0 nslots
   in
   (* True critical delay of the current cover: forward arrival using the
      loads the cover itself presents — what the post-extraction STA will
@@ -527,49 +809,56 @@ let map_with_stats ?(params = default_params) lib aig =
       end
       else if Aig.is_and aig nd then begin
         let eval p =
-          match (slot nd p).choice with
-          | Unmapped | Bridge -> 0.0
-          | Wire (leaf, lph) -> arr.(leaf).(if free || not lph then 0 else 1)
-          | Match (entry, leaves, _, _) ->
-              let a = ref 0.0 in
-              Array.iteri
-                (fun i leaf ->
-                  let want =
-                    if free then 0 else (entry.Cell_lib.phase lsr i) land 1
-                  in
-                  if arr.(leaf).(want) > !a then a := arr.(leaf).(want))
-                leaves;
-              !a +. cell_delay_loaded entry.Cell_lib.cell loads.(nd).(p)
+          let ix = (nd * nph) + p in
+          let c1 = ch1.(ix) in
+          if c1 = code_unmapped || c1 = code_bridge then 0.0
+          else if c1 = code_wire then begin
+            let v = ch2.(ix) in
+            let leaf = v lsr 1 in
+            arr.(leaf).(if free || v land 1 = 0 then 0 else 1)
+          end
+          else begin
+            let ei = ch2.(ix) in
+            let entry = ent.(ei) in
+            let s = Bytes.get_uint8 cand_arity c1 in
+            let slo = cand_slo.(c1) in
+            let a = ref 0.0 in
+            for i = 0 to s - 1 do
+              let leaf = leaf_buf.(slo + i) in
+              let want =
+                if free then 0 else (entry.Cell_lib.phase lsr i) land 1
+              in
+              if arr.(leaf).(want) > !a then a := arr.(leaf).(want)
+            done;
+            !a +. cell_delay_loaded entry.Cell_lib.cell loads.(nd).(p)
+          end
         in
         for p = 0 to nph - 1 do
-          match (slot nd p).choice with Bridge -> () | _ -> arr.(nd).(p) <- eval p
+          if ch1.((nd * nph) + p) <> code_bridge then arr.(nd).(p) <- eval p
         done;
         for p = 0 to nph - 1 do
-          match (slot nd p).choice with
-          | Bridge ->
-              arr.(nd).(p) <-
-                arr.(nd).(1 - p)
-                +. (match inv with
-                   | Some c -> cell_delay_loaded c loads.(nd).(p)
-                   | None -> 0.0)
-          | _ -> ()
+          if ch1.((nd * nph) + p) = code_bridge then
+            arr.(nd).(p) <-
+              arr.(nd).(1 - p)
+              +. (match inv with
+                 | Some c -> cell_delay_loaded c loads.(nd).(p)
+                 | None -> 0.0)
         done
       end
     done;
     List.fold_left
-      (fun acc (nd, ph) -> Float.max acc arr.(nd).(if free then 0 else ph))
+      (fun acc (nd, ph) -> Float.max acc arr.(nd).(ph))
       0.0 (output_slots ())
   in
   (* area-recovery passes with the legacy fixed-FO4 cost — in timing mode
      too, so refinement below starts from exactly the default-mode cover *)
   let area_pass () =
-    let req, t = compute_required () in
-    for_ands_leveled (fun w nd ->
-        let reqs ph =
-          let r = req.(nd).(if free then 0 else ph) in
-          if r = infinity_f then t else r
-        in
-        match_node w (`Area reqs) nd)
+    let tr = now () in
+    let reqm = compute_required () in
+    t_required := !t_required +. (now () -. tr);
+    let ta = now () in
+    area_sweep reqm;
+    t_recover := !t_recover +. (now () -. ta)
   in
   for _ = 1 to params.area_passes do
     area_pass ()
@@ -582,17 +871,25 @@ let map_with_stats ?(params = default_params) lib aig =
      that slows the measured critical delay is rolled back and recovery
      stops. *)
   if timing_on then begin
+    let tr0 = now () in
     let best = ref (snapshot ()) and best_crit = ref (eval_cover ()) in
+    t_required := !t_required +. (now () -. tr0);
     use_loads := true;
     for _ = 1 to 2 do
+      let tr = now () in
       loads_cur := Some (measure_loads ());
       init_leaf_slots ();
-      for_ands_leveled (fun w nd -> match_node w `Delay nd);
+      t_required := !t_required +. (now () -. tr);
+      let tm = now () in
+      delay_sweep ();
+      t_match := !t_match +. (now () -. tm);
+      let tr2 = now () in
       let c = eval_cover () in
       if c < !best_crit -. 1e-9 then begin
         best_crit := c;
         best := snapshot ()
-      end
+      end;
+      t_required := !t_required +. (now () -. tr2)
     done;
     restore !best;
     loads_cur := Some (measure_loads ());
@@ -613,11 +910,16 @@ let map_with_stats ?(params = default_params) lib aig =
       end
     done
   end;
-  (* Probe totals are a sum of per-node counts, so merging the workers'
-     counters reproduces the sequential tally exactly. *)
+  (* Totals are sums of per-node counts, so merging the workers'
+     counters reproduces the sequential tally exactly; the skip decision
+     itself is deterministic, so all three are [jobs]-independent. *)
   stats.Cut.probes <- stats.Cut.probes + Array.fold_left ( + ) 0 probe_ctr;
+  stats.Cut.reevals <- stats.Cut.reevals + Array.fold_left ( + ) 0 reeval_ctr;
+  stats.Cut.reeval_skips <-
+    stats.Cut.reeval_skips + Array.fold_left ( + ) 0 skip_ctr;
   Par.shutdown pool;
   (* ---- extraction ---- *)
+  let t_x0 = now () in
   let insts = ref [] in
   let ninsts = ref 0 in
   let memo = Hashtbl.create 1024 in
@@ -645,77 +947,92 @@ let map_with_stats ?(params = default_params) lib aig =
           if free && ph = 1 then { net with Mapped.negated = not net.Mapped.negated }
           else net
       | None ->
+          let ix = (nd * nph) + p in
+          let c1 = ch1.(ix) in
           let net =
-            match (slot nd p).choice with
-            | Unmapped -> assert false
-            | Wire (leaf, lph) ->
-                if free then begin
-                  let base = resolve leaf 0 in
-                  if lph then
-                    { base with Mapped.negated = not base.Mapped.negated }
-                  else base
-                end
-                else resolve leaf (if lph then 1 else 0)
-            | Bridge ->
-                emit_inverter
-                  (Aig.lit_of_node nd ~compl:(1 - p = 1))
-                  (resolve nd (1 - p))
-            | Match (entry, leaves, orig_leaves, key) ->
-                let fanins =
-                  Array.mapi
-                    (fun i leaf ->
-                      let want = (entry.Cell_lib.phase lsr i) land 1 in
-                      if free then begin
-                        let base = resolve leaf 0 in
-                        if want = 1 then
-                          { base with Mapped.negated = not base.Mapped.negated }
-                        else base
-                      end
-                      else resolve leaf want)
-                    leaves
-                in
-                (* instance function over fanin values: fanin i carries
-                   leaf_i ^ phase_i, so substitute back *)
-                let tt = Npn.apply_phase key entry.Cell_lib.phase in
-                let cover =
-                  {
-                    Mapped.root_lit = Aig.lit_of_node nd ~compl:(p = 1);
-                    fanin_lits =
-                      Array.mapi
-                        (fun i leaf ->
-                          let want = (entry.Cell_lib.phase lsr i) land 1 in
-                          Aig.lit_of_node leaf ~compl:(want = 1))
-                        leaves;
-                    cut_nodes = orig_leaves;
-                  }
-                in
-                let cell = entry.Cell_lib.cell in
-                let idx = !ninsts in
-                incr ninsts;
-                insts :=
-                  {
-                    Mapped.cell_name = cell.Cell_lib.name;
-                    area = cell.Cell_lib.area;
-                    delay = cell.Cell_lib.delay;
-                    drive =
-                      (match cell.Cell_lib.timing with
-                      | Some tm -> Some tm.Charlib.drive
-                      | None -> None);
-                    fanin_caps =
-                      (* fanin [i] enters cell pin [perm.(i)] *)
-                      (match cell.Cell_lib.timing with
-                      | Some tm ->
-                          Array.mapi
-                            (fun i _ ->
-                              tm.Charlib.pin_caps.(entry.Cell_lib.perm.(i)))
-                            leaves
-                      | None -> [||]);
-                    fanins;
-                    tt;
-                    cover = Some cover;
-                  }
-                  :: !insts;
-                { Mapped.driver = Mapped.Inst idx; negated = false }
+            if c1 = code_unmapped then assert false
+            else if c1 = code_wire then begin
+              let v = ch2.(ix) in
+              let leaf = v lsr 1 and lph = v land 1 = 1 in
+              if free then begin
+                let base = resolve leaf 0 in
+                if lph then
+                  { base with Mapped.negated = not base.Mapped.negated }
+                else base
+              end
+              else resolve leaf (if lph then 1 else 0)
+            end
+            else if c1 = code_bridge then
+              emit_inverter
+                (Aig.lit_of_node nd ~compl:(1 - p = 1))
+                (resolve nd (1 - p))
+            else begin
+              let ei = ch2.(ix) in
+              let entry = ent.(ei) in
+              let s = Bytes.get_uint8 cand_arity c1 in
+              let slo = cand_slo.(c1) in
+              let leaves = Array.init s (fun i -> leaf_buf.(slo + i)) in
+              let orig_leaves =
+                Array.sub leaf_buf cand_olo.(c1) cand_olen.(c1)
+              in
+              let key = Bigarray.Array1.get cand_key c1 in
+              let want_key = if p = 1 then Int64.lognot key else key in
+              let fanins =
+                Array.mapi
+                  (fun i leaf ->
+                    let want = (entry.Cell_lib.phase lsr i) land 1 in
+                    if free then begin
+                      let base = resolve leaf 0 in
+                      if want = 1 then
+                        { base with Mapped.negated = not base.Mapped.negated }
+                      else base
+                    end
+                    else resolve leaf want)
+                  leaves
+              in
+              (* instance function over fanin values: fanin i carries
+                 leaf_i ^ phase_i, so substitute back *)
+              let tt = Npn.apply_phase want_key entry.Cell_lib.phase in
+              let cover =
+                {
+                  Mapped.root_lit = Aig.lit_of_node nd ~compl:(p = 1);
+                  fanin_lits =
+                    Array.mapi
+                      (fun i leaf ->
+                        let want = (entry.Cell_lib.phase lsr i) land 1 in
+                        Aig.lit_of_node leaf ~compl:(want = 1))
+                      leaves;
+                  cut_nodes = orig_leaves;
+                }
+              in
+              let cell = entry.Cell_lib.cell in
+              let idx = !ninsts in
+              incr ninsts;
+              insts :=
+                {
+                  Mapped.cell_name = cell.Cell_lib.name;
+                  area = cell.Cell_lib.area;
+                  delay = cell.Cell_lib.delay;
+                  drive =
+                    (match cell.Cell_lib.timing with
+                    | Some tm -> Some tm.Charlib.drive
+                    | None -> None);
+                  fanin_caps =
+                    (* fanin [i] enters cell pin [perm.(i)] *)
+                    (match cell.Cell_lib.timing with
+                    | Some tm ->
+                        Array.mapi
+                          (fun i _ ->
+                            tm.Charlib.pin_caps.(entry.Cell_lib.perm.(i)))
+                          leaves
+                    | None -> [||]);
+                  fanins;
+                  tt;
+                  cover = Some cover;
+                }
+                :: !insts;
+              { Mapped.driver = Mapped.Inst idx; negated = false }
+            end
           in
           Hashtbl.add memo (nd, p) net;
           if free && ph = 1 then { net with Mapped.negated = not net.Mapped.negated }
@@ -773,6 +1090,14 @@ let map_with_stats ?(params = default_params) lib aig =
         (name, net))
       outputs
   in
+  (match phase with
+  | None -> ()
+  | Some pm ->
+      pm.pm_cuts_ms <- pm.pm_cuts_ms +. (t_cuts *. 1e3);
+      pm.pm_match_ms <- pm.pm_match_ms +. (!t_match *. 1e3);
+      pm.pm_required_ms <- pm.pm_required_ms +. (!t_required *. 1e3);
+      pm.pm_recover_ms <- pm.pm_recover_ms +. (!t_recover *. 1e3);
+      pm.pm_extract_ms <- pm.pm_extract_ms +. ((now () -. t_x0) *. 1e3));
   ( {
       Mapped.lib_name = Cell_lib.name lib;
       tau_ps = Cell_lib.tau_ps lib;

@@ -39,21 +39,58 @@ type params = {
   jobs : int;
       (** Domains for within-circuit parallel cover selection (default 1).
           Cut-info precomputation fans out over nodes, and every matching
-          pass runs level-synchronized across a {!Par} pool: a cut's
-          support lies strictly below its root's level, so the nodes of
-          one level match independently from finished lower levels.  The
-          chosen cover — and hence the netlist — is byte-identical for
-          every [jobs] value. *)
+          pass runs as a level-ordered wavefront across a {!Par} pool: a
+          cut's support lies strictly below its root's level, so the
+          nodes of one level match independently from finished lower
+          levels.  Large levels are chunked across the pool and runs of
+          small levels execute sequentially between lock-free barriers,
+          all under a single pool dispatch per pass
+          ({!Par.run_phases}).  The chosen cover — and hence the
+          netlist — is byte-identical for every [jobs] value. *)
+  max_cuts : int option;
+      (** Per-node candidate scratch bound handed to
+          {!Cut.compute_packed} (default [None] = [cut_limit²], which is
+          exact; see its doc for the truncation semantics of lower
+          values).  Ignored by the reference engine. *)
+  incremental : bool;
+      (** Incremental pass re-evaluation (default [true]).  An
+          area-recovery pass skips a node when none of its candidate
+          cuts' leaves changed their (arrival, flow) slot in the current
+          pass and its effective required times equal the previous
+          pass's — an exact criterion, so covers are bit-identical to
+          full re-evaluation ([false], which exists for differential
+          testing).  Skip/evaluate totals are reported in
+          {!Cut.stats.reeval_skips} / [reevals].  Timing mode always
+          re-evaluates fully (its load fixed-point rewrites the cost
+          model between passes). *)
 }
 
 val default_params : params
+
+(** {1 Per-phase wall-clock breakdown} *)
+
+type phase_ms = {
+  mutable pm_cuts_ms : float;
+      (** cut enumeration + match-arena construction *)
+  mutable pm_match_ms : float;   (** delay-objective matching sweeps *)
+  mutable pm_required_ms : float;
+      (** required-time / load-measurement analyses *)
+  mutable pm_recover_ms : float; (** area-recovery matching sweeps *)
+  mutable pm_extract_ms : float; (** netlist extraction *)
+}
+
+val phase_ms_create : unit -> phase_ms
+(** All-zero record; {!map_with_stats} {e adds} into the record it is
+    handed, so one record can accumulate across calls. *)
 
 val map : ?params:params -> Cell_lib.t -> Aig.t -> Mapped.t
 (** Maps a combinational AIG.  The mapped netlist is logically equivalent
     to the AIG (checkable with {!Mapped.to_aig} and {!Cec}). *)
 
 val map_with_stats :
-  ?params:params -> Cell_lib.t -> Aig.t -> Mapped.t * Cut.stats
+  ?params:params -> ?phase:phase_ms -> Cell_lib.t -> Aig.t -> Mapped.t * Cut.stats
 (** Same as {!map}, also returning the cut-engine counters of the run
     (enumeration counters are only filled by the packed engine;
-    [probes] — match-table lookups — is counted under both). *)
+    [probes] — match-table lookups — and the [reevals] /
+    [reeval_skips] pair are counted under both).  [phase] receives the
+    run's wall-clock breakdown (added into the record). *)

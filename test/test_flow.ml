@@ -159,7 +159,11 @@ let test_samples () =
   | Some c ->
       Alcotest.(check bool) "map built cuts" true (c.Cut.built > 0);
       Alcotest.(check bool) "map probed the match tables" true
-        (c.Cut.probes > 0)
+        (c.Cut.probes > 0);
+      Alcotest.(check bool) "map counted re-evaluations" true
+        (c.Cut.reevals > 0);
+      Alcotest.(check bool) "map skipped some re-evaluations" true
+        (c.Cut.reeval_skips > 0)
   | None -> Alcotest.fail "map sample has no cut stats");
   Alcotest.(check bool) "sta has no cut stats" true
     (sta_s.Flow.sm_cut = None);
@@ -171,10 +175,10 @@ let test_samples () =
   Alcotest.(check int) "tsv rows" 4 (List.length tsv_lines);
   List.iter
     (fun l ->
-      Alcotest.(check int) "tsv column count" 31
+      Alcotest.(check int) "tsv column count" 36
         (List.length (String.split_on_char '\t' l)))
     tsv_lines;
-  Alcotest.(check int) "tsv header column count" 31
+  Alcotest.(check int) "tsv header column count" 36
     (List.length (String.split_on_char '\t' Flow.samples_tsv_header));
   let json = Flow.samples_to_json samples in
   Alcotest.(check bool) "json non-trivial" true (String.length json > 100)
@@ -263,9 +267,10 @@ let test_matrix_parallel_identical () =
   let par = Flow.run_matrix ~domains:2 ~script ~families entries in
   Alcotest.(check string) "parallel report byte-identical"
     (matrix_report seq) (matrix_report par);
-  (* sample streams agree on everything but wall time *)
+  (* sample streams agree on everything but wall time and allocation
+     (GC deltas depend on which domain ran the pass) *)
   let strip (s : Flow.sample) =
-    Flow.sample_to_tsv { s with Flow.sm_wall_s = 0.0 }
+    Flow.sample_to_tsv { s with Flow.sm_wall_s = 0.0; sm_gc = None }
   in
   Alcotest.(check (list string)) "metrics identical (times zeroed)"
     (List.map strip (Flow.matrix_samples seq))

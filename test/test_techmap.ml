@@ -223,6 +223,50 @@ let test_mapper_jobs_byte_identical () =
         ])
     circuits
 
+let test_mapper_tiny_circuits_any_jobs () =
+  (* degenerate circuits with a pool wider than the node count: a pure
+     wire (zero AND nodes) and a single AND, identical at every jobs *)
+  let wire = Aig.create () in
+  let a = Aig.add_input wire in
+  Aig.add_output wire "y" a;
+  let one = Aig.create () in
+  let x = Aig.add_input one in
+  let y = Aig.add_input one in
+  Aig.add_output one "z" (Aig.mk_and one x y);
+  List.iter
+    (fun (name, aig) ->
+      let image jobs =
+        let params = { Mapper.default_params with Mapper.jobs } in
+        Marshal.to_string (Mapper.map ~params lib_static aig)
+          [ Marshal.No_sharing ]
+      in
+      if image 4 <> image 1 then
+        Alcotest.failf "%s: jobs=4 diverges from jobs=1" name)
+    [ ("wire", wire); ("one-and", one) ];
+  Alcotest.(check pass) "tiny circuits map" () ()
+
+let test_incremental_matches_full_matrix () =
+  (* the dirty-propagation criterion is exact, so incremental re-evaluation
+     must pick bit-identical covers on the whole benchmark x family matrix *)
+  List.iter
+    (fun (e : Bench_suite.entry) ->
+      let aig = Synth.light (e.Bench_suite.build ()) in
+      List.iter
+        (fun fam ->
+          let lib = Cell_lib.cached fam in
+          let image incremental =
+            let params = { Mapper.default_params with Mapper.incremental } in
+            Digest.string
+              (Marshal.to_string (Mapper.map ~params lib aig)
+                 [ Marshal.No_sharing ])
+          in
+          if image true <> image false then
+            Alcotest.failf "%s/%s: incremental cover diverges from full"
+              e.Bench_suite.name
+              (Cli_common.family_arg_name fam))
+        Cell_netlist.all_families)
+    Bench_suite.all
+
 let test_genlib_roundtrip_library () =
   (* write the static library to genlib, parse it back, map with it:
      stats must be identical *)
@@ -261,5 +305,9 @@ let () =
           Alcotest.test_case "area recovery" `Quick test_area_recovery_never_hurts_delay;
           Alcotest.test_case "jobs byte-identical" `Quick
             test_mapper_jobs_byte_identical;
+          Alcotest.test_case "tiny circuits any jobs" `Quick
+            test_mapper_tiny_circuits_any_jobs;
+          Alcotest.test_case "incremental = full matrix" `Slow
+            test_incremental_matches_full_matrix;
         ] );
     ]
