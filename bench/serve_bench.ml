@@ -1,0 +1,191 @@
+(* Throughput benchmark for the flowd daemon: sustained jobs/sec at
+   saturation over one pipelined connection, measured three ways —
+   distinct fresh jobs, pure cache hits, and fresh jobs under injected
+   worker SIGKILLs (10% per job).  Writes BENCH_serve.json; exits
+   nonzero if any reply under chaos is not a clean ok. *)
+
+let workers = 4
+let njobs = 48
+let script = "b; rw; map; sta"
+let chaos_prob = 0.1
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let start_daemon ~chaos () =
+  let sock = Filename.temp_file "servebench" ".sock" in
+  Sys.remove sock;
+  let cfg =
+    {
+      Server.default_config with
+      Server.listen = Server.Unix_path sock;
+      workers;
+      queue_high_water = 4 * njobs;
+      max_attempts = 10;
+      retry_base_s = 0.01;
+      retry_cap_s = 0.2;
+      warm_families = [ Cell_netlist.Tg_static ];
+      chaos_kill = chaos;
+      seed = 11L;
+    }
+  in
+  match Unix.fork () with
+  | 0 ->
+      (let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+       Unix.dup2 devnull Unix.stderr;
+       try Server.run cfg with _ -> ());
+      Unix._exit 0
+  | pid ->
+      let rec wait n =
+        if n = 0 then failwith "daemon did not come up";
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_UNIX sock) with
+        | () -> Unix.close fd
+        | exception Unix.Unix_error _ ->
+            Unix.close fd;
+            Unix.sleepf 0.05;
+            wait (n - 1)
+      in
+      wait 200;
+      (pid, sock)
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t }
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  { fd; buf = Buffer.create 4096 }
+
+let recv_line c =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let s = Buffer.contents c.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear c.buf;
+        Buffer.add_string c.buf (String.sub s (i + 1) (String.length s - i - 1));
+        String.sub s 0 i
+    | None -> (
+        match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> failwith "daemon closed the connection"
+        | n ->
+            Buffer.add_subbytes c.buf chunk 0 n;
+            go ())
+  in
+  go ()
+
+let circuits =
+  [ ("t481", "t481"); ("add-16", "add16"); ("add-32", "add32") ]
+  |> List.map (fun (bench, tag) ->
+         (tag, Blif.to_string ((Bench_suite.find bench).Bench_suite.build ())))
+
+let submit_line ~id ~name circuit =
+  Proto.submit_to_line
+    {
+      Proto.sub_id = id;
+      sub_name = name;
+      sub_format = Proto.Blif;
+      sub_circuit = circuit;
+      sub_script = script;
+      sub_family = Cell_netlist.Tg_static;
+      sub_params = Proto.default_params;
+      sub_netlist = false;
+    }
+
+(* submit [njobs] jobs named [prefix]<i> pipelined; returns (wall, #ok) *)
+let run_batch c ~prefix =
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to njobs - 1 do
+    let tag, text = List.nth circuits (i mod List.length circuits) in
+    write_all c.fd
+      (submit_line
+         ~id:(Printf.sprintf "%s%d" prefix i)
+         ~name:(Printf.sprintf "%s-%s%d" tag prefix i)
+         text
+      ^ "\n")
+  done;
+  let ok = ref 0 in
+  for _ = 1 to njobs do
+    match Json_codec.parse (recv_line c) with
+    | Ok j when Json_codec.mem_str j "status" = Some "ok" -> incr ok
+    | _ -> ()
+  done;
+  (Unix.gettimeofday () -. t0, !ok)
+
+let status c =
+  write_all c.fd "{\"op\":\"status\"}\n";
+  match Json_codec.parse (recv_line c) with
+  | Ok j -> Option.get (Json_codec.member "result" j)
+  | Error m -> failwith ("bad status: " ^ m)
+
+let drain_and_wait pid c =
+  write_all c.fd "{\"op\":\"drain\"}\n";
+  ignore (recv_line c);
+  Unix.close c.fd;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> failwith "daemon did not exit cleanly"
+
+let jint j path =
+  let rec go j = function
+    | [] -> Option.get (Json_codec.int_ j)
+    | k :: rest -> go (Option.get (Json_codec.member k j)) rest
+  in
+  go j path
+
+let () =
+  (* phase 1+2: a clean daemon — fresh jobs, then the same jobs again *)
+  let pid, sock = start_daemon ~chaos:0.0 () in
+  let c = connect sock in
+  let clean_wall, clean_ok = run_batch c ~prefix:"a" in
+  let cached_wall, cached_ok = run_batch c ~prefix:"a" in
+  let st = status c in
+  let clean_hits = jint st [ "jobs"; "cache_hits" ] in
+  drain_and_wait pid c;
+  (* phase 3: same load with 10% of workers SIGKILLed per job *)
+  let pid, sock = start_daemon ~chaos:chaos_prob () in
+  let c = connect sock in
+  let chaos_wall, chaos_ok = run_batch c ~prefix:"b" in
+  let st = status c in
+  let crashes = jint st [ "jobs"; "crashes" ] in
+  let retries = jint st [ "jobs"; "retries" ] in
+  let chaos_kills = jint st [ "jobs"; "chaos_kills" ] in
+  drain_and_wait pid c;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workers\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"script\": %S,\n\
+    \  \"fresh\": {\"wall_s\": %.3f, \"jobs_per_s\": %.1f, \"ok\": %d},\n\
+    \  \"cached\": {\"wall_s\": %.3f, \"jobs_per_s\": %.1f, \"ok\": %d, \
+     \"cache_hits\": %d},\n\
+    \  \"chaos\": {\"kill_prob\": %.2f, \"wall_s\": %.3f, \"jobs_per_s\": \
+     %.1f, \"ok\": %d, \"worker_kills\": %d, \"crashes\": %d, \"retries\": \
+     %d}\n\
+     }\n"
+    workers njobs script clean_wall
+    (float_of_int njobs /. clean_wall)
+    clean_ok cached_wall
+    (float_of_int njobs /. cached_wall)
+    cached_ok clean_hits chaos_prob chaos_wall
+    (float_of_int njobs /. chaos_wall)
+    chaos_ok chaos_kills crashes retries;
+  close_out oc;
+  Printf.printf
+    "serve_bench: fresh %.1f jobs/s, cached %.1f jobs/s, chaos(%.0f%%) %.1f \
+     jobs/s (%d kills, %d retries)\n"
+    (float_of_int njobs /. clean_wall)
+    (float_of_int njobs /. cached_wall)
+    (chaos_prob *. 100.)
+    (float_of_int njobs /. chaos_wall)
+    chaos_kills retries;
+  if clean_ok <> njobs || cached_ok <> njobs || chaos_ok <> njobs then begin
+    Printf.eprintf "serve_bench: %d/%d/%d of %d replies ok\n" clean_ok
+      cached_ok chaos_ok njobs;
+    exit 1
+  end

@@ -105,7 +105,15 @@ let specs =
     ("--quiet", Arg.Set quiet, " print only the summary lines");
   ]
 
-let usage = "flow [options]  (see --help)"
+let usage =
+  "flow [options]\n\n\
+   Exit codes:\n\
+  \  0  clean run (no Error diagnostics)\n\
+  \  1  findings: Error diagnostics such as lint or verification failures\n\
+  \  2  usage error (bad flag, script, family or benchmark name)\n\
+  \  3  crash: a pass or benchmark crashed and was isolated\n\
+  \     (flow-pass-crash / flow-bench-crash / flow-driver-crash)\n\
+  \  130 interrupted\n\nOptions:"
 
 (* ---- --input circuits ---------------------------------------------- *)
 
@@ -304,7 +312,17 @@ let main () =
            ~finally:(fun () -> close_out oc)
            (fun () -> output_string oc text)
      );
-  exit (if Diag.has_errors diags then 1 else 0)
+  (* Crash diagnostics get their own exit code so callers (CI, the serve
+     supervisor's smoke tests) can tell "the design has findings" from
+     "the tool itself broke and the isolation machinery caught it".
+     Crash takes precedence over findings. *)
+  let crash_rules =
+    [ "flow-pass-crash"; "flow-bench-crash"; "flow-driver-crash" ]
+  in
+  let crashed =
+    List.exists (fun (d : Diag.t) -> List.mem d.Diag.rule crash_rules) diags
+  in
+  exit (if crashed then 3 else if Diag.has_errors diags then 1 else 0)
 
 (* Anything that still escapes (a crashing pass under --no-isolate, a full
    disk while checkpointing, ...) is reported as a diagnostic line, never a
@@ -319,4 +337,4 @@ let () =
       Format.eprintf "%a@." Diag.pp
         (Diag.errorf ~rule:"flow-driver-crash" (Diag.Circuit prog) "%s"
            (Printexc.to_string exn));
-      exit 1
+      exit 3

@@ -1,0 +1,166 @@
+(* The flowd client: submits one synthesis job (or a control op) over the
+   daemon's socket and prints the reply line.
+
+   Examples:
+     flowc --socket /tmp/flowd.sock --input add16.blif --script "b; rw; map"
+     flowc --socket /tmp/flowd.sock --op status
+     flowc --tcp 127.0.0.1:7431 --input c432.bench --family pseudo --netlist
+
+   Exit codes: 0 the reply had status ok; 1 the reply had status error;
+   2 usage or connection failure. *)
+
+let prog = "flowc"
+let socket = ref ""
+let tcp = ref ""
+let op = ref ""
+let input = ref ""
+let script = ref "synth(light); map; sta; lint"
+let family = ref "static"
+let name = ref ""
+let id = ref ""
+let netlist = ref false
+let raw = ref ""
+let timeout = ref 0.0
+
+let specs =
+  [
+    ("--socket", Arg.Set_string socket, "PATH daemon Unix socket");
+    ("--tcp", Arg.Set_string tcp, "HOST:PORT daemon TCP address");
+    ("--op", Arg.Set_string op, "OP control op: status, ping or drain");
+    ( "--input",
+      Arg.Set_string input,
+      "FILE circuit to submit (.blif or .bench)" );
+    ( "--script",
+      Arg.Set_string script,
+      "S pass script (default \"synth(light); map; sta; lint\")" );
+    ("--family", Arg.Set_string family, "FAM target family (default static)");
+    ("--name", Arg.Set_string name, "N report name (default: the file stem)");
+    ("--id", Arg.Set_string id, "ID request id echoed in the reply");
+    ("--netlist", Arg.Set netlist, " include the mapped BLIF in the result");
+    ( "--raw",
+      Arg.Set_string raw,
+      "LINE send this raw request line instead (testing)" );
+    ( "--timeout",
+      Arg.Set_float timeout,
+      "S give up waiting for the reply after S seconds (0 = wait forever)" );
+  ]
+
+let usage = "flowc [options]  (see --help)"
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline (prog ^ ": " ^ m); exit 2) fmt
+
+let connect () =
+  match (!socket, !tcp) with
+  | "", "" -> die "need --socket or --tcp"
+  | _, "" -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      try Unix.connect fd (Unix.ADDR_UNIX !socket); fd
+      with Unix.Unix_error (e, _, _) ->
+        die "connect %s: %s" !socket (Unix.error_message e))
+  | "", hp -> (
+      match String.rindex_opt hp ':' with
+      | None -> die "bad --tcp address %s" hp
+      | Some i -> (
+          let host = String.sub hp 0 i in
+          let host = if host = "" then "127.0.0.1" else host in
+          match int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1)) with
+          | None -> die "bad --tcp port in %s" hp
+          | Some port -> (
+              let addr =
+                try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+                with Not_found -> die "unknown host %s" host
+              in
+              let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+              try Unix.connect fd (Unix.ADDR_INET (addr, port)); fd
+              with Unix.Unix_error (e, _, _) ->
+                die "connect %s: %s" hp (Unix.error_message e))))
+  | _ -> die "--socket and --tcp are exclusive"
+
+let request_line () =
+  if !raw <> "" then !raw
+  else if !op <> "" then begin
+    (match !op with
+    | "status" | "ping" | "drain" -> ()
+    | o -> die "unknown op %s" o);
+    Proto.simple_to_line !op
+  end
+  else if !input = "" then die "need --input, --op or --raw"
+  else begin
+    let fmt =
+      match String.lowercase_ascii (Filename.extension !input) with
+      | ".blif" -> Proto.Blif
+      | ".bench" -> Proto.Bench
+      | ext -> die "unknown input format %S (expected .blif or .bench)" ext
+    in
+    let circuit =
+      match open_in_bin !input with
+      | exception Sys_error m -> die "%s" m
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let family =
+      match Cli_common.family_of_name !family with
+      | Some f -> f
+      | None -> die "unknown family %s" !family
+    in
+    let name =
+      if !name <> "" then !name
+      else Filename.remove_extension (Filename.basename !input)
+    in
+    Proto.submit_to_line
+      {
+        Proto.sub_id = !id;
+        sub_name = name;
+        sub_format = fmt;
+        sub_circuit = circuit;
+        sub_script = !script;
+        sub_family = family;
+        sub_params = Proto.default_params;
+        sub_netlist = !netlist;
+      }
+  end
+
+let () =
+  Arg.parse (Arg.align specs)
+    (fun a -> die "unexpected argument %s" a)
+    usage;
+  let line = request_line () ^ "\n" in
+  let fd = connect () in
+  let deadline =
+    if !timeout > 0.0 then Some (Unix.gettimeofday () +. !timeout) else None
+  in
+  let rec send off =
+    if off < String.length line then
+      send (off + Unix.write_substring fd line off (String.length line - off))
+  in
+  send 0;
+  (* read until the first newline: one request, one reply *)
+  let buf = Bytes.create 65536 in
+  let acc = Buffer.create 256 in
+  let rec recv () =
+    (match deadline with
+    | Some d ->
+        let left = d -. Unix.gettimeofday () in
+        if left <= 0.0 then die "timed out waiting for reply";
+        (match Unix.select [ fd ] [] [] left with
+        | [], _, _ -> die "timed out waiting for reply"
+        | _ -> ())
+    | None -> ());
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> die "daemon closed the connection without replying"
+    | n ->
+        Buffer.add_subbytes acc buf 0 n;
+        let s = Buffer.contents acc in
+        (match String.index_opt s '\n' with
+        | Some i -> String.sub s 0 i
+        | None -> recv ())
+  in
+  let reply = recv () in
+  Unix.close fd;
+  print_endline reply;
+  match Json_codec.parse reply with
+  | Ok j when Json_codec.mem_str j "status" = Some "ok" -> exit 0
+  | Ok _ -> exit 1
+  | Error _ -> die "unparseable reply"

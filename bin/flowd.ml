@@ -1,0 +1,122 @@
+(* The synthesis daemon: serves flow jobs over a Unix or TCP socket on a
+   supervised pool of forked workers.  See lib/serve/server.mli for the
+   robustness contract and DESIGN.md §16 for the architecture.
+
+   Examples:
+     flowd --socket /tmp/flowd.sock --workers 4
+     flowd --tcp 127.0.0.1:7431 --job-budget 30 --job-mem 2048
+     flowd --socket flowd.sock --chaos-kill 0.1 --verbose   # fault injection *)
+
+let prog = "flowd"
+let socket = ref ""
+let tcp = ref ""
+let workers = ref 2
+let queue = ref 64
+let max_attempts = ref 4
+let retry_base = ref 0.05
+let retry_cap = ref 2.0
+let job_budget = ref 0.0
+let job_mem = ref 0
+let cache_cap = ref 256
+let max_request = ref (32 * 1024 * 1024)
+let families = ref "all"
+let chaos = ref 0.0
+let seed = ref "2026"
+let verbose = ref false
+
+let specs =
+  [
+    ( "--socket",
+      Arg.Set_string socket,
+      "PATH listen on a Unix-domain socket there (default flowd.sock)" );
+    ( "--tcp",
+      Arg.Set_string tcp,
+      "HOST:PORT listen on TCP instead (port 0 picks a free port)" );
+    ("--workers", Arg.Set_int workers, "N worker processes (default 2)");
+    ( "--queue",
+      Arg.Set_int queue,
+      "N admission-queue high-water mark; beyond it new jobs get an \
+       'overloaded' reply with a retry_after hint (default 64)" );
+    ( "--max-attempts",
+      Arg.Set_int max_attempts,
+      "N worker runs per job before a 'job-crashed' reply (default 4)" );
+    ( "--retry-base",
+      Arg.Set_float retry_base,
+      "S retry backoff base in seconds, doubled per attempt with jitter \
+       (default 0.05)" );
+    ("--retry-cap", Arg.Set_float retry_cap, "S retry backoff cap (default 2)");
+    ( "--job-budget",
+      Arg.Set_float job_budget,
+      "S per-job wall-clock budget; overruns are SIGKILLed and reported as \
+       'job-budget' (0 = off)" );
+    ( "--job-mem",
+      Arg.Set_int job_mem,
+      "MB per-job resident-set budget; overruns are SIGKILLed and reported \
+       as 'job-oom' (0 = off)" );
+    ("--cache", Arg.Set_int cache_cap, "N result-cache entries (default 256)");
+    ( "--max-request",
+      Arg.Set_int max_request,
+      "BYTES request-line size bound (default 32MiB)" );
+    ( "--families",
+      Arg.Set_string families,
+      "FAMS cell libraries characterized before forking, so workers inherit \
+       them copy-on-write (default all)" );
+    ( "--chaos-kill",
+      Arg.Set_float chaos,
+      "P fault injection: SIGKILL each worker with probability P shortly \
+       after spawn (testing; such kills are retried like any crash)" );
+    ("--seed", Arg.Set_string seed, "N backoff-jitter / chaos RNG seed");
+    ("--verbose", Arg.Set verbose, " log scheduling decisions to stderr");
+  ]
+
+let usage = "flowd [options]  (see --help; protocol in DESIGN.md §16)"
+
+let () =
+  Arg.parse (Arg.align specs)
+    (fun a -> Cli_common.usage_die ~prog ("unexpected argument " ^ a))
+    usage;
+  let listen =
+    match (!socket, !tcp) with
+    | "", "" -> Server.Unix_path "flowd.sock"
+    | path, "" -> Server.Unix_path path
+    | "", hp -> (
+        match String.rindex_opt hp ':' with
+        | Some i -> (
+            let host = String.sub hp 0 i in
+            let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+            match int_of_string_opt port with
+            | Some p -> Server.Tcp ((if host = "" then "127.0.0.1" else host), p)
+            | None -> Cli_common.usage_die ~prog ("bad --tcp port " ^ port))
+        | None -> Cli_common.usage_die ~prog ("bad --tcp address " ^ hp))
+    | _ -> Cli_common.usage_die ~prog "--socket and --tcp are exclusive"
+  in
+  let seed =
+    try Int64.of_string !seed
+    with _ -> Cli_common.usage_die ~prog ("bad --seed " ^ !seed)
+  in
+  let cfg =
+    {
+      Server.default_config with
+      Server.listen;
+      workers = max 1 !workers;
+      queue_high_water = max 1 !queue;
+      max_attempts = max 1 !max_attempts;
+      retry_base_s = !retry_base;
+      retry_cap_s = !retry_cap;
+      job_budget_s = (if !job_budget > 0.0 then Some !job_budget else None);
+      job_mem_mb = (if !job_mem > 0 then Some !job_mem else None);
+      cache_capacity = max 1 !cache_cap;
+      max_request_bytes = !max_request;
+      warm_families = Cli_common.parse_families ~prog !families;
+      chaos_kill = !chaos;
+      seed;
+      verbose = !verbose;
+    }
+  in
+  let on_ready t =
+    (* announce the resolved address on stdout so scripts can wait for it *)
+    (match Server.listen_address t with
+    | Server.Unix_path p -> Printf.printf "flowd listening unix:%s\n%!" p
+    | Server.Tcp (h, p) -> Printf.printf "flowd listening tcp:%s:%d\n%!" h p)
+  in
+  Server.run ~on_ready cfg

@@ -200,13 +200,13 @@ let of_string ?file text =
 
 let read ?file ic = of_string ?file (In_channel.input_all ic)
 
-let write_mapped oc ?(model = "mapped") (m : Mapped.t) =
-  Printf.fprintf oc ".model %s\n" model;
-  Printf.fprintf oc ".inputs";
-  Array.iter (fun n -> Printf.fprintf oc " %s" n) m.Mapped.input_names;
-  Printf.fprintf oc "\n.outputs";
-  Array.iter (fun (n, _) -> Printf.fprintf oc " %s" n) m.Mapped.outputs;
-  Printf.fprintf oc "\n";
+let mapped_to_buffer oc ?(model = "mapped") (m : Mapped.t) =
+  Printf.bprintf oc ".model %s\n" model;
+  Printf.bprintf oc ".inputs";
+  Array.iter (fun n -> Printf.bprintf oc " %s" n) m.Mapped.input_names;
+  Printf.bprintf oc "\n.outputs";
+  Array.iter (fun (n, _) -> Printf.bprintf oc " %s" n) m.Mapped.outputs;
+  Printf.bprintf oc "\n";
   let base_name (net : Mapped.net) =
     match net.Mapped.driver with
     | Mapped.Pi i -> m.Mapped.input_names.(i)
@@ -226,26 +226,33 @@ let write_mapped oc ?(model = "mapped") (m : Mapped.t) =
     (fun (inst : Mapped.instance) -> Array.iter scan inst.Mapped.fanins)
     m.Mapped.instances;
   Array.iter (fun (_, net) -> scan net) m.Mapped.outputs;
-  Printf.fprintf oc ".names const0
+  Printf.bprintf oc ".names const0
 ";
-  Printf.fprintf oc ".names const1
+  Printf.bprintf oc ".names const1
 1
 ";
   Hashtbl.iter
-    (fun base () -> Printf.fprintf oc ".names %s %s_bar
+    (fun base () -> Printf.bprintf oc ".names %s %s_bar
 0 1
 " base base)
     bars;
   Array.iteri
     (fun j (inst : Mapped.instance) ->
-      Printf.fprintf oc ".gate %s" inst.Mapped.cell_name;
+      Printf.bprintf oc ".gate %s" inst.Mapped.cell_name;
       Array.iteri
-        (fun i f -> Printf.fprintf oc " %c=%s" (Char.chr (Char.code 'a' + i)) (net_name f))
+        (fun i f -> Printf.bprintf oc " %c=%s" (Char.chr (Char.code 'a' + i)) (net_name f))
         inst.Mapped.fanins;
-      Printf.fprintf oc " o=g%d\n" j)
+      Printf.bprintf oc " o=g%d\n" j)
     m.Mapped.instances;
   Array.iter
     (fun (name, net) ->
-      Printf.fprintf oc ".names %s %s\n1 1\n" (net_name net) name)
+      Printf.bprintf oc ".names %s %s\n1 1\n" (net_name net) name)
     m.Mapped.outputs;
-  Printf.fprintf oc ".end\n"
+  Printf.bprintf oc ".end\n"
+
+let mapped_to_string ?model m =
+  let b = Buffer.create 4096 in
+  mapped_to_buffer b ?model m;
+  Buffer.contents b
+
+let write_mapped oc ?model m = output_string oc (mapped_to_string ?model m)

@@ -16,5 +16,6 @@ val of_string : ?file:string -> string -> Aig.t
     given) on malformed input. *)
 
 val write_mapped : out_channel -> ?model:string -> Mapped.t -> unit
+val mapped_to_string : ?model:string -> Mapped.t -> string
 (** Mapped netlists are emitted as [.gate] instantiations (the BLIF
     mapped-network extension). *)

@@ -380,6 +380,73 @@ let pass_fault cfg step ctx =
   in
   { ctx with fault = Some summary; diags }
 
+(* SAT equivalence of the mapping against its source AIG.  Unlike [verify]
+   (random simulation) this is complete — but under a conflict budget the
+   solver may give up, and that outcome must stay a structured, typed
+   report ([cec-undecided] Warning), never an exception escaping a served
+   job. *)
+let pass_cec cfg step ctx =
+  let m = mapped_or_fail step ctx in
+  let golden =
+    match ctx.golden with
+    | Some g -> g
+    | None -> fail "cec: the mapping's source AIG is unknown"
+  in
+  let budget =
+    match arg_int step "budget" with
+    | Some b when b > 0 -> Some b
+    | Some _ -> fail "cec: budget expects a positive integer"
+    | None -> cfg.conflict_budget
+  in
+  let engine =
+    match arg_value step "engine" with
+    | None | Some "cdcl" -> Cec.Cdcl
+    | Some "reference" -> Cec.Reference
+    | Some e -> fail "cec: unknown engine %s (cdcl|reference)" e
+  in
+  let stats = Solver.stats_create () in
+  let verdict =
+    Cec.check ~engine ?conflict_budget:budget ~seed:cfg.seed ~stats golden
+      (Mapped.to_aig m)
+  in
+  if stats.Solver.sat_solves > 0 then
+    Domain.DLS.set last_sat_stats (Some stats);
+  match verdict with
+  | Cec.Equivalent -> { ctx with verified = Some true }
+  | Cec.Inequivalent _ ->
+      {
+        ctx with
+        verified = Some false;
+        diags =
+          ctx.diags
+          @ [
+              Diag.errorf ~rule:"cec-inequivalent" (Diag.Circuit ctx.name)
+                "mapped netlist is SAT-inequivalent to its source AIG";
+            ];
+      }
+  | Cec.Undecided ->
+      (* typed Cec.Undecided_budget territory: surface as a report *)
+      {
+        ctx with
+        diags =
+          ctx.diags
+          @ [
+              Diag.warnf ~rule:"cec-undecided" (Diag.Circuit ctx.name)
+                "SAT conflict budget (%d) exhausted before the equivalence \
+                 miter was decided"
+                (Option.value budget ~default:0);
+            ];
+      }
+
+(* A deliberately slow pass: the negative fixture behind the wall-clock
+   budget machinery (pass budgets in test_flow, job budgets in the serve
+   chaos harness). *)
+let pass_sleep _cfg step ctx =
+  let s = Option.value (arg_float step "s") ~default:0.05 in
+  if s < 0.0 then fail "sleep: s expects a non-negative number";
+  Unix.sleepf s;
+  ctx
+
 let pass_testability _cfg step ctx =
   let m = mapped_or_fail step ctx in
   let t = Testability.analyze ~learn:(not (arg_flag step "no-learn")) m in
@@ -468,11 +535,20 @@ let registry : (string * pass_info) list =
            [no-learn, lint, tag=T, name=N]";
         p_args = Some [ "no-learn"; "lint"; "tag"; "name" ];
         p_apply = pass_testability } );
+    ( "cec",
+      { p_doc =
+          "SAT equivalence of the mapping vs its source AIG [budget=N, \
+           engine=cdcl|reference]; budget exhaustion degrades to a \
+           cec-undecided Warning";
+        p_args = Some [ "budget"; "engine" ]; p_apply = pass_cec } );
     ( "fail",
       { p_doc =
           "deliberately raise (crash-isolation fixture) [circuit=N, \
            family=F, msg=M]";
         p_args = Some [ "circuit"; "family"; "msg" ]; p_apply = pass_fail } );
+    ( "sleep",
+      { p_doc = "sleep s seconds (wall-clock budget fixture) [s=S]";
+        p_args = Some [ "s" ]; p_apply = pass_sleep } );
   ]
 
 let passes = List.map (fun (n, i) -> (n, i.p_doc)) registry
@@ -1169,15 +1245,26 @@ module Checkpoint = struct
 
   let magic = "cntfet-flow-checkpoint-v1\n"
 
+  (* Atomic: marshal to a process-unique temp file in the same directory,
+     then rename over the target.  A crash (even SIGKILL) mid-save leaves
+     either the old checkpoint or a stray temp file — never a truncated
+     checkpoint that would poison resume; any failure path removes the
+     temp before re-raising. *)
   let save path entries =
-    let tmp = path ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        output_string oc magic;
-        Marshal.to_channel oc (entries : entry list) []);
-    Sys.rename tmp path
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    match
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc magic;
+          Marshal.to_channel oc (entries : entry list) []);
+      Sys.rename tmp path
+    with
+    | () -> ()
+    | exception e ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        raise e
 
   (* A missing, truncated or foreign file is worth no more than an empty
      checkpoint: resume recomputes whatever could not be read back. *)

@@ -1,0 +1,227 @@
+(* The flowd wire protocol: one JSON object per '\n'-terminated line, in
+   both directions.  Requests:
+
+     {"op":"submit","id":"j1","format":"blif","circuit":"...",
+      "script":"synth(light); map; sta; lint","family":"static",
+      "name":"add16","params":{"cut_size":6,"timing":true,...},
+      "netlist":false}
+     {"op":"status"}   {"op":"ping"}   {"op":"drain"}
+
+   Terminal replies carry the request's [id] plus a [status]:
+
+     {"id":"j1","status":"ok","cached":false,"attempts":1,"result":{...}}
+     {"id":"j1","status":"error","kind":"job-crashed","message":...,
+      "attempts":3}
+
+   The [result] object is a pure function of the job (circuit structure,
+   script, family, params, name) — delivery metadata that may legitimately
+   differ between runs (cache outcome, retry count) lives only in the
+   envelope, so byte-comparing [result] across runs is meaningful. *)
+
+type format = Blif | Bench
+
+let format_name = function Blif -> "blif" | Bench -> "bench"
+
+let format_of_name = function
+  | "blif" -> Some Blif
+  | "bench" -> Some Bench
+  | _ -> None
+
+(* Per-job overrides of the daemon's flow defaults.  Unset fields take the
+   server's configuration; every field is part of the cache key. *)
+type params = {
+  cut_size : int option;
+  timing : bool option;
+  seed : int64 option;
+  verify_rounds : int option;
+  conflict_budget : int option;
+  fault_rounds : int option;
+  max_cuts : int option;
+}
+
+let default_params =
+  {
+    cut_size = None;
+    timing = None;
+    seed = None;
+    verify_rounds = None;
+    conflict_budget = None;
+    fault_rounds = None;
+    max_cuts = None;
+  }
+
+type submit = {
+  sub_id : string;                    (* echoed in the reply envelope *)
+  sub_name : string;                  (* circuit tag used in reports *)
+  sub_format : format;
+  sub_circuit : string;               (* BLIF or BENCH text *)
+  sub_script : string;
+  sub_family : Cell_netlist.family;
+  sub_params : params;
+  sub_netlist : bool;                 (* include the mapped BLIF in the result *)
+}
+
+type request =
+  | Submit of submit
+  | Status
+  | Ping
+  | Drain
+
+(* Everything the supervisor can say about a job that did not finish.
+   [Bad_request] and [Parse_error] are deterministic client errors and
+   never retried; [Crashed] is transient (the worker died — retried with
+   backoff up to the attempt bound); the budget kinds are typed verdicts
+   of the supervisor itself. *)
+type error_kind =
+  | Bad_request
+  | Parse_failed                      (* circuit or script failed to parse *)
+  | Job_crashed
+  | Job_budget                        (* wall-clock budget SIGKILL *)
+  | Job_oom                           (* memory budget SIGKILL *)
+  | Overloaded                        (* queue above the high-water mark *)
+  | Draining
+  | Oversized
+
+let error_kind_name = function
+  | Bad_request -> "bad-request"
+  | Parse_failed -> "parse-error"
+  | Job_crashed -> "job-crashed"
+  | Job_budget -> "job-budget"
+  | Job_oom -> "job-oom"
+  | Overloaded -> "overloaded"
+  | Draining -> "draining"
+  | Oversized -> "oversized"
+
+(* ---------------- request parsing (server side) ---------------- *)
+
+let params_of_json j =
+  let i k = Json_codec.mem_int j k in
+  let b k = Json_codec.mem_bool j k in
+  {
+    cut_size = i "cut_size";
+    timing = b "timing";
+    seed = Option.map Int64.of_int (i "seed");
+    verify_rounds = i "verify_rounds";
+    conflict_budget = i "conflict_budget";
+    fault_rounds = i "fault_rounds";
+    max_cuts = i "max_cuts";
+  }
+
+let parse_request line : (request, string) result =
+  match Json_codec.parse line with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok j -> (
+      match Json_codec.mem_str j "op" with
+      | None -> Error "missing op field"
+      | Some "status" -> Ok Status
+      | Some "ping" -> Ok Ping
+      | Some "drain" -> Ok Drain
+      | Some "submit" -> (
+          let id = Option.value (Json_codec.mem_str j "id") ~default:"" in
+          match
+            ( Json_codec.mem_str j "circuit",
+              Option.value (Json_codec.mem_str j "format") ~default:"blif" )
+          with
+          | None, _ -> Error "submit: missing circuit field"
+          | Some _, fmt when format_of_name fmt = None ->
+              Error (Printf.sprintf "submit: unknown format %S" fmt)
+          | Some circuit, fmt ->
+              let family_name =
+                Option.value (Json_codec.mem_str j "family") ~default:"static"
+              in
+              (match Cli_common.family_of_name family_name with
+              | None ->
+                  Error (Printf.sprintf "submit: unknown family %S" family_name)
+              | Some family ->
+                  let params =
+                    match Json_codec.member "params" j with
+                    | Some p -> params_of_json p
+                    | None -> default_params
+                  in
+                  Ok
+                    (Submit
+                       {
+                         sub_id = id;
+                         sub_name =
+                           Option.value (Json_codec.mem_str j "name")
+                             ~default:"job";
+                         sub_format = Option.get (format_of_name fmt);
+                         sub_circuit = circuit;
+                         sub_script =
+                           Option.value (Json_codec.mem_str j "script")
+                             ~default:"synth(light); map; sta; lint";
+                         sub_family = family;
+                         sub_params = params;
+                         sub_netlist =
+                           Option.value (Json_codec.mem_bool j "netlist")
+                             ~default:false;
+                       })))
+      | Some op -> Error (Printf.sprintf "unknown op %S" op))
+
+(* the request id of a line that failed to parse as a request, so error
+   replies can still be correlated when the JSON itself was well-formed *)
+let request_id line =
+  match Json_codec.parse line with
+  | Ok j -> Option.value (Json_codec.mem_str j "id") ~default:""
+  | Error _ -> ""
+
+(* ---------------- request printing (client side) ---------------- *)
+
+let params_to_json p =
+  let num i = Json_codec.Num (float_of_int i) in
+  Json_codec.Obj
+    (List.filter_map Fun.id
+       [
+         Option.map (fun i -> ("cut_size", num i)) p.cut_size;
+         Option.map (fun b -> ("timing", Json_codec.Bool b)) p.timing;
+         Option.map
+           (fun s -> ("seed", Json_codec.Num (Int64.to_float s)))
+           p.seed;
+         Option.map (fun i -> ("verify_rounds", num i)) p.verify_rounds;
+         Option.map (fun i -> ("conflict_budget", num i)) p.conflict_budget;
+         Option.map (fun i -> ("fault_rounds", num i)) p.fault_rounds;
+         Option.map (fun i -> ("max_cuts", num i)) p.max_cuts;
+       ])
+
+let submit_to_line (s : submit) =
+  Json_codec.to_string
+    (Json_codec.Obj
+       [
+         ("op", Json_codec.Str "submit");
+         ("id", Json_codec.Str s.sub_id);
+         ("name", Json_codec.Str s.sub_name);
+         ("format", Json_codec.Str (format_name s.sub_format));
+         ("family", Json_codec.Str (Cli_common.family_arg_name s.sub_family));
+         ("script", Json_codec.Str s.sub_script);
+         ("params", params_to_json s.sub_params);
+         ("netlist", Json_codec.Bool s.sub_netlist);
+         ("circuit", Json_codec.Str s.sub_circuit);
+       ])
+
+let simple_to_line op = Printf.sprintf "{\"op\":%S}" op
+
+(* ---------------- reply printing (server side) ---------------- *)
+
+(* Replies embed the result as a pre-rendered JSON string (the worker
+   computed and cached it); the envelope is assembled around it. *)
+let ok_reply ~id ~cached ~attempts ~result_json =
+  Printf.sprintf "{\"id\":%s,\"status\":\"ok\",\"cached\":%b,\"attempts\":%d,\"result\":%s}"
+    (Json_codec.to_string (Json_codec.Str id))
+    cached attempts result_json
+
+let error_reply ?(attempts = 0) ?retry_after ~id ~kind message =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "{\"id\":%s,\"status\":\"error\",\"kind\":\"%s\",\"message\":%s"
+    (Json_codec.to_string (Json_codec.Str id))
+    (error_kind_name kind)
+    (Json_codec.to_string (Json_codec.Str message));
+  if attempts > 0 then Printf.bprintf b ",\"attempts\":%d" attempts;
+  (match retry_after with
+  | Some s -> Printf.bprintf b ",\"retry_after\":%s" (Json_codec.num_to_string s)
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let pong_reply ~id =
+  Printf.sprintf "{\"id\":%s,\"status\":\"ok\",\"result\":\"pong\"}"
+    (Json_codec.to_string (Json_codec.Str id))

@@ -1,0 +1,872 @@
+(* The flowd supervisor: a single-process select loop owning the listen
+   socket, client connections, a bounded admission queue, the result
+   cache, and a pool of forked single-job worker processes.
+
+   Every failure mode is a first-class, typed behaviour:
+   - a worker segfault / exception / chaos SIGKILL is observed as pipe
+     EOF + wait status, retried with exponential backoff + jitter up to
+     the attempt bound, then reported as a [job-crashed] reply — the
+     daemon itself never dies with a job;
+   - wall-clock and memory budgets are enforced *by the supervisor*
+     (SIGKILL on overrun; the worker needs no cooperation) and reported
+     as typed [job-budget] / [job-oom] replies;
+   - queue depth beyond the high-water mark sheds load with an
+     [overloaded] reply carrying a [retry_after] estimate;
+   - SIGTERM / SIGINT / a [drain] request stop admission, finish every
+     accepted job, flush replies, and return from [run].
+
+   Workers run one job each and are forked from the daemon *after* the
+   library cache is pre-warmed, so every child inherits the elaborated
+   libraries copy-on-write and never re-characterizes a family.  The
+   worker protocol is line-based over a pipe pair:
+
+     worker -> parent:  K <cache-key>     (after parsing, before running)
+                        R <result-json>   (terminal: success)
+                        E <message-json>  (terminal: deterministic reject)
+     parent -> worker:  G | S             (go / stop after K, one byte)
+
+   so a structurally-cached job costs one parse in a worker and zero
+   synthesis, and the supervisor never parses untrusted circuit text in
+   its own process. *)
+
+type listen_addr = Unix_path of string | Tcp of string * int
+
+type config = {
+  listen : listen_addr;
+  workers : int;
+  queue_high_water : int;
+  max_attempts : int;
+  retry_base_s : float;
+  retry_cap_s : float;
+  job_budget_s : float option;
+  job_mem_mb : int option;
+  cache_capacity : int;
+  max_request_bytes : int;
+  warm_families : Cell_netlist.family list;
+  chaos_kill : float;
+  seed : int64;
+  flow : Flow.config;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    listen = Unix_path "flowd.sock";
+    workers = 2;
+    queue_high_water = 64;
+    max_attempts = 4;
+    retry_base_s = 0.05;
+    retry_cap_s = 2.0;
+    job_budget_s = None;
+    job_mem_mb = None;
+    cache_capacity = 256;
+    max_request_bytes = 32 * 1024 * 1024;
+    warm_families = Cell_netlist.all_families;
+    chaos_kill = 0.0;
+    seed = 2026L;
+    flow = { Flow.default_config with Flow.isolate = true };
+    verbose = false;
+  }
+
+(* ---------------- state ---------------- *)
+
+type stats = {
+  mutable st_received : int;
+  mutable st_completed : int;
+  mutable st_cache_hits : int;
+  mutable st_cache_misses : int;
+  mutable st_coalesced : int;
+  mutable st_crashes : int;
+  mutable st_retries : int;
+  mutable st_budget_kills : int;
+  mutable st_oom_kills : int;
+  mutable st_shed : int;
+  mutable st_rejected : int;
+  mutable st_chaos_kills : int;
+}
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_in : Buffer.t;
+  mutable c_out : string;       (* unwritten reply bytes *)
+  mutable c_overflow : bool;    (* discarding the rest of an oversized line *)
+}
+
+type entry = {
+  e_sub : Proto.submit;
+  e_tkey : string;                                   (* request-text key *)
+  mutable e_attempts : int;                          (* worker runs started *)
+  mutable e_not_before : float;                      (* backoff gate *)
+  mutable e_waiters : (Unix.file_descr * string) list;  (* (client, id) *)
+}
+
+type kill_reason = No_kill | Budget_kill | Oom_kill | Chaos_kill
+
+type worker = {
+  w_pid : int;
+  w_rfd : Unix.file_descr;      (* worker -> parent, nonblocking *)
+  w_cfd : Unix.file_descr;      (* parent -> worker go/stop *)
+  w_buf : Buffer.t;
+  w_entry : entry;
+  mutable w_deadline : float option;
+  mutable w_chaos_at : float option;
+  mutable w_killed : kill_reason;
+  mutable w_concluded : bool;   (* a terminal reply was already sent *)
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  sig_r : Unix.file_descr;
+  sig_w : Unix.file_descr;
+  clients : (Unix.file_descr, client) Hashtbl.t;
+  workers : (int, worker) Hashtbl.t;
+  mutable pending : entry list;            (* admission queue, FIFO *)
+  inflight : (string, entry) Hashtbl.t;    (* tkey -> queued/running entry *)
+  cache : (string, string) Hashtbl.t;      (* structural key -> result json *)
+  cache_fifo : string Queue.t;             (* eviction order *)
+  text_index : (string, string) Hashtbl.t; (* text key -> structural key *)
+  stats : stats;
+  rng : Rand64.t;
+  started : float;
+  mutable draining : bool;
+  mutable mem_poll_at : float;
+  mutable avg_job_s : float;
+}
+
+let log t fmt =
+  Printf.ksprintf
+    (fun m -> if t.cfg.verbose then Printf.eprintf "[flowd] %s\n%!" m)
+    fmt
+
+let now () = Unix.gettimeofday ()
+
+(* ---------------- small helpers ---------------- *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let text_key (sub : Proto.submit) =
+  let b = Buffer.create 1024 in
+  let add s = Buffer.add_string b s; Buffer.add_char b '\000' in
+  add (Proto.format_name sub.Proto.sub_format);
+  add sub.Proto.sub_circuit;
+  add sub.Proto.sub_script;
+  add (Cli_common.family_arg_name sub.Proto.sub_family);
+  add (Json_codec.to_string (Proto.params_to_json sub.Proto.sub_params));
+  add sub.Proto.sub_name;
+  add (string_of_bool sub.Proto.sub_netlist);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let cache_store t skey json =
+  if not (Hashtbl.mem t.cache skey) then begin
+    Hashtbl.replace t.cache skey json;
+    Queue.push skey t.cache_fifo;
+    while Hashtbl.length t.cache > t.cfg.cache_capacity do
+      let victim = Queue.pop t.cache_fifo in
+      Hashtbl.remove t.cache victim
+    done
+  end
+
+(* ---------------- client I/O ---------------- *)
+
+let client_close t (c : client) =
+  Hashtbl.remove t.clients c.c_fd;
+  try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+
+let client_flush t (c : client) =
+  if c.c_out <> "" then begin
+    match
+      Unix.write_substring c.c_fd c.c_out 0 (String.length c.c_out)
+    with
+    | n ->
+        c.c_out <-
+          (if n >= String.length c.c_out then ""
+           else String.sub c.c_out n (String.length c.c_out - n))
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> client_close t c
+  end
+
+let client_send t (c : client) line =
+  c.c_out <- c.c_out ^ line ^ "\n";
+  client_flush t c
+
+let send_to t fd line =
+  match Hashtbl.find_opt t.clients fd with
+  | Some c -> client_send t c line
+  | None -> () (* client went away; the result still reached the cache *)
+
+(* ---------------- worker processes ---------------- *)
+
+(* Executed in the forked child.  Writes its terminal line and exits via
+   [Unix._exit] so the parent's at_exit machinery and channel buffers
+   are never replayed. *)
+let worker_main (cfg : config) (sub : Proto.submit) ~(result_fd : Unix.file_descr)
+    ~(ctrl_fd : Unix.file_descr) : 'a =
+  let send line =
+    let line = line ^ "\n" in
+    write_all result_fd line 0 (String.length line)
+  in
+  (match
+     let config = Job.flow_config ~base:cfg.flow sub in
+     let steps = Job.parse_script sub in
+     let aig = Job.parse_circuit sub in
+     let skey = Job.cache_key ~config ~steps ~aig sub in
+     send ("K " ^ skey);
+     let go = Bytes.create 1 in
+     let n = Unix.read ctrl_fd go 0 1 in
+     if n = 1 && Bytes.get go 0 = 'G' then
+       send ("R " ^ Job.result_json ~config ~steps ~aig sub)
+   with
+  | () -> ()
+  | exception Job.Reject msg ->
+      send ("E " ^ Json_codec.to_string (Json_codec.Str msg))
+  | exception Out_of_memory ->
+      send ("E " ^ Json_codec.to_string (Json_codec.Str "worker out of memory")));
+  Unix._exit 0
+
+let spawn t entry =
+  let result_r, result_w = Unix.pipe () in
+  let ctrl_r, ctrl_w = Unix.pipe () in
+  entry.e_attempts <- entry.e_attempts + 1;
+  match Unix.fork () with
+  | 0 ->
+      (* the child keeps only its own pipe ends: everything else the
+         supervisor owns is closed so client sockets see EOF exactly when
+         the daemon says so, and signals mean their defaults again *)
+      List.iter
+        (fun s -> Sys.set_signal s Sys.Signal_default)
+        [ Sys.sigterm; Sys.sigint; Sys.sigpipe ];
+      Unix.close result_r;
+      Unix.close ctrl_w;
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      Unix.close t.sig_r;
+      Unix.close t.sig_w;
+      Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+        t.clients;
+      Hashtbl.iter
+        (fun _ w ->
+          (try Unix.close w.w_rfd with Unix.Unix_error _ -> ());
+          try Unix.close w.w_cfd with Unix.Unix_error _ -> ())
+        t.workers;
+      worker_main t.cfg entry.e_sub ~result_fd:result_w ~ctrl_fd:ctrl_r
+  | pid ->
+      Unix.close result_w;
+      Unix.close ctrl_r;
+      Unix.set_nonblock result_r;
+      let tnow = now () in
+      let chaos_at =
+        if t.cfg.chaos_kill > 0.0
+           && Rand64.int t.rng 1_000_000
+              < int_of_float (t.cfg.chaos_kill *. 1_000_000.)
+        then Some (tnow +. (0.002 +. (float_of_int (Rand64.int t.rng 30) /. 1000.)))
+        else None
+      in
+      let w =
+        {
+          w_pid = pid;
+          w_rfd = result_r;
+          w_cfd = ctrl_w;
+          w_buf = Buffer.create 256;
+          w_entry = entry;
+          w_deadline =
+            Option.map (fun b -> tnow +. b) t.cfg.job_budget_s;
+          w_chaos_at = chaos_at;
+          w_killed = No_kill;
+          w_concluded = false;
+        }
+      in
+      Hashtbl.replace t.workers pid w;
+      log t "spawned worker %d for %s (attempt %d)" pid
+        entry.e_sub.Proto.sub_name entry.e_attempts
+
+let kill_worker t (w : worker) reason =
+  if w.w_killed = No_kill && not w.w_concluded then begin
+    w.w_killed <- reason;
+    (match reason with
+    | Chaos_kill -> t.stats.st_chaos_kills <- t.stats.st_chaos_kills + 1
+    | _ -> ());
+    try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ()
+  end
+
+(* ---------------- job conclusion and retry ---------------- *)
+
+let conclude t (w : worker) =
+  w.w_concluded <- true;
+  Hashtbl.remove t.inflight w.w_entry.e_tkey
+
+let reply_waiters t entry line_of_id =
+  List.iter
+    (fun (fd, id) -> send_to t fd (line_of_id id))
+    (List.rev entry.e_waiters)
+
+let backoff_delay t attempts =
+  let exp =
+    t.cfg.retry_base_s *. (2.0 ** float_of_int (max 0 (attempts - 1)))
+  in
+  let jitter = 0.5 +. (float_of_int (Rand64.int t.rng 1000) /. 1000.) in
+  Float.min t.cfg.retry_cap_s (exp *. jitter)
+
+let handle_worker_line t (w : worker) line =
+  let entry = w.w_entry in
+  if String.length line >= 2 && String.sub line 0 2 = "K " then begin
+    let skey = String.sub line 2 (String.length line - 2) in
+    match Hashtbl.find_opt t.cache skey with
+    | Some json ->
+        (* structural cache hit discovered by the worker's parse: answer
+           from cache and stop the worker before it synthesizes *)
+        t.stats.st_cache_hits <- t.stats.st_cache_hits + 1;
+        Hashtbl.replace t.text_index entry.e_tkey skey;
+        conclude t w;
+        reply_waiters t entry (fun id ->
+            Proto.ok_reply ~id ~cached:true ~attempts:entry.e_attempts
+              ~result_json:json);
+        (try write_all w.w_cfd "S" 0 1 with Unix.Unix_error _ -> ())
+    | None ->
+        t.stats.st_cache_misses <- t.stats.st_cache_misses + 1;
+        Hashtbl.replace t.text_index entry.e_tkey skey;
+        w.w_deadline <-
+          Option.map (fun b -> now () +. b) t.cfg.job_budget_s;
+        (try write_all w.w_cfd "G" 0 1
+         with Unix.Unix_error _ -> () (* already dying; EOF will classify *))
+  end
+  else if String.length line >= 2 && String.sub line 0 2 = "R " then begin
+    let json = String.sub line 2 (String.length line - 2) in
+    (match Hashtbl.find_opt t.text_index entry.e_tkey with
+    | Some skey -> cache_store t skey json
+    | None -> ());
+    t.stats.st_completed <- t.stats.st_completed + 1;
+    conclude t w;
+    reply_waiters t entry (fun id ->
+        Proto.ok_reply ~id ~cached:false ~attempts:entry.e_attempts
+          ~result_json:json)
+  end
+  else if String.length line >= 2 && String.sub line 0 2 = "E " then begin
+    let msg =
+      match Json_codec.parse (String.sub line 2 (String.length line - 2)) with
+      | Ok j -> Option.value (Json_codec.str j) ~default:"rejected"
+      | Error _ -> "rejected"
+    in
+    t.stats.st_rejected <- t.stats.st_rejected + 1;
+    conclude t w;
+    reply_waiters t entry (fun id ->
+        Proto.error_reply ~id ~kind:Proto.Parse_failed ~attempts:entry.e_attempts
+          msg)
+  end
+  else log t "worker %d: unrecognized line %S" w.w_pid line
+
+(* EOF: the worker exited (or was killed).  Classify, then either retry
+   or send the typed failure reply. *)
+let handle_worker_eof t (w : worker) =
+  Hashtbl.remove t.workers w.w_pid;
+  (try Unix.close w.w_rfd with Unix.Unix_error _ -> ());
+  (try Unix.close w.w_cfd with Unix.Unix_error _ -> ());
+  let status =
+    match Unix.waitpid [] w.w_pid with
+    | _, st -> Some st
+    | exception Unix.Unix_error _ -> None
+  in
+  if not w.w_concluded then begin
+    let entry = w.w_entry in
+    match w.w_killed with
+    | Budget_kill ->
+        t.stats.st_budget_kills <- t.stats.st_budget_kills + 1;
+        conclude t w;
+        reply_waiters t entry (fun id ->
+            Proto.error_reply ~id ~kind:Proto.Job_budget
+              ~attempts:entry.e_attempts
+              (Printf.sprintf
+                 "job exceeded its %.2fs wall-clock budget and was killed"
+                 (Option.value t.cfg.job_budget_s ~default:0.0)))
+    | Oom_kill ->
+        t.stats.st_oom_kills <- t.stats.st_oom_kills + 1;
+        conclude t w;
+        reply_waiters t entry (fun id ->
+            Proto.error_reply ~id ~kind:Proto.Job_oom
+              ~attempts:entry.e_attempts
+              (Printf.sprintf
+                 "job exceeded its %d MB memory budget and was killed"
+                 (Option.value t.cfg.job_mem_mb ~default:0)))
+    | No_kill | Chaos_kill ->
+        t.stats.st_crashes <- t.stats.st_crashes + 1;
+        let desc =
+          match status with
+          | Some (Unix.WSIGNALED s) -> Printf.sprintf "killed by signal %d" s
+          | Some (Unix.WEXITED c) -> Printf.sprintf "exited with code %d" c
+          | Some (Unix.WSTOPPED s) -> Printf.sprintf "stopped by signal %d" s
+          | None -> "disappeared"
+        in
+        if entry.e_attempts < t.cfg.max_attempts then begin
+          t.stats.st_retries <- t.stats.st_retries + 1;
+          entry.e_not_before <- now () +. backoff_delay t entry.e_attempts;
+          t.pending <- t.pending @ [ entry ];
+          log t "worker %d %s; retrying %s (attempt %d/%d)" w.w_pid desc
+            entry.e_sub.Proto.sub_name entry.e_attempts t.cfg.max_attempts
+        end
+        else begin
+          conclude t w;
+          reply_waiters t entry (fun id ->
+              Proto.error_reply ~id ~kind:Proto.Job_crashed
+                ~attempts:entry.e_attempts
+                (Printf.sprintf "worker %s after %d attempts" desc
+                   entry.e_attempts))
+        end
+  end
+
+let handle_worker_readable t (w : worker) =
+  let buf = Bytes.create 65536 in
+  let rec drain () =
+    match Unix.read w.w_rfd buf 0 (Bytes.length buf) with
+    | 0 -> `Eof
+    | n ->
+        Buffer.add_subbytes w.w_buf buf 0 n;
+        drain ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `Open
+    | exception Unix.Unix_error _ -> `Eof
+  in
+  let state = drain () in
+  (* split complete lines off the worker buffer *)
+  let rec lines () =
+    let s = Buffer.contents w.w_buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear w.w_buf;
+        Buffer.add_string w.w_buf
+          (String.sub s (i + 1) (String.length s - i - 1));
+        handle_worker_line t w (String.sub s 0 i);
+        lines ()
+    | None -> ()
+  in
+  lines ();
+  if state = `Eof then handle_worker_eof t w
+
+(* ---------------- requests ---------------- *)
+
+let mem_rss_kb pid =
+  match open_in (Printf.sprintf "/proc/%d/status" pid) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line ->
+                if String.length line > 6 && String.sub line 0 6 = "VmRSS:"
+                then
+                  try
+                    Scanf.sscanf
+                      (String.sub line 6 (String.length line - 6))
+                      " %d kB"
+                      (fun v -> Some v)
+                  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+                else go ()
+          in
+          go ())
+
+let status_json t =
+  let open Json_codec in
+  let s = t.stats in
+  let lib = Cell_lib.cache_stats () in
+  let pids =
+    Hashtbl.fold (fun pid _ acc -> pid :: acc) t.workers []
+    |> List.sort compare
+  in
+  let i n = Num (float_of_int n) in
+  to_string
+    (Obj
+       [
+         ("uptime_s", Num (now () -. t.started));
+         ("draining", Bool t.draining);
+         ( "workers",
+           Obj
+             [
+               ("size", i t.cfg.workers);
+               ("busy", i (Hashtbl.length t.workers));
+               ("pids", Arr (List.map i pids));
+             ] );
+         ( "queue",
+           Obj
+             [
+               ("depth", i (List.length t.pending));
+               ("high_water", i t.cfg.queue_high_water);
+             ] );
+         ( "jobs",
+           Obj
+             [
+               ("received", i s.st_received);
+               ("completed", i s.st_completed);
+               ("cache_hits", i s.st_cache_hits);
+               ("cache_misses", i s.st_cache_misses);
+               ("coalesced", i s.st_coalesced);
+               ("crashes", i s.st_crashes);
+               ("retries", i s.st_retries);
+               ("budget_kills", i s.st_budget_kills);
+               ("oom_kills", i s.st_oom_kills);
+               ("shed", i s.st_shed);
+               ("rejected", i s.st_rejected);
+               ("chaos_kills", i s.st_chaos_kills);
+             ] );
+         ( "cache",
+           Obj
+             [
+               ("entries", i (Hashtbl.length t.cache));
+               ("capacity", i t.cfg.cache_capacity);
+             ] );
+         ( "lib_cache",
+           Obj
+             [
+               ("hits", i lib.Cell_lib.hits);
+               ("misses", i lib.Cell_lib.misses);
+               ("entries", i lib.Cell_lib.entries);
+             ] );
+       ])
+
+let retry_after_estimate t =
+  let depth = List.length t.pending in
+  Float.max 0.05
+    (Float.min 30.0
+       (t.avg_job_s *. float_of_int (depth + 1)
+        /. float_of_int (max 1 t.cfg.workers)))
+
+let handle_submit t (c : client) (sub : Proto.submit) =
+  if t.draining then
+    client_send t c
+      (Proto.error_reply ~id:sub.Proto.sub_id ~kind:Proto.Draining
+         "daemon is draining; resubmit elsewhere")
+  else begin
+    t.stats.st_received <- t.stats.st_received + 1;
+    let tkey = text_key sub in
+    let cached_result =
+      Option.bind (Hashtbl.find_opt t.text_index tkey) (Hashtbl.find_opt t.cache)
+    in
+    match cached_result with
+    | Some json ->
+        t.stats.st_cache_hits <- t.stats.st_cache_hits + 1;
+        client_send t c
+          (Proto.ok_reply ~id:sub.Proto.sub_id ~cached:true ~attempts:0
+             ~result_json:json)
+    | None -> (
+        match Hashtbl.find_opt t.inflight tkey with
+        | Some entry ->
+            (* identical request already queued or running: coalesce *)
+            t.stats.st_coalesced <- t.stats.st_coalesced + 1;
+            entry.e_waiters <-
+              (c.c_fd, sub.Proto.sub_id) :: entry.e_waiters
+        | None ->
+            if List.length t.pending >= t.cfg.queue_high_water then begin
+              t.stats.st_shed <- t.stats.st_shed + 1;
+              client_send t c
+                (Proto.error_reply ~id:sub.Proto.sub_id ~kind:Proto.Overloaded
+                   ~retry_after:(retry_after_estimate t)
+                   (Printf.sprintf "queue depth %d is at the high-water mark %d"
+                      (List.length t.pending) t.cfg.queue_high_water))
+            end
+            else begin
+              let entry =
+                {
+                  e_sub = sub;
+                  e_tkey = tkey;
+                  e_attempts = 0;
+                  e_not_before = 0.0;
+                  e_waiters = [ (c.c_fd, sub.Proto.sub_id) ];
+                }
+              in
+              Hashtbl.replace t.inflight tkey entry;
+              t.pending <- t.pending @ [ entry ]
+            end)
+  end
+
+let handle_request_line t (c : client) line =
+  if String.trim line = "" then ()
+  else
+    match Proto.parse_request line with
+    | Error msg ->
+        t.stats.st_rejected <- t.stats.st_rejected + 1;
+        client_send t c
+          (Proto.error_reply ~id:(Proto.request_id line)
+             ~kind:Proto.Bad_request msg)
+    | Ok Proto.Ping -> client_send t c (Proto.pong_reply ~id:"")
+    | Ok Proto.Status ->
+        client_send t c
+          (Printf.sprintf "{\"id\":\"\",\"status\":\"ok\",\"result\":%s}"
+             (status_json t))
+    | Ok Proto.Drain ->
+        log t "drain requested by client";
+        t.draining <- true;
+        client_send t c "{\"id\":\"\",\"status\":\"ok\",\"result\":\"draining\"}"
+    | Ok (Proto.Submit sub) -> handle_submit t c sub
+
+let handle_client_readable t (c : client) =
+  let buf = Bytes.create 65536 in
+  let rec drain () =
+    match Unix.read c.c_fd buf 0 (Bytes.length buf) with
+    | 0 -> `Eof
+    | n ->
+        Buffer.add_subbytes c.c_in buf 0 n;
+        drain ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `Open
+    | exception Unix.Unix_error _ -> `Eof
+  in
+  let state = drain () in
+  let rec lines () =
+    let s = Buffer.contents c.c_in in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear c.c_in;
+        Buffer.add_string c.c_in
+          (String.sub s (i + 1) (String.length s - i - 1));
+        let line = String.sub s 0 i in
+        if c.c_overflow then c.c_overflow <- false
+          (* the tail of an oversized request: swallowed *)
+        else if String.length line > t.cfg.max_request_bytes then begin
+          (* complete but over the limit: typed reject, never parsed *)
+          t.stats.st_rejected <- t.stats.st_rejected + 1;
+          client_send t c
+            (Proto.error_reply ~id:"" ~kind:Proto.Oversized
+               (Printf.sprintf "request line exceeds %d bytes"
+                  t.cfg.max_request_bytes))
+        end
+        else handle_request_line t c line;
+        lines ()
+    | None -> ()
+  in
+  lines ();
+  if (not c.c_overflow) && Buffer.length c.c_in > t.cfg.max_request_bytes
+  then begin
+    (* no newline within the limit: reject and swallow through the next
+       newline so framing recovers *)
+    t.stats.st_rejected <- t.stats.st_rejected + 1;
+    Buffer.clear c.c_in;
+    c.c_overflow <- true;
+    client_send t c
+      (Proto.error_reply ~id:"" ~kind:Proto.Oversized
+         (Printf.sprintf "request line exceeds %d bytes"
+            t.cfg.max_request_bytes))
+  end;
+  if state = `Eof then client_close t c
+
+(* ---------------- scheduling and enforcement ---------------- *)
+
+let schedule t =
+  let tnow = now () in
+  let rec go () =
+    if Hashtbl.length t.workers < t.cfg.workers then begin
+      (* first ready entry in FIFO order *)
+      let rec pick acc = function
+        | [] -> None
+        | e :: rest when e.e_not_before <= tnow ->
+            Some (e, List.rev_append acc rest)
+        | e :: rest -> pick (e :: acc) rest
+      in
+      match pick [] t.pending with
+      | Some (e, rest) ->
+          t.pending <- rest;
+          spawn t e;
+          go ()
+      | None -> ()
+    end
+  in
+  go ()
+
+let enforce_budgets t =
+  let tnow = now () in
+  Hashtbl.iter
+    (fun _ w ->
+      (match w.w_deadline with
+      | Some d when tnow > d -> kill_worker t w Budget_kill
+      | _ -> ());
+      match w.w_chaos_at with
+      | Some at when tnow > at ->
+          w.w_chaos_at <- None;
+          kill_worker t w Chaos_kill
+      | _ -> ())
+    t.workers;
+  if t.cfg.job_mem_mb <> None && tnow > t.mem_poll_at then begin
+    t.mem_poll_at <- tnow +. 0.2;
+    let budget_kb = Option.get t.cfg.job_mem_mb * 1024 in
+    Hashtbl.iter
+      (fun pid w ->
+        match mem_rss_kb pid with
+        | Some kb when kb > budget_kb -> kill_worker t w Oom_kill
+        | _ -> ())
+      t.workers
+  end
+
+let next_timeout t =
+  let tnow = now () in
+  let acc = ref 0.5 in
+  let consider at = if at > tnow then acc := Float.min !acc (at -. tnow)
+                    else acc := 0.0 in
+  Hashtbl.iter
+    (fun _ w ->
+      Option.iter consider w.w_deadline;
+      Option.iter consider w.w_chaos_at)
+    t.workers;
+  List.iter (fun e -> if e.e_not_before > 0.0 then consider e.e_not_before)
+    t.pending;
+  if t.cfg.job_mem_mb <> None && Hashtbl.length t.workers > 0 then
+    consider t.mem_poll_at;
+  Float.max 0.01 !acc
+
+(* ---------------- the loop ---------------- *)
+
+let make_listen_fd = function
+  | Unix_path path ->
+      (try if (Unix.lstat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
+       with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      fd
+
+let accept_clients t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        Hashtbl.replace t.clients fd
+          { c_fd = fd; c_in = Buffer.create 256; c_out = ""; c_overflow = false };
+        go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let drain_signal_pipe t =
+  let buf = Bytes.create 64 in
+  match Unix.read t.sig_r buf 0 64 with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let create cfg =
+  let listen_fd = make_listen_fd cfg.listen in
+  Unix.set_nonblock listen_fd;
+  let sig_r, sig_w = Unix.pipe () in
+  Unix.set_nonblock sig_r;
+  Unix.set_nonblock sig_w;
+  {
+    cfg;
+    listen_fd;
+    sig_r;
+    sig_w;
+    clients = Hashtbl.create 16;
+    workers = Hashtbl.create 16;
+    pending = [];
+    inflight = Hashtbl.create 64;
+    cache = Hashtbl.create 256;
+    cache_fifo = Queue.create ();
+    text_index = Hashtbl.create 256;
+    stats =
+      {
+        st_received = 0;
+        st_completed = 0;
+        st_cache_hits = 0;
+        st_cache_misses = 0;
+        st_coalesced = 0;
+        st_crashes = 0;
+        st_retries = 0;
+        st_budget_kills = 0;
+        st_oom_kills = 0;
+        st_shed = 0;
+        st_rejected = 0;
+        st_chaos_kills = 0;
+      };
+    rng = Rand64.create cfg.seed;
+    started = now ();
+    draining = false;
+    mem_poll_at = 0.0;
+    avg_job_s = 0.1;
+  }
+
+let listen_address t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_UNIX p -> Unix_path p
+  | Unix.ADDR_INET (a, p) -> Tcp (Unix.string_of_inet_addr a, p)
+
+let run ?(on_ready = fun (_ : t) -> ()) cfg =
+  let t = create cfg in
+  (* every forked worker inherits the elaborated libraries copy-on-write:
+     characterize each family exactly once, in the daemon, up front *)
+  List.iter (fun f -> ignore (Cell_lib.cached f)) cfg.warm_families;
+  let request_drain _ =
+    t.draining <- true;
+    try ignore (Unix.write_substring t.sig_w "d" 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_drain);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_drain);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  log t "listening (%s), %d workers, queue high-water %d"
+    (match cfg.listen with
+    | Unix_path p -> "unix:" ^ p
+    | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
+    cfg.workers cfg.queue_high_water;
+  on_ready t;
+  let finished () =
+    t.draining && t.pending = [] && Hashtbl.length t.workers = 0
+  in
+  while not (finished ()) do
+    let reads =
+      t.sig_r
+      :: (if t.draining then [] else [ t.listen_fd ])
+      @ Hashtbl.fold (fun fd _ acc -> fd :: acc) t.clients []
+      @ Hashtbl.fold (fun _ w acc -> w.w_rfd :: acc) t.workers []
+    in
+    let writes =
+      Hashtbl.fold
+        (fun fd c acc -> if c.c_out <> "" then fd :: acc else acc)
+        t.clients []
+    in
+    (match Unix.select reads writes [] (next_timeout t) with
+    | rs, ws, _ ->
+        if List.mem t.sig_r rs then drain_signal_pipe t;
+        if (not t.draining) && List.mem t.listen_fd rs then accept_clients t;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt t.clients fd with
+            | Some c -> client_flush t c
+            | None -> ())
+          ws;
+        (* workers first: their results may enqueue client replies *)
+        Hashtbl.fold (fun _ w acc -> w :: acc) t.workers []
+        |> List.iter (fun w ->
+               if List.mem w.w_rfd rs then handle_worker_readable t w);
+        List.iter
+          (fun fd ->
+            if fd <> t.sig_r && fd <> t.listen_fd then
+              match Hashtbl.find_opt t.clients fd with
+              | Some c -> handle_client_readable t c
+              | None -> ())
+          rs
+    | exception Unix.Unix_error (EINTR, _, _) -> ());
+    enforce_budgets t;
+    schedule t
+  done;
+  (* graceful exit: flush what can be flushed, then close everything *)
+  Hashtbl.fold (fun _ c acc -> c :: acc) t.clients []
+  |> List.iter (fun c ->
+         client_flush t c;
+         client_close t c);
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match cfg.listen with
+  | Unix_path p -> (try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  log t "drained: %d completed, %d cache hits, %d crashes, %d retries"
+    t.stats.st_completed t.stats.st_cache_hits t.stats.st_crashes
+    t.stats.st_retries;
+  Printf.eprintf "[flowd] final %s\n%!" (status_json t)

@@ -1,0 +1,57 @@
+(** The flowd supervisor: a select-loop daemon that accepts synthesis
+    jobs over a Unix or TCP socket (one JSON object per line, {!Proto})
+    and schedules them on a pool of forked single-job worker processes.
+
+    Robustness contract:
+    - a worker crash (segfault, uncaught exception, chaos SIGKILL) is
+      retried with exponential backoff + jitter up to [max_attempts],
+      then reported as a typed [job-crashed] reply — the daemon never
+      dies with a job;
+    - wall-clock ([job_budget_s]) and memory ([job_mem_mb]) budgets are
+      enforced by the supervisor with SIGKILL and reported as
+      [job-budget] / [job-oom] replies;
+    - admission beyond [queue_high_water] sheds load with an
+      [overloaded] reply carrying a [retry_after] estimate;
+    - SIGTERM / SIGINT / a [drain] request stop admission, finish every
+      accepted job, flush replies, and make {!run} return;
+    - results are cached content-addressed (structural AIG hash +
+      resolved script/family/params, see {!Job.cache_key}), with an
+      exact-request-text fast path and coalescing of identical
+      in-flight submissions. *)
+
+type listen_addr = Unix_path of string | Tcp of string * int
+
+type config = {
+  listen : listen_addr;
+  workers : int;              (** pool size (concurrent jobs) *)
+  queue_high_water : int;     (** pending-queue bound before shedding *)
+  max_attempts : int;         (** worker runs per job before job-crashed *)
+  retry_base_s : float;       (** backoff base (doubles per attempt) *)
+  retry_cap_s : float;        (** backoff ceiling *)
+  job_budget_s : float option;(** per-job wall-clock budget *)
+  job_mem_mb : int option;    (** per-job VmRSS budget *)
+  cache_capacity : int;       (** result-cache entries (FIFO eviction) *)
+  max_request_bytes : int;    (** request-line size bound *)
+  warm_families : Cell_netlist.family list;
+      (** libraries characterized once pre-fork; workers inherit CoW *)
+  chaos_kill : float;
+      (** fault-injection: probability a worker is SIGKILLed shortly
+          after spawn (testing only; such kills are retried) *)
+  seed : int64;               (** backoff-jitter / chaos RNG seed *)
+  flow : Flow.config;         (** per-job defaults; submissions override *)
+  verbose : bool;
+}
+
+val default_config : config
+
+type t
+(** Running daemon state, exposed to [on_ready] so tests can learn the
+    bound address before the loop starts serving. *)
+
+val listen_address : t -> listen_addr
+(** The actual bound address — resolves [Tcp (_, 0)] to the kernel-chosen
+    port. *)
+
+val run : ?on_ready:(t -> unit) -> config -> unit
+(** Blocks serving jobs until a drain completes.  Installs SIGTERM /
+    SIGINT / SIGPIPE handlers; prints final statistics to stderr. *)

@@ -221,5 +221,13 @@ let cached_with_status ?(delay = Worst) family =
 
 let cached ?delay family = fst (cached_with_status ?delay family)
 
+type cache_stats = { hits : int; misses : int; entries : int }
+
+(* One consistent snapshot: all three counters are read under the same
+   mutex that guards the cache and its hit/miss increments, so a reader
+   racing Domain-parallel [cached] calls can never observe hits and
+   misses from different instants (e.g. hits+misses < entries). *)
 let cache_stats () =
-  Mutex.protect cache_lock (fun () -> (!cache_hits, !cache_misses))
+  Mutex.protect cache_lock (fun () ->
+      { hits = !cache_hits; misses = !cache_misses;
+        entries = Hashtbl.length cache })

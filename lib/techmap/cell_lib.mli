@@ -96,8 +96,13 @@ val cached_with_status :
 (** Like {!cached}, also reporting whether this call was served from the
     cache — the flow engine's per-pass cache metric. *)
 
-val cache_stats : unit -> int * int
-(** [(hits, misses)] since process start. *)
+type cache_stats = { hits : int; misses : int; entries : int }
+(** [entries] is the number of distinct (family, delay) libraries built. *)
+
+val cache_stats : unit -> cache_stats
+(** Counters since process start, read as one consistent snapshot under
+    the same mutex that guards the cache itself (served verbatim in the
+    synthesis daemon's status reply). *)
 
 val of_cells :
   name:string -> free_phases:bool -> tau_ps:float -> cell list -> t

@@ -218,13 +218,14 @@ let test_engine_arg () =
 
 let test_library_cache () =
   let _ = Cell_lib.cached Cell_netlist.Tg_static in
-  let h0, m0 = Cell_lib.cache_stats () in
+  let s0 = Cell_lib.cache_stats () in
   let l1 = Cell_lib.cached Cell_netlist.Tg_static in
   let l2 = Cell_lib.cached Cell_netlist.Tg_static in
-  let h1, m1 = Cell_lib.cache_stats () in
+  let s1 = Cell_lib.cache_stats () in
   Alcotest.(check bool) "same library object" true (l1 == l2);
-  Alcotest.(check int) "two hits" (h0 + 2) h1;
-  Alcotest.(check int) "no new misses" m0 m1;
+  Alcotest.(check int) "two hits" (s0.Cell_lib.hits + 2) s1.Cell_lib.hits;
+  Alcotest.(check int) "no new misses" s0.Cell_lib.misses s1.Cell_lib.misses;
+  Alcotest.(check bool) "entries counted" true (s1.Cell_lib.entries >= 1);
   Alcotest.(check bool) "Core.library goes through the cache" true
     (Core.library `Tg_static == l1)
 
@@ -412,6 +413,105 @@ let test_checkpoint_roundtrip () =
   Alcotest.(check bool) "missing file loads as empty" true
     (Flow.Checkpoint.load path = [])
 
+(* A checkpoint killed mid-write must never poison a resume.  Saves are
+   atomic (temp + rename), so the only way to observe a short file is to
+   make one by hand — and load must treat it as empty, not raise. *)
+let test_checkpoint_truncated () =
+  let entries = [ Bench_suite.find "add-16" ] in
+  let script = Flow.parse_script_exn "light; map" in
+  let results =
+    Flow.run_matrix ~script ~families:[ Cell_netlist.Tg_static ] entries
+  in
+  let lines =
+    List.map
+      (fun (_, ctx, _) -> Flow.summary_line ctx)
+      results.(0).Flow.br_per_family
+  in
+  let entry = Flow.Checkpoint.of_result results.(0) ~lines in
+  let path = Filename.temp_file "flowck" ".bin" in
+  Flow.Checkpoint.save path [ entry ];
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  (* truncate at several depths: inside the magic, inside the Marshal
+     header, inside the payload *)
+  List.iter
+    (fun keep ->
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 keep);
+      close_out oc;
+      Alcotest.(check bool)
+        (Printf.sprintf "truncated to %d bytes loads as empty" keep)
+        true
+        (Flow.Checkpoint.load path = []))
+    [ 3; String.length full / 2; String.length full - 1 ];
+  (* an interrupted save leaves no temp litter and the old file intact *)
+  Flow.Checkpoint.save path [ entry ];
+  Alcotest.(check bool) "atomic save readable again" true
+    (Flow.Checkpoint.load path = [ entry ]);
+  let dir = Filename.dirname path and base = Filename.basename path in
+  Alcotest.(check (list string)) "no temp litter" []
+    (Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           f <> base
+           && String.length f > String.length base
+           && String.sub f 0 (String.length base) = base));
+  Sys.remove path
+
+(* A pass that overruns the wall-clock budget degrades to a typed
+   flow-pass-budget Warning; the run itself still completes. *)
+let test_pass_budget_overrun () =
+  let config =
+    { Flow.default_config with Flow.pass_budget_s = Some 0.05 }
+  in
+  let ctx, _ =
+    Flow.run ~config
+      (Flow.parse_script_exn "sleep(s=0.2); b")
+      (Flow.init ~name:"slow" (adder ()))
+  in
+  let budget_diags =
+    List.filter
+      (fun (d : Diag.t) -> d.Diag.rule = "flow-pass-budget")
+      ctx.Flow.diags
+  in
+  Alcotest.(check int) "one budget warning" 1 (List.length budget_diags);
+  Alcotest.(check bool) "warning, not error" false
+    (Diag.has_errors budget_diags);
+  (* under budget: silent *)
+  let ctx, _ =
+    Flow.run ~config (Flow.parse_script_exn "b")
+      (Flow.init ~name:"fast" (adder ()))
+  in
+  Alcotest.(check int) "no warning under budget" 0
+    (List.length
+       (List.filter
+          (fun (d : Diag.t) -> d.Diag.rule = "flow-pass-budget")
+          ctx.Flow.diags))
+
+(* The cec pass: equivalence proved on a clean map, conflict-budget
+   exhaustion degraded to a typed cec-undecided Warning. *)
+let test_cec_pass () =
+  let ctx, _ =
+    Flow.run
+      (Flow.parse_script_exn "b; map; cec")
+      (Flow.init ~name:"c" (adder ()))
+  in
+  Alcotest.(check (option bool)) "equivalent" (Some true) ctx.Flow.verified;
+  let ctx, _ =
+    Flow.run
+      (Flow.parse_script_exn "b; map; cec(budget=1)")
+      (Flow.init ~name:"c" ((Bench_suite.find "add-16").Bench_suite.build ()))
+  in
+  Alcotest.(check (option bool)) "undecided leaves verified unset" None
+    ctx.Flow.verified;
+  Alcotest.(check bool) "typed warning" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.rule = "cec-undecided")
+       ctx.Flow.diags);
+  match
+    Flow.run (Flow.parse_script_exn "cec") (Flow.init ~name:"c" (adder ()))
+  with
+  | exception Flow.Flow_error _ -> ()
+  | _ -> Alcotest.fail "cec before map accepted"
+
 let () =
   Alcotest.run "flow"
     [
@@ -453,5 +553,10 @@ let () =
           Alcotest.test_case "fault pass" `Quick test_fault_pass;
           Alcotest.test_case "checkpoint roundtrip" `Quick
             test_checkpoint_roundtrip;
+          Alcotest.test_case "checkpoint truncated" `Quick
+            test_checkpoint_truncated;
+          Alcotest.test_case "pass budget overrun" `Quick
+            test_pass_budget_overrun;
+          Alcotest.test_case "cec pass" `Quick test_cec_pass;
         ] );
     ]
